@@ -1,0 +1,164 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * **MDS matrix choice** (§5.1 "the choice of MDS matrix can be changed
+//!   according to design requirements"): lightweight searched matrix vs
+//!   AES MixColumns — area and escape rate.
+//! * **XOR lowering**: naive balanced trees vs Paar common-subexpression
+//!   sharing — diffusion XOR count and module area.
+//! * **Error-bit count `e`** (§4.1 "depending on the required fault
+//!   security"): area vs diffusion-layer escape rate as `e` grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use scfi_core::{harden, PadPolicy, ScfiConfig};
+use scfi_faultsim::{run_exhaustive, CampaignConfig, FaultEffect, ScfiTarget};
+use scfi_mds::{Lowering, MdsSpec};
+use scfi_stdcell::Library;
+
+fn diffusion_escape(h: &scfi_core::HardenedFsm) -> f64 {
+    let report = run_exhaustive(
+        &ScfiTarget::new(h),
+        &CampaignConfig::new()
+            .effects(vec![FaultEffect::Flip])
+            .region(h.regions().diffusion.clone())
+            .with_pin_faults()
+            .threads(2),
+    );
+    report.hijack_rate()
+}
+
+fn print_ablations() {
+    let lib = Library::nangate45_like();
+    let fsm = scfi_opentitan::synfi_formal_fsm();
+
+    println!("\n=== Ablation A: MDS matrix choice (aes_control, N=2) ===");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "matrix", "area [GE]", "xors (Paar)", "escape rate"
+    );
+    for spec in [MdsSpec::ScfiLightweight, MdsSpec::AesMixColumns] {
+        let h = harden(&fsm, &ScfiConfig::new(2).mds(spec)).expect("harden");
+        let area = lib.map(h.module()).area_ge();
+        println!(
+            "{:<22} {:>10.0} {:>12} {:>13.3}%",
+            spec.to_string(),
+            area,
+            spec.build().xor_count(Lowering::Paar),
+            100.0 * diffusion_escape(&h)
+        );
+    }
+
+    println!("\n=== Ablation B: XOR lowering strategy (aes_control, N=2) ===");
+    println!(
+        "{:<22} {:>14} {:>10} {:>12}",
+        "lowering", "diffusion xors", "area [GE]", "logic depth"
+    );
+    for lowering in [Lowering::Naive, Lowering::Paar] {
+        let h = harden(&fsm, &ScfiConfig::new(2).lowering(lowering)).expect("harden");
+        let area = lib.map(h.module()).area_ge();
+        println!(
+            "{:<22} {:>14} {:>10.0} {:>12}",
+            format!("{lowering:?}"),
+            h.report().diffusion_xors,
+            area,
+            h.report().stats.depth()
+        );
+    }
+
+    println!("\n=== Ablation C: error bits per instance (aes_control, N=2) ===");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14}",
+        "error bits", "area [GE]", "mod width", "escape rate"
+    );
+    for e in [1usize, 2, 3, 4, 6] {
+        let h = harden(&fsm, &ScfiConfig::new(2).error_bits(e)).expect("harden");
+        let area = lib.map(h.module()).area_ge();
+        println!(
+            "{:<12} {:>10.0} {:>12} {:>13.3}%",
+            e,
+            area,
+            h.report().mod_width,
+            100.0 * diffusion_escape(&h)
+        );
+    }
+    println!("shape: more error bits -> more area, monotonically fewer escapes");
+
+    println!("\n=== Ablation D: MDS input padding policy (aes_control, N=2) ===");
+    println!(
+        "{:<12} {:>10} {:>16} {:>14}",
+        "padding", "area [GE]", "diffusion cells", "escape rate"
+    );
+    for (label, policy) in [("zero", PadPolicy::Zero), ("replicate", PadPolicy::Replicate)] {
+        let h = harden(&fsm, &ScfiConfig::new(2).pad(policy)).expect("harden");
+        let area = lib.map(h.module()).area_ge();
+        println!(
+            "{:<12} {:>10.0} {:>16} {:>13.3}%",
+            label,
+            area,
+            h.regions().diffusion.len(),
+            100.0 * diffusion_escape(&h)
+        );
+    }
+    println!("zero padding lets the optimizer fold unused matrix columns; replicate");
+    println!("pays the paper's fixed 32-bit MDS cost (the otbn_controller effect)");
+
+    println!("\n=== Ablation E: §7 future-work extensions (aes_control, N=2) ===");
+    println!(
+        "{:<28} {:>10} {:>12} {:>14}",
+        "configuration", "area [GE]", "mds width", "escape rate"
+    );
+    let configs: [(&str, ScfiConfig); 4] = [
+        ("baseline prototype", ScfiConfig::new(2)),
+        ("adaptive MDS size", ScfiConfig::new(2).adaptive_mds(true)),
+        ("2 selector rails", ScfiConfig::new(2).selector_rails(2)),
+        ("protected outputs", ScfiConfig::new(2).protect_outputs(true)),
+    ];
+    for (label, config) in configs {
+        let h = harden(&fsm, &config).expect("harden");
+        let area = lib.map(h.module()).area_ge();
+        let whole = run_exhaustive(
+            &ScfiTarget::new(&h),
+            &CampaignConfig::new()
+                .effects(vec![FaultEffect::Flip])
+                .threads(2),
+        );
+        println!(
+            "{:<28} {:>10.0} {:>12} {:>13.3}%",
+            label,
+            area,
+            h.mds().width(),
+            100.0 * whole.hijack_rate()
+        );
+    }
+    println!("adaptive trades branch number for area (§7); rails harden the §7");
+    println!("selector limitation; output protection extends detection to λ\n");
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("mds_build_lightweight", |b| {
+        // Cached after the first call; measures the cache path plus clone.
+        b.iter(|| MdsSpec::ScfiLightweight.build())
+    });
+    group.bench_function("xor_lowering_paar", |b| {
+        let mds = MdsSpec::ScfiLightweight.build();
+        b.iter(|| mds.xor_program(Lowering::Paar))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_ablations
+}
+
+fn main() {
+    print_ablations();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

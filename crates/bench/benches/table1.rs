@@ -1,0 +1,92 @@
+//! Regenerates **Table 1** of the SCFI paper: area overhead for protecting
+//! the seven OpenTitan FSMs with N-fold redundancy vs SCFI, N ∈ {2, 3, 4}.
+//!
+//! Run with `cargo bench -p scfi-bench --bench table1`. The table prints
+//! first; a small Criterion group then times the hardening pass itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use scfi_bench::{geometric_mean, table1_rows};
+use scfi_core::{harden, ScfiConfig};
+
+fn print_table1() {
+    println!("\n=== Table 1: area overhead, redundancy vs SCFI ===");
+    println!(
+        "{:<18} {:>12}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}",
+        "", "Unprotected", "Red", "Red", "Red", "SCFI", "SCFI", "SCFI"
+    );
+    println!(
+        "{:<18} {:>12}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}",
+        "Module", "Area [GE]", "N=2", "N=3", "N=4", "N=2", "N=3", "N=4"
+    );
+    let rows = table1_rows();
+    let mut red_cols: [Vec<f64>; 3] = Default::default();
+    let mut scfi_cols: [Vec<f64>; 3] = Default::default();
+    for row in &rows {
+        println!(
+            "{:<18} {:>12.0}  {:>6.0} {:>6.0} {:>6.0}  {:>6.0} {:>6.0} {:>6.0}",
+            row.name,
+            row.unprotected_ge,
+            row.redundancy_pct[0],
+            row.redundancy_pct[1],
+            row.redundancy_pct[2],
+            row.scfi_pct[0],
+            row.scfi_pct[1],
+            row.scfi_pct[2],
+        );
+        for i in 0..3 {
+            red_cols[i].push(row.redundancy_pct[i]);
+            scfi_cols[i].push(row.scfi_pct[i]);
+        }
+    }
+    println!(
+        "{:<18} {:>12}  {:>6.1} {:>6.1} {:>6.1}  {:>6.1} {:>6.1} {:>6.1}",
+        "Geometric Mean",
+        "",
+        geometric_mean(&red_cols[0]),
+        geometric_mean(&red_cols[1]),
+        geometric_mean(&red_cols[2]),
+        geometric_mean(&scfi_cols[0]),
+        geometric_mean(&scfi_cols[1]),
+        geometric_mean(&scfi_cols[2]),
+    );
+    println!(
+        "{:<18} {:>12}  {:>6.1} {:>6.1} {:>6.1}  {:>6.1} {:>6.1} {:>6.1}",
+        "(paper)", "", 17.5, 42.9, 67.6, 9.6, 21.8, 27.1
+    );
+    println!("Shape checks: SCFI geomean < redundancy geomean at every N;");
+    println!("otbn_controller is the configuration where SCFI >= redundancy (fixed MDS cost).\n");
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let suite = scfi_opentitan::all();
+    let adc = suite.iter().find(|b| b.name == "adc_ctrl_fsm").expect("suite");
+    let i2c = suite.iter().find(|b| b.name == "i2c_fsm").expect("suite");
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("harden_adc_ctrl_n3", |b| {
+        b.iter(|| harden(&adc.fsm, &ScfiConfig::new(3)).expect("harden"))
+    });
+    group.bench_function("harden_i2c_n4", |b| {
+        b.iter(|| harden(&i2c.fsm, &ScfiConfig::new(4)).expect("harden"))
+    });
+    group.bench_function("redundancy_adc_ctrl_n3", |b| {
+        b.iter(|| scfi_core::redundancy(&adc.fsm, 3).expect("redundancy"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_transforms
+}
+
+fn main() {
+    print_table1();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

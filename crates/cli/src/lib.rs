@@ -1,0 +1,525 @@
+//! Implementation of the `scfi` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`], which parses an argument
+//! vector and writes to the provided output — keeping everything testable
+//! without spawning processes:
+//!
+//! ```text
+//! scfi harden <fsm.dsl|-> [--level N] [--adaptive] [--rails R]
+//!             [--protect-outputs] [--pad zero|replicate]
+//!             [--emit verilog|dot|report]
+//! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
+//!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
+//! scfi area <fsm.dsl|-> [--level N]
+//! scfi suite [name]
+//! ```
+
+use std::fmt::Write as _;
+
+use scfi_core::{harden, redundancy, PadPolicy, ScfiConfig};
+use scfi_faultsim::{run_exhaustive, run_multi_fault, CampaignConfig, FaultEffect, ScfiTarget};
+use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
+use scfi_stdcell::Library;
+
+/// A CLI failure: message for stderr plus the process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested exit code (1 = usage, 2 = input, 3 = processing).
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: format!("{}\n\n{}", message.into(), USAGE),
+        code: 1,
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  scfi harden <fsm.dsl|-> [--level N] [--adaptive] [--rails R]
+              [--protect-outputs] [--pad zero|replicate]
+              [--emit verilog|dot|report]
+  scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
+               [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
+  scfi area <fsm.dsl|-> [--level N]
+  scfi suite [name]
+
+`-` reads the FSM DSL from standard input. `scfi suite` lists the bundled
+OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.";
+
+/// Runs the CLI on an argument vector (without the program name), writing
+/// the result into `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a message and exit code on any usage,
+/// input, or processing failure.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = args.iter();
+    match args.next().map(String::as_str) {
+        Some("harden") => cmd_harden(&args.cloned().collect::<Vec<_>>(), out),
+        Some("analyze") => cmd_analyze(&args.cloned().collect::<Vec<_>>(), out),
+        Some("area") => cmd_area(&args.cloned().collect::<Vec<_>>(), out),
+        Some("suite") => cmd_suite(&args.cloned().collect::<Vec<_>>(), out),
+        Some("--help") | Some("-h") | Some("help") => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
+        None => Err(usage_err("missing command")),
+    }
+}
+
+/// Simple flag cursor over the remaining arguments.
+struct Flags<'a> {
+    args: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags {
+            args,
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// The first unused non-flag argument (the input path).
+    fn positional(&mut self) -> Option<&'a str> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && !a.starts_with("--") {
+                self.used[i] = true;
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    fn switch(&mut self, name: &str) -> bool {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, CliError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                let Some(v) = self.args.get(i + 1) else {
+                    return Err(usage_err(format!("{name} needs a value")));
+                };
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn finish(&self) -> Result<(), CliError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] {
+                return Err(usage_err(format!("unexpected argument `{a}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_fsm(path: &str) -> Result<Fsm, CliError> {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| CliError {
+            message: format!("reading stdin: {e}"),
+            code: 2,
+        })?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| CliError {
+            message: format!("reading {path}: {e}"),
+            code: 2,
+        })?
+    };
+    parse_fsm(&text).map_err(|e| CliError {
+        message: format!("parsing {path}: {e}"),
+        code: 2,
+    })
+}
+
+fn parse_config(flags: &mut Flags<'_>) -> Result<ScfiConfig, CliError> {
+    let level: usize = match flags.value("--level")? {
+        Some(v) => v.parse().map_err(|_| usage_err("--level must be a number"))?,
+        None => 3,
+    };
+    let mut config = ScfiConfig::new(level);
+    if flags.switch("--adaptive") {
+        config = config.adaptive_mds(true);
+    }
+    if let Some(r) = flags.value("--rails")? {
+        let rails: usize = r.parse().map_err(|_| usage_err("--rails must be a number"))?;
+        if rails == 0 {
+            return Err(usage_err("--rails must be at least 1"));
+        }
+        config = config.selector_rails(rails);
+    }
+    if flags.switch("--protect-outputs") {
+        config = config.protect_outputs(true);
+    }
+    match flags.value("--pad")? {
+        Some("zero") | None => {}
+        Some("replicate") => config = config.pad(PadPolicy::Replicate),
+        Some(other) => return Err(usage_err(format!("unknown pad policy `{other}`"))),
+    }
+    Ok(config)
+}
+
+fn harden_from(flags: &mut Flags<'_>) -> Result<(Fsm, scfi_core::HardenedFsm), CliError> {
+    let Some(path) = flags.positional() else {
+        return Err(usage_err("missing FSM input file"));
+    };
+    let fsm = load_fsm(path)?;
+    let config = parse_config(flags)?;
+    let hardened = harden(&fsm, &config).map_err(|e| CliError {
+        message: format!("hardening failed: {e}"),
+        code: 3,
+    })?;
+    hardened.check_all_edges().map_err(|e| CliError {
+        message: format!("internal verification failed: {e}"),
+        code: 3,
+    })?;
+    Ok((fsm, hardened))
+}
+
+fn cmd_harden(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let emit = flags.value("--emit")?.unwrap_or("verilog").to_string();
+    let (_fsm, hardened) = harden_from(&mut flags)?;
+    flags.finish()?;
+    match emit.as_str() {
+        "verilog" => {
+            let _ = write!(out, "{}", hardened.module().to_verilog());
+        }
+        "dot" => {
+            let _ = write!(out, "{}", hardened.module().to_dot());
+        }
+        "report" => {
+            let _ = writeln!(out, "{}", hardened.report());
+            let r = hardened.regions();
+            let _ = writeln!(out, "regions (cells):");
+            let _ = writeln!(out, "  pattern match   {:>6}", r.pattern_match.len());
+            let _ = writeln!(out, "  modifier select {:>6}", r.modifier_select.len());
+            let _ = writeln!(out, "  diffusion       {:>6}", r.diffusion.len());
+            let _ = writeln!(out, "  error logic     {:>6}", r.error_logic.len());
+            let _ = writeln!(out, "  output check    {:>6}", r.output_check.len());
+        }
+        other => return Err(usage_err(format!("unknown emit format `{other}`"))),
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let region = flags.value("--region")?.unwrap_or("all").to_string();
+    let pin_faults = flags.switch("--pin-faults");
+    let stuck_at = flags.switch("--stuck-at");
+    let rank = flags.switch("--rank");
+    let multi: Option<usize> = flags
+        .value("--multi")?
+        .map(|v| v.parse().map_err(|_| usage_err("--multi must be a number")))
+        .transpose()?;
+    let runs: usize = match flags.value("--runs")? {
+        Some(v) => v.parse().map_err(|_| usage_err("--runs must be a number"))?,
+        None => 2000,
+    };
+    let (_fsm, hardened) = harden_from(&mut flags)?;
+    flags.finish()?;
+
+    let mut effects = vec![FaultEffect::Flip];
+    if stuck_at {
+        effects.push(FaultEffect::Stuck0);
+        effects.push(FaultEffect::Stuck1);
+    }
+    let mut config = CampaignConfig::new().effects(effects).threads(2);
+    let regions = hardened.regions();
+    config = match region.as_str() {
+        "all" => config,
+        "diffusion" => config.region(regions.diffusion.clone()),
+        "selector" => config.region(regions.pattern_match.start..regions.modifier_select.end),
+        other => return Err(usage_err(format!("unknown region `{other}`"))),
+    };
+    if pin_faults {
+        config = config.with_pin_faults();
+    }
+
+    let target = ScfiTarget::new(&hardened);
+    let report = match multi {
+        Some(m) => run_multi_fault(&target, m, runs, &config),
+        None => run_exhaustive(&target, &config),
+    };
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "analytic success probability (paper formula): {:.3e}",
+        scfi_faultsim::paper_success_probability(&hardened)
+    );
+    if rank {
+        if multi.is_some() {
+            return Err(usage_err("--rank applies to exhaustive campaigns only"));
+        }
+        let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
+        let _ = writeln!(out, "{map}");
+    }
+    Ok(())
+}
+
+fn cmd_area(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let Some(path) = flags.positional() else {
+        return Err(usage_err("missing FSM input file"));
+    };
+    let fsm = load_fsm(path)?;
+    let config = parse_config(&mut flags)?;
+    flags.finish()?;
+    let n = config.protection_level();
+    let lib = Library::nangate45_like();
+    let unprot = lower_unprotected(&fsm).map_err(|e| CliError {
+        message: format!("lowering failed: {e}"),
+        code: 3,
+    })?;
+    let red = redundancy(&fsm, n).map_err(|e| CliError {
+        message: format!("redundancy transform failed: {e}"),
+        code: 3,
+    })?;
+    let hardened = harden(&fsm, &config).map_err(|e| CliError {
+        message: format!("hardening failed: {e}"),
+        code: 3,
+    })?;
+    let rows = [
+        ("unprotected", lib.map(unprot.module())),
+        ("redundancy", lib.map(red.module())),
+        ("scfi", lib.map(hardened.module())),
+    ];
+    let _ = writeln!(out, "{} at protection level {n}:", fsm.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>14} {:>12}",
+        "config", "area [GE]", "min period ps", "max MHz"
+    );
+    for (name, mapped) in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10.1} {:>14.0} {:>12.1}",
+            name,
+            mapped.area_ge(),
+            mapped.min_period_ps(),
+            mapped.max_frequency_mhz()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let name = flags.positional().map(str::to_string);
+    flags.finish()?;
+    match name {
+        None => {
+            let _ = writeln!(out, "bundled benchmark FSMs (paper Table 1):");
+            for b in scfi_opentitan::all() {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>3} states, {:>2} signals, module {:.0} GE",
+                    b.name,
+                    b.fsm.state_count(),
+                    b.fsm.signals().len(),
+                    b.paper_module_ge
+                );
+            }
+        }
+        Some(name) => match scfi_opentitan::by_name(&name) {
+            Some(b) => {
+                let _ = write!(out, "{}", b.fsm.to_dsl());
+            }
+            None => {
+                return Err(CliError {
+                    message: format!("no bundled FSM named `{name}` (try `scfi suite`)"),
+                    code: 2,
+                })
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&args, &mut out).expect("command succeeds");
+        out
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&args, &mut out).expect_err("command fails")
+    }
+
+    fn write_demo() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "scfi_cli_demo_{}_{unique}.dsl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }",
+        )
+        .expect("writable temp dir");
+        path
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["--help"]).contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let e = run_err(&["frobnicate"]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn suite_lists_and_dumps() {
+        let listing = run_ok(&["suite"]);
+        assert!(listing.contains("adc_ctrl_fsm"));
+        assert!(listing.contains("pwrmgr_fsm"));
+        let dsl = run_ok(&["suite", "aes_control"]);
+        assert!(dsl.starts_with("fsm aes_control {"));
+        // The dump re-parses.
+        assert!(parse_fsm(&dsl).is_ok());
+        let e = run_err(&["suite", "ghost"]);
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn harden_emits_verilog_by_default() {
+        let path = write_demo();
+        let out = run_ok(&["harden", path.to_str().expect("utf8")]);
+        assert!(out.contains("module demo_scfi"));
+        assert!(out.contains("endmodule"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn harden_report_and_flags() {
+        let path = write_demo();
+        let out = run_ok(&[
+            "harden",
+            path.to_str().expect("utf8"),
+            "--level",
+            "2",
+            "--adaptive",
+            "--rails",
+            "2",
+            "--protect-outputs",
+            "--emit",
+            "report",
+        ]);
+        assert!(out.contains("SCFI:"));
+        assert!(out.contains("pattern match"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_runs_a_campaign() {
+        let path = write_demo();
+        let out = run_ok(&[
+            "analyze",
+            path.to_str().expect("utf8"),
+            "--level",
+            "2",
+            "--region",
+            "diffusion",
+            "--pin-faults",
+        ]);
+        assert!(out.contains("injections"));
+        assert!(out.contains("analytic success probability"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_rank_attributes_cells() {
+        let path = write_demo();
+        let out = run_ok(&["analyze", path.to_str().expect("utf8"), "--level", "2", "--rank"]);
+        assert!(out.contains("cells"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rank_with_multi_is_rejected() {
+        let path = write_demo();
+        let e = run_err(&[
+            "analyze",
+            path.to_str().expect("utf8"),
+            "--rank",
+            "--multi",
+            "2",
+        ]);
+        assert_eq!(e.code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn area_compares_three_configs() {
+        let path = write_demo();
+        let out = run_ok(&["area", path.to_str().expect("utf8"), "--level", "2"]);
+        assert!(out.contains("unprotected"));
+        assert!(out.contains("redundancy"));
+        assert!(out.contains("scfi"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        assert_eq!(run_err(&["harden", p, "--level", "x"]).code, 1);
+        assert_eq!(run_err(&["harden", p, "--pad", "fancy"]).code, 1);
+        assert_eq!(run_err(&["harden", p, "--bogus"]).code, 1);
+        assert_eq!(run_err(&["harden"]).code, 1);
+        assert_eq!(run_err(&["harden", "/nonexistent/x.dsl"]).code, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn level_one_is_a_processing_error() {
+        let path = write_demo();
+        let e = run_err(&["harden", path.to_str().expect("utf8"), "--level", "1"]);
+        assert_eq!(e.code, 3);
+        assert!(e.message.contains("below the minimum"));
+        let _ = std::fs::remove_file(path);
+    }
+}

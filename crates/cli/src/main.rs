@@ -1,0 +1,18 @@
+//! `scfi` — command-line front end for the SCFI FSM hardening pass.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match scfi_cli::run(&args, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scfi: {e}");
+            ExitCode::from(e.code.clamp(0, 255) as u8)
+        }
+    }
+}

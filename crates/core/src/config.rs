@@ -1,0 +1,239 @@
+//! Configuration of the SCFI pass.
+
+use scfi_mds::{Lowering, MdsSpec};
+
+/// What to feed the MDS input positions not occupied by the
+/// `{S_Ce, X_e, Mod}` triple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PadPolicy {
+    /// Tie unused positions to constant zero. Downstream logic folds the
+    /// corresponding XOR columns away, shrinking the diffusion layer the
+    /// way a logic optimizer folds constant inputs.
+    #[default]
+    Zero,
+    /// Fill unused positions with duplicates of the encoded state and
+    /// control bits (round-robin). The full 32-bit matrix is kept, the
+    /// execution history is absorbed redundantly, and the area shows the
+    /// fixed-MDS-cost behavior the paper notes for small input spaces
+    /// (the otbn_controller remark in §6.1).
+    Replicate,
+}
+
+/// Knobs of the SCFI hardening pass.
+///
+/// Mirrors the choices §5 of the paper exposes: the fault protection level
+/// `N` (the Hamming distance of both encodings), the MDS matrix ("the
+/// choice of MDS matrix can be changed according to design requirements"),
+/// the number of per-instance error-detection bits, and how the XOR network
+/// is lowered.
+///
+/// # Example
+///
+/// ```
+/// use scfi_core::ScfiConfig;
+/// use scfi_mds::{Lowering, MdsSpec};
+///
+/// let config = ScfiConfig::new(3)
+///     .mds(MdsSpec::AesMixColumns)
+///     .lowering(Lowering::Naive)
+///     .error_bits(4);
+/// assert_eq!(config.protection_level(), 3);
+/// assert_eq!(config.error_bits_per_instance(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScfiConfig {
+    protection_level: usize,
+    mds: MdsSpec,
+    adaptive_mds: bool,
+    error_bits: Option<usize>,
+    lowering: Lowering,
+    pad: PadPolicy,
+    selector_rails: usize,
+    protect_outputs: bool,
+    placement_seed: u64,
+}
+
+impl ScfiConfig {
+    /// A configuration at protection level `n` with the paper's defaults:
+    /// the lightweight MDS matrix, `n` error bits per instance, and
+    /// Paar-style shared-XOR lowering.
+    pub fn new(n: usize) -> Self {
+        ScfiConfig {
+            protection_level: n,
+            mds: MdsSpec::ScfiLightweight,
+            adaptive_mds: false,
+            error_bits: None,
+            lowering: Lowering::Paar,
+            pad: PadPolicy::Zero,
+            selector_rails: 1,
+            protect_outputs: false,
+            placement_seed: 0x5CF1,
+        }
+    }
+
+    /// Selects the MDS matrix.
+    pub fn mds(mut self, spec: MdsSpec) -> Self {
+        self.mds = spec;
+        self
+    }
+
+    /// Overrides the number of error-detection bits per MDS instance
+    /// (default: the protection level).
+    pub fn error_bits(mut self, e: usize) -> Self {
+        self.error_bits = Some(e);
+        self
+    }
+
+    /// Selects the XOR-network lowering strategy.
+    pub fn lowering(mut self, strategy: Lowering) -> Self {
+        self.lowering = strategy;
+        self
+    }
+
+    /// Selects how unused MDS input positions are filled.
+    pub fn pad(mut self, policy: PadPolicy) -> Self {
+        self.pad = policy;
+        self
+    }
+
+    /// Enables §7-style MDS size adaptation: the pass picks the smallest
+    /// lightweight matrix (16, 24 or 32 bits) whose single instance fits
+    /// the `{S_Ce, X_e, Mod}` triple, trading branch number for area.
+    pub fn adaptive_mds(mut self, enable: bool) -> Self {
+        self.adaptive_mds = enable;
+        self
+    }
+
+    /// Hardens the pattern-matching selector signals against the §7
+    /// limitation ("the selector signals of the MUXes used in the input
+    /// pattern matching logic are 1-bit signals"): each edge match is
+    /// computed on `rails` physically separate comparator rails and ANDed,
+    /// so asserting a wrong match costs `rails` coordinated faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rails` is zero.
+    pub fn selector_rails(mut self, rails: usize) -> Self {
+        assert!(rails >= 1, "at least one selector rail is required");
+        self.selector_rails = rails;
+        self
+    }
+
+    /// Duplicates the Moore output logic λ and raises the alert on any
+    /// mismatch — the §7 "protection for the output logic" extension.
+    pub fn protect_outputs(mut self, enable: bool) -> Self {
+        self.protect_outputs = enable;
+        self
+    }
+
+    /// Seed for the deterministic modifier-placement search.
+    pub fn placement_seed(mut self, seed: u64) -> Self {
+        self.placement_seed = seed;
+        self
+    }
+
+    /// The protection level `N`: minimum faults an attacker needs.
+    pub fn protection_level(&self) -> usize {
+        self.protection_level
+    }
+
+    /// The selected MDS matrix.
+    pub fn mds_spec(&self) -> MdsSpec {
+        self.mds
+    }
+
+    /// Error bits per MDS instance (`N` unless overridden).
+    pub fn error_bits_per_instance(&self) -> usize {
+        self.error_bits.unwrap_or(self.protection_level)
+    }
+
+    /// The XOR lowering strategy.
+    pub fn lowering_strategy(&self) -> Lowering {
+        self.lowering
+    }
+
+    /// The padding policy for unused MDS input positions.
+    pub fn pad_policy(&self) -> PadPolicy {
+        self.pad
+    }
+
+    /// Whether §7 MDS size adaptation is enabled.
+    pub fn is_adaptive_mds(&self) -> bool {
+        self.adaptive_mds
+    }
+
+    /// Number of selector rails (1 = the paper's baseline prototype).
+    pub fn selector_rail_count(&self) -> usize {
+        self.selector_rails
+    }
+
+    /// Whether the Moore output logic is duplicated and checked.
+    pub fn outputs_protected(&self) -> bool {
+        self.protect_outputs
+    }
+
+    /// The placement-search seed.
+    pub fn seed(&self) -> u64 {
+        self.placement_seed
+    }
+}
+
+impl Default for ScfiConfig {
+    /// Protection level 2 — the weakest meaningful SCFI configuration,
+    /// matching the paper's formally analyzed setup (§6.4).
+    fn default() -> Self {
+        ScfiConfig::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ScfiConfig::default();
+        assert_eq!(c.protection_level(), 2);
+        assert_eq!(c.error_bits_per_instance(), 2);
+        assert_eq!(c.mds_spec(), MdsSpec::ScfiLightweight);
+        assert_eq!(c.lowering_strategy(), Lowering::Paar);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = ScfiConfig::new(4)
+            .error_bits(6)
+            .mds(MdsSpec::AesMixColumns)
+            .lowering(Lowering::Naive)
+            .placement_seed(99);
+        assert_eq!(c.protection_level(), 4);
+        assert_eq!(c.error_bits_per_instance(), 6);
+        assert_eq!(c.mds_spec(), MdsSpec::AesMixColumns);
+        assert_eq!(c.lowering_strategy(), Lowering::Naive);
+        assert_eq!(c.seed(), 99);
+    }
+
+    #[test]
+    fn error_bits_track_level_by_default() {
+        assert_eq!(ScfiConfig::new(3).error_bits_per_instance(), 3);
+        assert_eq!(ScfiConfig::new(4).error_bits_per_instance(), 4);
+    }
+
+    #[test]
+    fn extension_knobs_default_to_paper_prototype() {
+        let c = ScfiConfig::new(2);
+        assert!(!c.is_adaptive_mds());
+        assert_eq!(c.selector_rail_count(), 1);
+        assert!(!c.outputs_protected());
+        let c = c.adaptive_mds(true).selector_rails(2).protect_outputs(true);
+        assert!(c.is_adaptive_mds());
+        assert_eq!(c.selector_rail_count(), 2);
+        assert!(c.outputs_protected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one selector rail")]
+    fn zero_rails_rejected() {
+        let _ = ScfiConfig::new(2).selector_rails(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the SCFI pass.
+
+use std::fmt;
+
+use scfi_encode::CodeError;
+use scfi_fsm::FsmError;
+use scfi_netlist::ValidateError;
+
+/// Errors produced while hardening an FSM.
+#[derive(Debug)]
+pub enum ScfiError {
+    /// The requested protection level is below 2 (a distance-1 "encoding"
+    /// protects nothing).
+    ProtectionLevelTooLow {
+        /// The requested level.
+        requested: usize,
+    },
+    /// Codebook construction failed.
+    Code(CodeError),
+    /// The source FSM is invalid.
+    Fsm(FsmError),
+    /// The emitted netlist failed validation (internal error).
+    Netlist(ValidateError),
+    /// No invertible modifier placement was found for an MDS instance.
+    LayoutUnsolvable {
+        /// The instance index that failed.
+        instance: usize,
+        /// How many placements were tried.
+        tried: usize,
+    },
+    /// The requested error-bit count cannot fit next to the state share in
+    /// a 32-bit MDS instance.
+    ErrorBitsTooLarge {
+        /// Requested error bits per instance.
+        error_bits: usize,
+    },
+    /// A lock-step equivalence check failed (see [`crate::verify`]).
+    Equivalence(String),
+}
+
+impl fmt::Display for ScfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScfiError::ProtectionLevelTooLow { requested } => {
+                write!(f, "protection level {requested} is below the minimum of 2")
+            }
+            ScfiError::Code(e) => write!(f, "encoding failed: {e}"),
+            ScfiError::Fsm(e) => write!(f, "invalid FSM: {e}"),
+            ScfiError::Netlist(e) => write!(f, "internal netlist error: {e}"),
+            ScfiError::LayoutUnsolvable { instance, tried } => write!(
+                f,
+                "no invertible modifier placement for MDS instance {instance} after {tried} tries"
+            ),
+            ScfiError::ErrorBitsTooLarge { error_bits } => {
+                write!(f, "{error_bits} error bits per 32-bit instance is too many")
+            }
+            ScfiError::Equivalence(msg) => write!(f, "equivalence check failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScfiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScfiError::Code(e) => Some(e),
+            ScfiError::Fsm(e) => Some(e),
+            ScfiError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for ScfiError {
+    fn from(e: CodeError) -> Self {
+        ScfiError::Code(e)
+    }
+}
+
+impl From<FsmError> for ScfiError {
+    fn from(e: FsmError) -> Self {
+        ScfiError::Fsm(e)
+    }
+}
+
+impl From<ValidateError> for ScfiError {
+    fn from(e: ValidateError) -> Self {
+        ScfiError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = ScfiError::ProtectionLevelTooLow { requested: 1 };
+        assert!(e.to_string().contains("level 1"));
+        let e = ScfiError::LayoutUnsolvable {
+            instance: 2,
+            tried: 500,
+        };
+        assert!(e.to_string().contains("instance 2"));
+        let e = ScfiError::ErrorBitsTooLarge { error_bits: 30 };
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error as _;
+        let e: ScfiError = CodeError::InvalidSpec("x").into();
+        assert!(e.source().is_some());
+        let e: ScfiError = FsmError::Empty.into();
+        assert!(e.source().is_some());
+        let e = ScfiError::Equivalence("diverged".into());
+        assert!(e.source().is_none());
+    }
+}

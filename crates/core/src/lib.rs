@@ -1,0 +1,48 @@
+//! The SCFI pass: fault-hardening FSM next-state logic with an MDS-based
+//! `φ_FH`, plus the classical redundancy baseline it is evaluated against.
+//!
+//! This crate is the paper's primary contribution (§4–§5), reimplemented on
+//! the reproduction's substrates:
+//!
+//! * [`ScfiConfig`] — protection level `N`, MDS matrix choice, error-bit
+//!   count, XOR lowering strategy (the knobs §5.1 exposes),
+//! * [`MixLayout`] — the mix layer of Fig. 5: how the triple
+//!   `{S_Ce, X_e, Mod}` is distributed over `k` 32-bit MDS instances, with
+//!   the per-instance linear solver that computes modifiers,
+//! * [`harden`] / [`HardenedFsm`] — the full pass of Fig. 7: input pattern
+//!   matching → modifier selection → mix → diffusion → unmix → error AND,
+//!   producing a gate-level netlist with a non-escapable all-zero ERROR
+//!   state and an `alert` output,
+//! * [`redundancy`] / [`RedundantFsm`] — the manually-protected comparison
+//!   point of §6.1: `N`-fold instantiation of the unprotected next-state
+//!   logic with a register-mismatch detector,
+//! * [`verify`] — lock-step equivalence checks of either protected netlist
+//!   against the behavioral FSM (the fault-free `FSM_F̄` of §3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use scfi_core::{harden, ScfiConfig};
+//! use scfi_fsm::parse_fsm;
+//!
+//! let fsm = parse_fsm(
+//!     "fsm t { inputs go; state A { if go -> B; } state B { goto A; } }",
+//! )?;
+//! let hardened = harden(&fsm, &ScfiConfig::new(3))?;
+//! assert!(hardened.state_code().min_distance() >= 3);
+//! hardened.check_equivalence(200, 7)?; // lock-step vs the behavioral model
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod error;
+mod harden;
+mod layout;
+mod redundancy;
+pub mod verify;
+
+pub use config::{PadPolicy, ScfiConfig};
+pub use error::ScfiError;
+pub use harden::{harden, HardenReport, HardenRegions, HardenedFsm, StateDecode};
+pub use layout::{InstanceLayout, MixLayout};
+pub use redundancy::{redundancy, RedundantFsm};

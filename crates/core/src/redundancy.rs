@@ -1,0 +1,289 @@
+//! The redundancy baseline: `N`-fold instantiation of the unprotected
+//! next-state logic with a register-mismatch detector (paper §6.1,
+//! configuration (ii)).
+//!
+//! "For the manually protected FSMs, we encoded the control signals with a
+//! Hamming Distance of N-bits and instantiated the next-state logic of the
+//! FSM N times. To detect control-flow hijacks triggered by faults, we
+//! designed a small error logic monitoring the state registers of the
+//! redundant FSMs and raising an error signal when one or more state values
+//! mismatch."
+//!
+//! Each replica keeps the cheap natural binary state encoding (redundancy,
+//! not encoding, is this scheme's protection); the control interface uses
+//! the same HD-N condition codebook as SCFI so both schemes face identical
+//! FT2 assumptions.
+
+use scfi_encode::{CodeSpec, Codebook};
+use scfi_fsm::{Cfg, Fsm, StateId};
+use scfi_gf2::BitVec;
+use scfi_netlist::{Module, ModuleBuilder, NetId};
+
+use crate::{ScfiError};
+
+/// An FSM protected by `N`-fold modular redundancy.
+///
+/// Module interface: inputs `xe[0..]` (encoded condition word); outputs
+/// `state[0..]` (replica 0's binary state), one port per Moore output, and
+/// `alert` (replica mismatch detected).
+#[derive(Debug)]
+pub struct RedundantFsm {
+    fsm: Fsm,
+    cfg: Cfg,
+    n: usize,
+    cond_code: Codebook,
+    encodings: Vec<BitVec>,
+    state_bits: usize,
+    module: Module,
+}
+
+/// Builds the `n`-fold redundancy baseline for `fsm`.
+///
+/// # Errors
+///
+/// Fails for `n < 2` or if the condition codebook cannot be built.
+///
+/// # Example
+///
+/// ```
+/// use scfi_core::redundancy;
+/// use scfi_fsm::parse_fsm;
+///
+/// let fsm = parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }")?;
+/// let r = redundancy(&fsm, 3)?;
+/// assert_eq!(r.replicas(), 3);
+/// r.check_equivalence(100, 5)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn redundancy(fsm: &Fsm, n: usize) -> Result<RedundantFsm, ScfiError> {
+    if n < 2 {
+        return Err(ScfiError::ProtectionLevelTooLow { requested: n });
+    }
+    let cfg = fsm.cfg();
+    let cond_code = CodeSpec::new(cfg.max_out_degree(), n).build()?;
+    let n_states = fsm.state_count();
+    let state_bits = usize::max(1, (usize::BITS - (n_states - 1).leading_zeros()) as usize);
+    let encodings: Vec<BitVec> = (0..n_states)
+        .map(|i| BitVec::from_u64(i as u64, state_bits))
+        .collect();
+
+    let mut b = ModuleBuilder::new(format!("{}_red{}", fsm.name(), n));
+    let xe = b.input_word("xe", cond_code.width());
+    let reset_code = encodings[fsm.reset_state().0].clone();
+
+    let mut banks: Vec<Vec<NetId>> = Vec::with_capacity(n);
+    for _replica in 0..n {
+        // The paper replicates the complete next-state logic, which
+        // includes the comparators on the encoded control signals — only
+        // the module-boundary wires are shared. The strash barrier is the
+        // `dont_touch` fence keeping the copies physically separate (§6.4
+        // warns that optimization would otherwise merge them).
+        b.strash_barrier();
+        let cond_match: Vec<NetId> = (0..cond_code.len())
+            .map(|c| b.eq_const(&xe, cond_code.word(c)))
+            .collect();
+        let state_q = b.dff_word_uninit(state_bits, &reset_code);
+        let state_match: Vec<NetId> = encodings
+            .iter()
+            .map(|code| b.eq_const(&state_q, code))
+            .collect();
+        let mut edge_match = Vec::with_capacity(cfg.edges().len());
+        let mut targets = Vec::with_capacity(cfg.edges().len());
+        for edge in cfg.edges() {
+            let m = b.and2(
+                state_match[edge.from.0],
+                cond_match[edge.local_index(fsm)],
+            );
+            edge_match.push(m);
+            targets.push(b.const_word(&encodings[edge.to.0]));
+        }
+        let next = b.onehot_select(&edge_match, &targets);
+        b.set_dff_word(&state_q, &next);
+        banks.push(state_q);
+    }
+
+    // Mismatch detector against replica 0.
+    let mut mismatch_terms = Vec::new();
+    for bank in banks.iter().skip(1) {
+        for (&a, &c) in banks[0].iter().zip(bank) {
+            let x = b.xor2(a, c);
+            mismatch_terms.push(x);
+        }
+    }
+    let alert = b.or_all(&mismatch_terms);
+
+    // Moore outputs from replica 0.
+    let state_match0: Vec<NetId> = encodings
+        .iter()
+        .map(|code| b.eq_const(&banks[0], code))
+        .collect();
+    b.output_word("state", &banks[0]);
+    for (oi, name) in fsm.outputs().iter().enumerate() {
+        let terms: Vec<NetId> = fsm
+            .states()
+            .iter()
+            .filter(|&&s| fsm.asserted_outputs(s).iter().any(|o| o.0 == oi))
+            .map(|&s| state_match0[s.0])
+            .collect();
+        let y = b.or_all(&terms);
+        b.output(name.clone(), y);
+    }
+    b.output("alert", alert);
+
+    Ok(RedundantFsm {
+        fsm: fsm.clone(),
+        cfg,
+        n,
+        cond_code,
+        encodings,
+        state_bits,
+        module: b.finish()?,
+    })
+}
+
+impl RedundantFsm {
+    /// The protected netlist.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The source FSM.
+    pub fn fsm(&self) -> &Fsm {
+        &self.fsm
+    }
+
+    /// The extracted control-flow graph (scenario index space).
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Number of next-state-logic replicas.
+    pub fn replicas(&self) -> usize {
+        self.n
+    }
+
+    /// The condition codebook (shared interface assumption with SCFI).
+    pub fn cond_code(&self) -> &Codebook {
+        &self.cond_code
+    }
+
+    /// Width of each replica's binary state register.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Encodes the behavioral situation into the condition word, exactly
+    /// like [`HardenedFsm::encode_condition`](crate::HardenedFsm::encode_condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_inputs` does not match the FSM's signal count.
+    pub fn encode_condition(&self, s: StateId, raw_inputs: &[bool]) -> BitVec {
+        let ei = self.cfg.matched_edge(s, raw_inputs);
+        let class = self.cfg.edges()[ei].local_index(&self.fsm);
+        self.cond_code.word(class).clone()
+    }
+
+    /// Decodes replica 0's registers (the first `state_bits` registers in
+    /// creation order) to a state, if the code is in range.
+    pub fn decode_registers(&self, regs: &[bool]) -> Option<StateId> {
+        let word = BitVec::from_bools(&regs[..self.state_bits]);
+        self.encodings.iter().position(|e| *e == word).map(StateId)
+    }
+
+    /// Lock-step random-walk equivalence check; see
+    /// [`crate::verify::lockstep_redundant`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScfiError::Equivalence`] describing the first divergence.
+    pub fn check_equivalence(&self, steps: usize, seed: u64) -> Result<(), ScfiError> {
+        crate::verify::lockstep_redundant(self, steps, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfi_fsm::parse_fsm;
+    use scfi_netlist::{ModuleStats, Simulator};
+
+    fn lock() -> Fsm {
+        parse_fsm(
+            "fsm lock {
+               inputs key_ok, tamper;
+               outputs open;
+               state LOCKED { if key_ok && !tamper -> OPEN; }
+               state OPEN   { out open; if tamper -> LOCKED; }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equivalence_for_all_n() {
+        for n in [2, 3, 4] {
+            let r = redundancy(&lock(), n).unwrap();
+            r.check_equivalence(300, 7).unwrap_or_else(|e| panic!("N={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn area_scales_roughly_linearly() {
+        // Use an FSM big enough that the replicated next-state logic (and
+        // not the tiny fixed parts) dominates.
+        let f = parse_fsm(
+            "fsm m { inputs a, b, c;
+               state S0 { if a -> S1; if b -> S2; }
+               state S1 { if b && !c -> S3; if c -> S0; }
+               state S2 { if a -> S3; }
+               state S3 { if c -> S4; }
+               state S4 { goto S0; }
+               state S5 { goto S0; } }",
+        )
+        .unwrap();
+        let g2 = ModuleStats::of(redundancy(&f, 2).unwrap().module()).gate_count();
+        let g4 = ModuleStats::of(redundancy(&f, 4).unwrap().module()).gate_count();
+        // Doubling the replica count should roughly double the replicated
+        // logic (the mismatch detector adds a little on top).
+        assert!(g4 > g2, "4x must exceed 2x");
+        assert!((g4 as f64) < (g2 as f64) * 2.6, "g2={g2} g4={g4}");
+        assert!((g4 as f64) > (g2 as f64) * 1.4, "g2={g2} g4={g4}");
+    }
+
+    #[test]
+    fn register_fault_in_one_replica_raises_alert() {
+        let f = lock();
+        let r = redundancy(&f, 2).unwrap();
+        let mut sim = Simulator::new(r.module());
+        // Flip a bit of replica 1's registers (registers are created bank
+        // by bank, so the second half belongs to replica 1).
+        let regs = r.module().registers();
+        sim.flip_register(regs[r.state_bits()]);
+        let xe: Vec<bool> = r.encode_condition(f.reset_state(), &[false, false]).iter().collect();
+        let out = sim.step(&xe);
+        assert!(out[out.len() - 1], "mismatch alert must fire");
+    }
+
+    #[test]
+    fn n_below_two_rejected() {
+        assert!(matches!(
+            redundancy(&lock(), 1),
+            Err(ScfiError::ProtectionLevelTooLow { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let f = lock();
+        let r = redundancy(&f, 2).unwrap();
+        assert_eq!(r.decode_registers(&[false, false]), Some(StateId(0)));
+        // 2-state machine in 1 bit: both codes valid; craft wider machine.
+        let f3 = parse_fsm(
+            "fsm t { inputs a; state A { if a -> B; } state B { if a -> C; } state C { goto A; } }",
+        )
+        .unwrap();
+        let r3 = redundancy(&f3, 2).unwrap();
+        assert_eq!(r3.decode_registers(&[true, true, false, false]), None);
+    }
+}

@@ -1,0 +1,601 @@
+//! Fault-campaign execution and reporting.
+
+use std::fmt;
+use std::ops::Range;
+
+use scfi_netlist::{CellId, CellKind, Simulator};
+
+use crate::target::FaultTarget;
+
+/// The effect dimension of the fault model (§2.1: "transient, i.e.
+/// bit-flips, or stuck-at effects").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultEffect {
+    /// Transient bit-flip for the transition cycle.
+    Flip,
+    /// Permanent stuck-at-0.
+    Stuck0,
+    /// Permanent stuck-at-1.
+    Stuck1,
+}
+
+/// The spatial dimension of the fault model: where the fault lands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultSite {
+    /// The output net of a cell (covers gate faults and wire faults).
+    CellOutput(CellId),
+    /// One input pin of a cell (a wire fault local to one fanout branch).
+    Pin(CellId, u8),
+    /// A stored register bit, flipped before the cycle (FT1).
+    Register(CellId),
+}
+
+/// One injectable fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fault {
+    /// Where.
+    pub site: FaultSite,
+    /// What.
+    pub effect: FaultEffect,
+}
+
+/// Classification of one injection (§6.4 semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The FSM still performed the intended transition.
+    Masked,
+    /// The fault was caught: terminal-error/invalid state or alert.
+    Detected,
+    /// The FSM silently reached a valid-but-wrong state — a successful
+    /// control-flow hijack.
+    Hijack,
+}
+
+/// A recorded hijack: which fault, in which scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultRecord {
+    /// Scenario (CFG edge) index.
+    pub scenario: usize,
+    /// The injected fault.
+    pub fault: Fault,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    effects: Vec<FaultEffect>,
+    region: Option<Range<u32>>,
+    include_register_flips: bool,
+    include_pin_faults: bool,
+    threads: usize,
+    seed: u64,
+}
+
+impl CampaignConfig {
+    /// Defaults: transient flips on every gate output, no pin faults,
+    /// register flips included, single-threaded.
+    pub fn new() -> Self {
+        CampaignConfig {
+            effects: vec![FaultEffect::Flip],
+            region: None,
+            include_register_flips: false,
+            include_pin_faults: false,
+            threads: 1,
+            seed: 0xFA17,
+        }
+    }
+
+    /// Which fault effects to inject.
+    pub fn effects(mut self, effects: Vec<FaultEffect>) -> Self {
+        self.effects = effects;
+        self
+    }
+
+    /// Restricts cell-output faults to a cell-index region (e.g. the
+    /// diffusion layer from
+    /// [`HardenRegions`](scfi_core::HardenRegions)).
+    pub fn region(mut self, region: Range<u32>) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Also flips stored register bits directly (FT1).
+    pub fn with_register_flips(mut self) -> Self {
+        self.include_register_flips = true;
+        self
+    }
+
+    /// Also injects faults on individual cell input pins.
+    pub fn with_pin_faults(mut self) -> Self {
+        self.include_pin_faults = true;
+        self
+    }
+
+    /// Worker threads for the campaign (default 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Seed for sampled campaigns.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::new()
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Total injections performed.
+    pub injections: usize,
+    /// Fault had no effect on the transition.
+    pub masked: usize,
+    /// Fault caught (error state / invalid state / alert).
+    pub detected: usize,
+    /// Silent control-flow hijacks.
+    pub hijacked: usize,
+    /// Up to 64 recorded hijacks for inspection.
+    pub hijack_examples: Vec<FaultRecord>,
+}
+
+impl CampaignReport {
+    /// The paper's headline metric: the fraction of injections enabling a
+    /// hijack (0.42 % in §6.4).
+    pub fn hijack_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.hijacked as f64 / self.injections as f64
+        }
+    }
+
+    /// Fraction of injections that were detected among all *effective*
+    /// faults (detected + hijacked), i.e. the error coverage.
+    pub fn coverage(&self) -> f64 {
+        let effective = self.detected + self.hijacked;
+        if effective == 0 {
+            1.0
+        } else {
+            self.detected as f64 / effective as f64
+        }
+    }
+
+    fn merge(&mut self, other: CampaignReport) {
+        self.injections += other.injections;
+        self.masked += other.masked;
+        self.detected += other.detected;
+        self.hijacked += other.hijacked;
+        self.hijack_examples.extend(other.hijack_examples);
+        self.hijack_examples.truncate(64);
+    }
+
+    fn empty() -> Self {
+        CampaignReport {
+            injections: 0,
+            masked: 0,
+            detected: 0,
+            hijacked: 0,
+            hijack_examples: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} injections: {} masked, {} detected, {} hijacked ({:.2} % escape rate, {:.1} % coverage)",
+            self.injections,
+            self.masked,
+            self.detected,
+            self.hijacked,
+            100.0 * self.hijack_rate(),
+            100.0 * self.coverage()
+        )
+    }
+}
+
+/// Enumerates the fault list for a target under a config.
+pub(crate) fn fault_list<T: FaultTarget>(target: &T, config: &CampaignConfig) -> Vec<Fault> {
+    let module = target.module();
+    let mut faults = Vec::new();
+    for (i, cell) in module.cells().iter().enumerate() {
+        if matches!(cell.kind, CellKind::Input | CellKind::Const(_)) {
+            continue;
+        }
+        if let Some(region) = &config.region {
+            if !region.contains(&(i as u32)) {
+                continue;
+            }
+        }
+        let id = CellId(i as u32);
+        for &effect in &config.effects {
+            faults.push(Fault {
+                site: FaultSite::CellOutput(id),
+                effect,
+            });
+            if config.include_pin_faults {
+                for pin in 0..cell.pins.len() {
+                    faults.push(Fault {
+                        site: FaultSite::Pin(id, pin as u8),
+                        effect,
+                    });
+                }
+            }
+        }
+    }
+    if config.include_register_flips {
+        for &r in module.registers() {
+            if let Some(region) = &config.region {
+                if !region.contains(&r.0) {
+                    continue;
+                }
+            }
+            faults.push(Fault {
+                site: FaultSite::Register(r),
+                effect: FaultEffect::Flip,
+            });
+        }
+    }
+    faults
+}
+
+/// Arms one fault on a simulator.
+pub(crate) fn arm(sim: &mut Simulator<'_>, fault: Fault) {
+    match (fault.site, fault.effect) {
+        (FaultSite::CellOutput(c), FaultEffect::Flip) => sim.set_net_flip(c.net()),
+        (FaultSite::CellOutput(c), FaultEffect::Stuck0) => sim.set_net_stuck(c.net(), false),
+        (FaultSite::CellOutput(c), FaultEffect::Stuck1) => sim.set_net_stuck(c.net(), true),
+        (FaultSite::Pin(c, p), FaultEffect::Flip) => sim.set_pin_flip(c, p as usize),
+        (FaultSite::Pin(c, p), FaultEffect::Stuck0) => sim.set_pin_stuck(c, p as usize, false),
+        (FaultSite::Pin(c, p), FaultEffect::Stuck1) => sim.set_pin_stuck(c, p as usize, true),
+        (FaultSite::Register(c), _) => sim.flip_register(c),
+    }
+}
+
+/// Runs one injection: preload the scenario, arm the fault, run the
+/// transition cycle, classify.
+fn inject_one<T: FaultTarget>(target: &T, scenario: usize, fault: Fault) -> Outcome {
+    let (regs, inputs) = target.scenario(scenario);
+    let mut sim = Simulator::new(target.module());
+    sim.set_register_values(&regs);
+    arm(&mut sim, fault);
+    let out = sim.step(&inputs);
+    target.classify(scenario, sim.register_values(), &out)
+}
+
+/// Exhaustive single-fault campaign: every scenario × every fault site ×
+/// every configured effect — the §6.4 experiment.
+pub fn run_exhaustive<T: FaultTarget>(target: &T, config: &CampaignConfig) -> CampaignReport {
+    let faults = fault_list(target, config);
+    let scenarios = target.scenario_count();
+    let work: Vec<(usize, Fault)> = (0..scenarios)
+        .flat_map(|s| faults.iter().map(move |&f| (s, f)))
+        .collect();
+    run_work(target, &work, config.threads)
+}
+
+/// Seeded random multi-fault campaign: `runs` experiments, each injecting
+/// `faults_per_run` simultaneous faults into a random scenario — the
+/// multi-fault attacker of the threat model (§3, "N−1 faults").
+pub fn run_multi_fault<T: FaultTarget>(
+    target: &T,
+    faults_per_run: usize,
+    runs: usize,
+    config: &CampaignConfig,
+) -> CampaignReport {
+    let faults = fault_list(target, config);
+    if faults.is_empty() || target.scenario_count() == 0 {
+        return CampaignReport::empty();
+    }
+    let mut rng = config.seed.max(1);
+    let mut next = move || {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut report = CampaignReport::empty();
+    for _ in 0..runs {
+        let scenario = (next() as usize) % target.scenario_count();
+        let (regs, inputs) = target.scenario(scenario);
+        let mut sim = Simulator::new(target.module());
+        sim.set_register_values(&regs);
+        let mut armed = Vec::new();
+        for _ in 0..faults_per_run {
+            let f = faults[(next() as usize) % faults.len()];
+            arm(&mut sim, f);
+            armed.push(f);
+        }
+        let out = sim.step(&inputs);
+        let outcome = target.classify(scenario, sim.register_values(), &out);
+        report.injections += 1;
+        match outcome {
+            Outcome::Masked => report.masked += 1,
+            Outcome::Detected => report.detected += 1,
+            Outcome::Hijack => {
+                report.hijacked += 1;
+                if report.hijack_examples.len() < 64 {
+                    report.hijack_examples.push(FaultRecord {
+                        scenario,
+                        fault: armed[0],
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Executes a prepared work list, optionally across threads.
+fn run_work<T: FaultTarget>(
+    target: &T,
+    work: &[(usize, Fault)],
+    threads: usize,
+) -> CampaignReport {
+    let run_slice = |slice: &[(usize, Fault)]| {
+        let mut report = CampaignReport::empty();
+        for &(scenario, fault) in slice {
+            let outcome = inject_one(target, scenario, fault);
+            report.injections += 1;
+            match outcome {
+                Outcome::Masked => report.masked += 1,
+                Outcome::Detected => report.detected += 1,
+                Outcome::Hijack => {
+                    report.hijacked += 1;
+                    if report.hijack_examples.len() < 64 {
+                        report.hijack_examples.push(FaultRecord { scenario, fault });
+                    }
+                }
+            }
+        }
+        report
+    };
+    if threads <= 1 || work.len() < 64 {
+        return run_slice(work);
+    }
+    let chunk = work.len().div_ceil(threads);
+    let partials: Vec<CampaignReport> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move |_| run_slice(slice)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("campaign scope");
+    let mut total = CampaignReport::empty();
+    for p in partials {
+        total.merge(p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{RedundancyTarget, ScfiTarget, UnprotectedTarget};
+    use scfi_core::{harden, redundancy, ScfiConfig};
+    use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
+
+    fn fsm() -> Fsm {
+        parse_fsm(
+            "fsm m { inputs a, b;
+               state S0 { if a -> S1; if b -> S2; }
+               state S1 { if b -> S2; }
+               state S2 { goto S0; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_flip_campaign_on_scfi_has_low_escape_rate() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let report = run_exhaustive(&t, &CampaignConfig::new());
+        assert!(report.injections > 100);
+        assert_eq!(
+            report.injections,
+            report.masked + report.detected + report.hijacked
+        );
+        assert!(
+            report.hijack_rate() < 0.05,
+            "escape rate {:.3} too high: {report}",
+            report.hijack_rate()
+        );
+    }
+
+    #[test]
+    fn unprotected_fsm_is_trivially_hijackable() {
+        let f = fsm();
+        let lowered = lower_unprotected(&f).unwrap();
+        let t = UnprotectedTarget::new(&f, &lowered);
+        let report = run_exhaustive(
+            &t,
+            &CampaignConfig::new().with_register_flips(),
+        );
+        assert!(
+            report.hijack_rate() > 0.1,
+            "unprotected FSM must be easy to hijack: {report}"
+        );
+    }
+
+    #[test]
+    fn scfi_beats_unprotected_by_orders_of_magnitude() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let lowered = lower_unprotected(&f).unwrap();
+        let scfi = run_exhaustive(&ScfiTarget::new(&h), &CampaignConfig::new());
+        let unprot = run_exhaustive(
+            &UnprotectedTarget::new(&f, &lowered),
+            &CampaignConfig::new(),
+        );
+        assert!(scfi.hijack_rate() < unprot.hijack_rate() / 2.0);
+    }
+
+    #[test]
+    fn register_flips_never_hijack_scfi() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let regs_region = {
+            let regs = h.module().registers();
+            regs[0].0..regs[regs.len() - 1].0 + 1
+        };
+        let report = run_exhaustive(
+            &t,
+            &CampaignConfig::new()
+                .effects(vec![])
+                .region(regs_region)
+                .with_register_flips(),
+        );
+        assert!(report.injections > 0);
+        assert_eq!(report.hijacked, 0, "{report}");
+    }
+
+    #[test]
+    fn redundancy_detects_single_register_faults() {
+        let f = fsm();
+        let r = redundancy(&f, 2).unwrap();
+        let t = RedundancyTarget::new(&r);
+        let regs = r.module().registers();
+        let report = run_exhaustive(
+            &t,
+            &CampaignConfig::new()
+                .effects(vec![])
+                .region(regs[0].0..regs[regs.len() - 1].0 + 1)
+                .with_register_flips(),
+        );
+        assert!(report.injections > 0);
+        assert_eq!(report.hijacked, 0, "{report}");
+    }
+
+    #[test]
+    fn stuck_at_effects_are_injectable() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let report = run_exhaustive(
+            &t,
+            &CampaignConfig::new().effects(vec![FaultEffect::Stuck0, FaultEffect::Stuck1]),
+        );
+        assert!(report.injections > 200);
+        assert!(report.hijack_rate() < 0.05, "{report}");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let seq = run_exhaustive(&t, &CampaignConfig::new().threads(1));
+        let par = run_exhaustive(&t, &CampaignConfig::new().threads(2));
+        assert_eq!(seq.injections, par.injections);
+        assert_eq!(seq.masked, par.masked);
+        assert_eq!(seq.detected, par.detected);
+        assert_eq!(seq.hijacked, par.hijacked);
+    }
+
+    #[test]
+    fn region_restriction_shrinks_fault_list() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let full = run_exhaustive(&t, &CampaignConfig::new());
+        let diff = run_exhaustive(
+            &t,
+            &CampaignConfig::new().region(h.regions().diffusion.clone()),
+        );
+        assert!(diff.injections < full.injections);
+        assert!(diff.injections > 0);
+    }
+
+    #[test]
+    fn multi_fault_campaign_runs_and_reports() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let report = run_multi_fault(&t, 3, 500, &CampaignConfig::new().seed(99));
+        assert_eq!(report.injections, 500);
+        // Multi-fault attacks may escape occasionally but detection must
+        // dominate among effective faults.
+        assert!(report.coverage() > 0.8, "{report}");
+    }
+
+    #[test]
+    fn multi_fault_is_deterministic_per_seed() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let a = run_multi_fault(&t, 2, 200, &CampaignConfig::new().seed(5));
+        let b = run_multi_fault(&t, 2, 200, &CampaignConfig::new().seed(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pin_faults_expand_the_fault_list() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let plain = fault_list(&t, &CampaignConfig::new());
+        let with_pins = fault_list(&t, &CampaignConfig::new().with_pin_faults());
+        assert!(with_pins.len() > 2 * plain.len());
+    }
+
+    #[test]
+    fn selector_rails_reduce_selector_escapes() {
+        // §7 extension: duplicated selector rails make wrong-match
+        // assertion require multiple faults, so the escape rate over the
+        // pattern-match + modifier-select logic must not get worse.
+        let f = fsm();
+        let h1 = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let h2 = harden(&f, &ScfiConfig::new(2).selector_rails(2)).unwrap();
+        let rate = |h: &scfi_core::HardenedFsm| {
+            let r = h.regions();
+            run_exhaustive(
+                &ScfiTarget::new(h),
+                &CampaignConfig::new()
+                    .region(r.pattern_match.start..r.modifier_select.end)
+                    .with_pin_faults(),
+            )
+            .hijack_rate()
+        };
+        let r1 = rate(&h1);
+        let r2 = rate(&h2);
+        assert!(r2 <= r1, "rails=2 rate {r2} must not exceed rails=1 rate {r1}");
+    }
+
+    #[test]
+    fn adaptive_mds_target_still_protects() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2).adaptive_mds(true)).unwrap();
+        assert!(h.mds().width() < 32, "small FSM must get a small matrix");
+        let report = run_exhaustive(&ScfiTarget::new(&h), &CampaignConfig::new());
+        // Branch number drops with the smaller matrix; detection must
+        // still dominate.
+        assert!(report.coverage() > 0.8, "{report}");
+    }
+
+    #[test]
+    fn report_display_and_rates() {
+        let r = CampaignReport {
+            injections: 200,
+            masked: 100,
+            detected: 99,
+            hijacked: 1,
+            hijack_examples: vec![],
+        };
+        assert!((r.hijack_rate() - 0.005).abs() < 1e-12);
+        assert!((r.coverage() - 0.99).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("200 injections"));
+        assert!(s.contains("escape rate"));
+    }
+}

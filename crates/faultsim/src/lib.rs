@@ -1,0 +1,91 @@
+//! Pre-silicon fault-injection analysis — the reproduction's SYNFI
+//! equivalent (paper §6.4, reference 14).
+//!
+//! SYNFI exhaustively transforms a netlist under a fault model and checks
+//! whether the faulty circuit can still be distinguished from the fault-free
+//! one. This crate implements the same campaign semantics by cycle-accurate
+//! co-simulation:
+//!
+//! 1. Pick a *scenario* — one CFG edge: the FSM sits in the edge's source
+//!    state and receives the edge's condition codeword.
+//! 2. Pick a *fault* — an [`FaultEffect`] at a [`FaultSite`] (a gate output,
+//!    an individual cell input pin, or a stored register bit), matching the
+//!    paper's fault model of transient bit-flips and stuck-at effects on
+//!    wires, combinational and sequential elements (§3).
+//! 3. Run the transition cycle with the fault armed and classify the result
+//!    against the fault-free expectation:
+//!    [`Outcome::Masked`] (state still correct), [`Outcome::Detected`]
+//!    (terminal-error/invalid state or an alert), or [`Outcome::Hijack`] —
+//!    the FSM silently reached a *valid but wrong* state, the event the
+//!    paper counts as a successful attack (32 / 7644 = 0.42 % in §6.4).
+//!
+//! Campaigns run exhaustively over every (edge × site × effect) triple
+//! ([`run_exhaustive`]) or as seeded random multi-fault samples
+//! ([`run_multi_fault`]), optionally in parallel across threads.
+//!
+//! # Example
+//!
+//! ```
+//! use scfi_core::{harden, ScfiConfig};
+//! use scfi_faultsim::{CampaignConfig, FaultEffect, ScfiTarget, run_exhaustive};
+//! use scfi_fsm::parse_fsm;
+//!
+//! let fsm = parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }")?;
+//! let hardened = harden(&fsm, &ScfiConfig::new(2))?;
+//! let report = run_exhaustive(
+//!     &ScfiTarget::new(&hardened),
+//!     &CampaignConfig::new().effects(vec![FaultEffect::Flip]),
+//! );
+//! assert!(report.injections > 0);
+//! assert_eq!(report.injections, report.masked + report.detected + report.hijacked);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod campaign;
+mod target;
+mod vulnerability;
+
+pub use campaign::{
+    run_exhaustive, run_multi_fault, CampaignConfig, CampaignReport, Fault, FaultEffect,
+    FaultRecord, FaultSite, Outcome,
+};
+pub use target::{FaultTarget, RedundancyTarget, ScfiTarget, UnprotectedTarget};
+pub use vulnerability::{SiteStats, VulnerabilityMap};
+
+use scfi_core::HardenedFsm;
+
+/// The paper's analytic success probability for an attacker injecting `N`
+/// faults into the next-state-function inputs (§6.3):
+///
+/// ```text
+/// P = (|S_Ne| + |E|) / (k · 2^(32 − (|S_Ne| + |E|)))
+/// ```
+///
+/// The formula is reproduced verbatim from the paper; it upper-bounds the
+/// chance that a random corruption of one MDS instance's output lands on a
+/// valid (state, all-ones-error) pattern.
+pub fn paper_success_probability(h: &HardenedFsm) -> f64 {
+    let s_ne = h.state_code().width() as f64;
+    let e = h.layout().total_error_bits() as f64;
+    let k = h.layout().k() as f64;
+    (s_ne + e) / (k * 2f64.powf(32.0 - (s_ne + e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfi_core::{harden, ScfiConfig};
+    use scfi_fsm::parse_fsm;
+
+    #[test]
+    fn success_probability_is_tiny() {
+        let fsm = parse_fsm(
+            "fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }",
+        )
+        .unwrap();
+        let h = harden(&fsm, &ScfiConfig::new(2)).unwrap();
+        let p = paper_success_probability(&h);
+        assert!(p > 0.0);
+        assert!(p < 1e-4, "P = {p} should be very small");
+    }
+}

@@ -1,0 +1,285 @@
+//! Fault-campaign targets: the three §6.1 configurations behind one trait.
+
+use scfi_core::{HardenedFsm, RedundantFsm, StateDecode};
+use scfi_fsm::{Fsm, LoweredFsm};
+use scfi_netlist::Module;
+
+use crate::campaign::Outcome;
+
+/// A circuit (plus its oracle) a fault campaign can attack.
+///
+/// A target defines the scenario space — one scenario per CFG edge — and
+/// classifies post-transition register/output values against the fault-free
+/// expectation.
+pub trait FaultTarget: Sync {
+    /// The netlist under attack.
+    fn module(&self) -> &Module;
+
+    /// Number of scenarios (CFG edges).
+    fn scenario_count(&self) -> usize;
+
+    /// Register preload and input vector for a scenario.
+    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>);
+
+    /// Classifies the post-step registers and outputs.
+    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome;
+}
+
+/// Campaign target for an SCFI-hardened FSM.
+///
+/// Detection = terminal ERROR, an invalid (non-codeword) register state
+/// (which collapses to ERROR on the next edge), or an asserted alert.
+#[derive(Clone, Copy, Debug)]
+pub struct ScfiTarget<'a> {
+    hardened: &'a HardenedFsm,
+}
+
+impl<'a> ScfiTarget<'a> {
+    /// Wraps a hardened FSM.
+    pub fn new(hardened: &'a HardenedFsm) -> Self {
+        ScfiTarget { hardened }
+    }
+
+    /// The underlying hardened FSM.
+    pub fn hardened(&self) -> &'a HardenedFsm {
+        self.hardened
+    }
+}
+
+impl FaultTarget for ScfiTarget<'_> {
+    fn module(&self) -> &Module {
+        self.hardened.module()
+    }
+
+    fn scenario_count(&self) -> usize {
+        self.hardened.cfg().edges().len()
+    }
+
+    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
+        let edge = &self.hardened.cfg().edges()[index];
+        let regs = self.hardened.encode_state(edge.from).iter().collect();
+        let class = edge.local_index(self.hardened.fsm());
+        let xe = self.hardened.condition_word(class).iter().collect();
+        (regs, xe)
+    }
+
+    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
+        let edge = &self.hardened.cfg().edges()[index];
+        let n = outputs.len();
+        let alert = outputs[n - 2] || outputs[n - 1];
+        match self.hardened.decode_registers(regs) {
+            StateDecode::State(s) if s == edge.to && !alert => Outcome::Masked,
+            StateDecode::State(s) if s == edge.to => Outcome::Detected,
+            StateDecode::Error | StateDecode::Invalid => Outcome::Detected,
+            StateDecode::State(_) if alert => Outcome::Detected,
+            StateDecode::State(_) => Outcome::Hijack,
+        }
+    }
+}
+
+/// Campaign target for the redundancy baseline.
+///
+/// Detection = the register-mismatch alert. An undetected landing in any
+/// state other than the edge target — including out-of-range binary codes —
+/// is a hijack.
+#[derive(Clone, Copy, Debug)]
+pub struct RedundancyTarget<'a> {
+    redundant: &'a RedundantFsm,
+}
+
+impl<'a> RedundancyTarget<'a> {
+    /// Wraps a redundancy-protected FSM.
+    pub fn new(redundant: &'a RedundantFsm) -> Self {
+        RedundancyTarget { redundant }
+    }
+}
+
+impl FaultTarget for RedundancyTarget<'_> {
+    fn module(&self) -> &Module {
+        self.redundant.module()
+    }
+
+    fn scenario_count(&self) -> usize {
+        self.redundant.cfg().edges().len()
+    }
+
+    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
+        let fsm = self.redundant.fsm();
+        let edge = &self.redundant.cfg().edges()[index];
+        // Every replica bank holds the same source-state code.
+        let code = scfi_gf2::BitVec::from_u64(edge.from.0 as u64, self.redundant.state_bits());
+        let n_regs = self.redundant.module().registers().len();
+        let replicas = n_regs / self.redundant.state_bits();
+        let mut regs = Vec::with_capacity(n_regs);
+        for _ in 0..replicas {
+            regs.extend(code.iter());
+        }
+        let xe = self
+            .redundant
+            .cond_code()
+            .word(edge.local_index(fsm))
+            .iter()
+            .collect();
+        (regs, xe)
+    }
+
+    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
+        let edge = &self.redundant.cfg().edges()[index];
+        // The mismatch comparator is combinational on the register banks,
+        // so a corruption committed on this edge raises the alert in the
+        // *next* cycle — evaluate it on the post-step banks directly.
+        let sb = self.redundant.state_bits();
+        let mismatch = regs
+            .chunks(sb)
+            .skip(1)
+            .any(|bank| bank != &regs[..sb]);
+        let alert = outputs[outputs.len() - 1] || mismatch;
+        match self.redundant.decode_registers(regs) {
+            Some(s) if s == edge.to && !alert => Outcome::Masked,
+            _ if alert => Outcome::Detected,
+            _ => Outcome::Hijack,
+        }
+    }
+}
+
+/// Campaign target for a plain unprotected FSM netlist: no detection
+/// mechanism exists, so every wrong landing is a hijack.
+#[derive(Debug)]
+pub struct UnprotectedTarget<'a> {
+    fsm: &'a Fsm,
+    lowered: &'a LoweredFsm,
+    cfg: scfi_fsm::Cfg,
+    /// One `(edge index, raw inputs)` representative per CFG edge.
+    scenarios: Vec<(usize, Vec<bool>)>,
+}
+
+impl<'a> UnprotectedTarget<'a> {
+    /// Builds the scenario list: one representative raw-input vector per
+    /// reachable CFG edge (found by enumerating input valuations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FSM has more than 20 control signals (enumeration
+    /// guard).
+    pub fn new(fsm: &'a Fsm, lowered: &'a LoweredFsm) -> Self {
+        let n = fsm.signals().len();
+        assert!(n <= 20, "too many signals to enumerate scenarios");
+        let cfg = fsm.cfg();
+        let mut scenarios = Vec::new();
+        let mut covered = vec![false; cfg.edges().len()];
+        for bits in 0..(1u64 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            for s in fsm.states() {
+                let ei = cfg.matched_edge(s, &inputs);
+                if !covered[ei] {
+                    covered[ei] = true;
+                    scenarios.push((ei, inputs.clone()));
+                }
+            }
+        }
+        scenarios.sort_by_key(|&(ei, _)| ei);
+        UnprotectedTarget {
+            fsm,
+            lowered,
+            cfg,
+            scenarios,
+        }
+    }
+
+    /// The source FSM.
+    pub fn fsm(&self) -> &'a Fsm {
+        self.fsm
+    }
+}
+
+impl FaultTarget for UnprotectedTarget<'_> {
+    fn module(&self) -> &Module {
+        self.lowered.module()
+    }
+
+    fn scenario_count(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
+        let (ei, ref inputs) = self.scenarios[index];
+        let edge = &self.cfg.edges()[ei];
+        let regs = self.lowered.encoding(edge.from).iter().collect();
+        (regs, inputs.clone())
+    }
+
+    fn classify(&self, index: usize, regs: &[bool], _outputs: &[bool]) -> Outcome {
+        let (ei, _) = self.scenarios[index];
+        let edge = &self.cfg.edges()[ei];
+        match self.lowered.decode_registers(regs) {
+            Some(s) if s == edge.to => Outcome::Masked,
+            _ => Outcome::Hijack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfi_core::{harden, redundancy, ScfiConfig};
+    use scfi_fsm::{lower_unprotected, parse_fsm};
+
+    fn fsm() -> Fsm {
+        parse_fsm(
+            "fsm m { inputs a, b;
+               state S0 { if a -> S1; if b -> S2; }
+               state S1 { if b -> S2; }
+               state S2 { goto S0; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scfi_scenarios_cover_all_edges() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        assert_eq!(t.scenario_count(), h.cfg().edges().len());
+        for i in 0..t.scenario_count() {
+            let (regs, xe) = t.scenario(i);
+            assert_eq!(regs.len(), h.state_code().width());
+            assert_eq!(xe.len(), h.cond_code().width());
+        }
+    }
+
+    #[test]
+    fn redundancy_scenarios_preload_all_banks() {
+        let f = fsm();
+        let r = redundancy(&f, 3).unwrap();
+        let t = RedundancyTarget::new(&r);
+        let (regs, _) = t.scenario(0);
+        assert_eq!(regs.len(), r.module().registers().len());
+    }
+
+    #[test]
+    fn unprotected_scenarios_cover_reachable_edges() {
+        let f = fsm();
+        let lowered = lower_unprotected(&f).unwrap();
+        let t = UnprotectedTarget::new(&f, &lowered);
+        // All 6 edges (S0: a, b, stay; S1: b, stay; S2: goto) are drivable.
+        assert_eq!(t.scenario_count(), f.cfg().edges().len());
+    }
+
+    #[test]
+    fn fault_free_runs_classify_as_masked() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        for i in 0..t.scenario_count() {
+            let (regs, xe) = t.scenario(i);
+            let mut sim = scfi_netlist::Simulator::new(t.module());
+            sim.set_register_values(&regs);
+            let out = sim.step(&xe);
+            assert_eq!(
+                t.classify(i, sim.register_values(), &out),
+                Outcome::Masked,
+                "scenario {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Control-flow graph extraction.
+
+use std::fmt;
+
+use crate::model::{Fsm, Guard, StateId};
+
+/// What kind of CFG edge this is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// An explicit transition (index into the state's transition list).
+    Explicit(usize),
+    /// The implicit self-loop taken when no explicit guard matches — the
+    /// `SN = S0;` default assignment in the paper's Fig. 4 idiom.
+    ImplicitStay,
+}
+
+/// One edge of the control-flow graph: a distinct `{S_C, X}` condition
+/// class and its destination.
+///
+/// SCFI assigns each CFG edge its own modifier at synthesis time (§5.1), so
+/// edges — not just `(from, to)` pairs — are the unit the hardening pass
+/// iterates over. Two explicit transitions between the same states with
+/// different guards are distinct edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfgEdge {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state (equals `from` for implicit stays).
+    pub to: StateId,
+    /// Explicit transition or implicit stay.
+    pub kind: EdgeKind,
+    /// The guard of the explicit transition; `Guard::always()` stands in
+    /// for the (negated-disjunction) residual condition of an implicit
+    /// stay, whose exact predicate is "no explicit guard matched".
+    pub guard: Guard,
+}
+
+impl CfgEdge {
+    /// Position of this edge within its source state's outgoing-edge list.
+    /// Explicit transitions keep their priority index; the implicit stay is
+    /// last.
+    pub fn local_index(&self, fsm: &Fsm) -> usize {
+        match self.kind {
+            EdgeKind::Explicit(i) => i,
+            EdgeKind::ImplicitStay => fsm.transitions(self.from).len(),
+        }
+    }
+}
+
+/// The control-flow graph of an [`Fsm`]: every valid transition `t ∈ CFG`,
+/// including implicit stays.
+///
+/// # Example
+///
+/// ```
+/// use scfi_fsm::{FsmBuilder, Guard};
+///
+/// let mut b = FsmBuilder::new("m");
+/// let go = b.signal("go")?;
+/// let a = b.state("A")?;
+/// let c = b.state("B")?;
+/// b.transition(a, c, Guard::if_set(go));
+/// b.transition(c, a, Guard::always());
+/// let fsm = b.finish()?;
+/// let cfg = fsm.cfg();
+/// // A: explicit + implicit stay; B: unconditional explicit only.
+/// assert_eq!(cfg.out_edges(a).len(), 2);
+/// assert_eq!(cfg.out_edges(c).len(), 1);
+/// # Ok::<(), scfi_fsm::FsmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    edges: Vec<CfgEdge>,
+    /// Edge indices grouped by source state.
+    by_state: Vec<Vec<usize>>,
+}
+
+impl Fsm {
+    /// Extracts the control-flow graph.
+    ///
+    /// A state receives an implicit-stay edge unless one of its explicit
+    /// transitions is unconditional (which makes the residual condition
+    /// empty).
+    pub fn cfg(&self) -> Cfg {
+        let mut edges = Vec::new();
+        let mut by_state = vec![Vec::new(); self.state_count()];
+        for s in self.states() {
+            let ts = self.transitions(s);
+            for (i, t) in ts.iter().enumerate() {
+                by_state[s.0].push(edges.len());
+                edges.push(CfgEdge {
+                    from: s,
+                    to: t.target,
+                    kind: EdgeKind::Explicit(i),
+                    guard: t.guard.clone(),
+                });
+            }
+            let has_unconditional = ts.iter().any(|t| t.guard.is_always());
+            if !has_unconditional {
+                by_state[s.0].push(edges.len());
+                edges.push(CfgEdge {
+                    from: s,
+                    to: s,
+                    kind: EdgeKind::ImplicitStay,
+                    guard: Guard::always(),
+                });
+            }
+        }
+        Cfg { edges, by_state }
+    }
+}
+
+impl Cfg {
+    /// All edges, ordered by source state and priority.
+    pub fn edges(&self) -> &[CfgEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges (as indices into [`Cfg::edges`]) of a state.
+    pub fn out_edge_indices(&self, s: StateId) -> &[usize] {
+        &self.by_state[s.0]
+    }
+
+    /// Outgoing edges of a state.
+    pub fn out_edges(&self, s: StateId) -> Vec<&CfgEdge> {
+        self.by_state[s.0].iter().map(|&i| &self.edges[i]).collect()
+    }
+
+    /// The edge the FSM takes from `s` under `inputs`: the first explicit
+    /// edge whose guard matches, otherwise the implicit stay.
+    ///
+    /// Returns an index into [`Cfg::edges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than a referenced signal index.
+    pub fn matched_edge(&self, s: StateId, inputs: &[bool]) -> usize {
+        for &ei in &self.by_state[s.0] {
+            let e = &self.edges[ei];
+            match e.kind {
+                EdgeKind::Explicit(_) if e.guard.eval(inputs) => return ei,
+                EdgeKind::ImplicitStay => return ei,
+                _ => {}
+            }
+        }
+        unreachable!("every state has a terminal edge (unconditional or implicit stay)")
+    }
+
+    /// The largest number of outgoing edges any state has — the number of
+    /// distinct condition-class codewords the control-signal encoding needs.
+    pub fn max_out_degree(&self) -> usize {
+        self.by_state.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of edges (the paper's §6.4 "FSM with 14 state
+    /// transitions" counts these).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the CFG has no edges (impossible for a valid
+    /// FSM, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cfg with {} edges:", self.edges.len())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  S{} -> S{} [{}]",
+                e.from.0,
+                e.to.0,
+                match e.kind {
+                    EdgeKind::Explicit(i) => format!("#{i} {:?}", e.guard),
+                    EdgeKind::ImplicitStay => "stay".to_string(),
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FsmBuilder;
+
+    /// The paper's Figure 2 CFG: S0→S1 (x0), S0→S2 (x1), S1→S3 (x2),
+    /// S2→S3 (x3), S3→S0 (x4), S2→S2 etc. We model the explicit subset.
+    fn fig2() -> Fsm {
+        let mut b = FsmBuilder::new("fig2");
+        let x: Vec<_> = (0..5).map(|i| b.signal(format!("x{i}")).unwrap()).collect();
+        let s0 = b.state("S0").unwrap();
+        let s1 = b.state("S1").unwrap();
+        let s2 = b.state("S2").unwrap();
+        let s3 = b.state("S3").unwrap();
+        b.transition(s0, s1, Guard::if_set(x[0]));
+        b.transition(s0, s2, Guard::if_set(x[1]));
+        b.transition(s1, s3, Guard::if_set(x[2]));
+        b.transition(s2, s3, Guard::if_set(x[3]));
+        b.transition(s3, s0, Guard::if_set(x[4]));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn edge_counts_include_implicit_stays() {
+        let f = fig2();
+        let cfg = f.cfg();
+        // 5 explicit + 4 implicit stays.
+        assert_eq!(cfg.len(), 9);
+        assert_eq!(cfg.max_out_degree(), 3); // S0: two explicit + stay
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn unconditional_transition_suppresses_stay() {
+        let mut b = FsmBuilder::new("u");
+        let a = b.state("A").unwrap();
+        let c = b.state("B").unwrap();
+        b.transition(a, c, Guard::always());
+        let f = b.finish().unwrap();
+        let cfg = f.cfg();
+        assert_eq!(cfg.out_edges(a).len(), 1);
+        assert_eq!(cfg.out_edges(c).len(), 1); // just the stay
+        assert_eq!(cfg.out_edges(c)[0].kind, EdgeKind::ImplicitStay);
+    }
+
+    #[test]
+    fn matched_edge_respects_priority() {
+        let f = fig2();
+        let cfg = f.cfg();
+        let s0 = f.state_by_name("S0").unwrap();
+        // x0 and x1 both high → first transition (to S1).
+        let e = &cfg.edges()[cfg.matched_edge(s0, &[true, true, false, false, false])];
+        assert_eq!(e.to, f.state_by_name("S1").unwrap());
+        // Only x1 → S2.
+        let e = &cfg.edges()[cfg.matched_edge(s0, &[false, true, false, false, false])];
+        assert_eq!(e.to, f.state_by_name("S2").unwrap());
+        // Nothing → stay.
+        let e = &cfg.edges()[cfg.matched_edge(s0, &[false; 5])];
+        assert_eq!(e.kind, EdgeKind::ImplicitStay);
+        assert_eq!(e.to, s0);
+    }
+
+    #[test]
+    fn matched_edge_agrees_with_next_state() {
+        let f = fig2();
+        let cfg = f.cfg();
+        for s in f.states() {
+            for bits in 0..32u32 {
+                let inputs: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+                let e = &cfg.edges()[cfg.matched_edge(s, &inputs)];
+                assert_eq!(e.to, f.next_state(s, &inputs));
+            }
+        }
+    }
+
+    #[test]
+    fn local_index_orders_edges() {
+        let f = fig2();
+        let cfg = f.cfg();
+        let s0 = f.state_by_name("S0").unwrap();
+        let locals: Vec<usize> = cfg
+            .out_edges(s0)
+            .iter()
+            .map(|e| e.local_index(&f))
+            .collect();
+        assert_eq!(locals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let f = fig2();
+        let text = f.cfg().to_string();
+        assert!(text.contains("S0 -> S1"));
+        assert!(text.contains("stay"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Finite-state machine modeling for the SCFI reproduction.
+//!
+//! The paper describes an FSM as the 5-tuple `{S, X, Y, φ, λ}` (§2.2): a
+//! state set, 1-bit control signals, Moore outputs, a next-state function
+//! and an output function, with the execution flow captured by a
+//! control-flow graph (CFG) of valid `{S_C, X}` transitions (Fig. 2).
+//!
+//! This crate provides that model plus everything the hardening pass needs
+//! around it:
+//!
+//! * [`Fsm`] / [`FsmBuilder`] — states, prioritized guarded transitions
+//!   (`if/else-if` chains as in the paper's Fig. 4 RTL), Moore outputs,
+//!   validation (shadowed transitions, unreachable states, contradictory
+//!   guards),
+//! * [`Cfg`] — the extracted control-flow graph, including the implicit
+//!   "stay" edges that an `if/else-if` chain creates,
+//! * [`FsmSimulator`] — a behavioral reference simulator used as the golden
+//!   model in equivalence checks,
+//! * [`parse_fsm`] — a small text DSL for describing FSMs,
+//! * [`lower_unprotected`] — lowering to a binary-encoded gate-level
+//!   netlist, the baseline circuit that both Table 1's "unprotected" column
+//!   and the redundancy baseline build on.
+//!
+//! # Example
+//!
+//! ```
+//! use scfi_fsm::parse_fsm;
+//!
+//! let fsm = parse_fsm(
+//!     "fsm lock {
+//!        inputs key_ok, tamper;
+//!        outputs open;
+//!        reset LOCKED;
+//!        state LOCKED { if key_ok && !tamper -> OPEN; }
+//!        state OPEN   { out open; if tamper -> LOCKED; }
+//!      }",
+//! )?;
+//! assert_eq!(fsm.states().len(), 2);
+//! let cfg = fsm.cfg();
+//! assert_eq!(cfg.edges().len(), 4); // 2 explicit + 2 implicit stay edges
+//! # Ok::<(), scfi_fsm::FsmError>(())
+//! ```
+
+mod cfg;
+mod lower;
+mod model;
+mod parse;
+mod sim;
+mod write;
+
+pub use cfg::{Cfg, CfgEdge, EdgeKind};
+pub use lower::{lower_unprotected, LoweredFsm};
+pub use model::{Fsm, FsmBuilder, FsmError, Guard, OutputId, SignalId, StateId, Transition};
+pub use parse::parse_fsm;
+pub use sim::FsmSimulator;

@@ -1,0 +1,626 @@
+//! FSM data model and builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a state within an [`Fsm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+/// Identifies a 1-bit control signal within an [`Fsm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub usize);
+
+/// Identifies a Moore output within an [`Fsm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutputId(pub usize);
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "y{}", self.0)
+    }
+}
+
+/// A conjunction of control-signal literals guarding a transition.
+///
+/// The empty guard is always true (an unconditional transition). Guards are
+/// evaluated against a full input valuation; a transition fires when every
+/// literal matches.
+///
+/// # Example
+///
+/// ```
+/// use scfi_fsm::{Guard, SignalId};
+///
+/// let g = Guard::new(vec![(SignalId(0), true), (SignalId(2), false)]).unwrap();
+/// assert!(g.eval(&[true, true, false]));
+/// assert!(!g.eval(&[true, true, true]));
+/// assert!(Guard::always().eval(&[false, false, false]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Sorted, deduplicated literals `(signal, required_value)`.
+    literals: Vec<(SignalId, bool)>,
+}
+
+impl Guard {
+    /// The always-true guard.
+    pub fn always() -> Guard {
+        Guard {
+            literals: Vec::new(),
+        }
+    }
+
+    /// Builds a guard from literals, deduplicating repeats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::ContradictoryGuard`] if the same signal appears
+    /// with both polarities (the guard would be unsatisfiable).
+    pub fn new(mut literals: Vec<(SignalId, bool)>) -> Result<Guard, FsmError> {
+        literals.sort_by_key(|&(s, v)| (s, v));
+        literals.dedup();
+        for pair in literals.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(FsmError::ContradictoryGuard { signal: pair[0].0 });
+            }
+        }
+        Ok(Guard { literals })
+    }
+
+    /// Single-literal guard requiring `signal` high.
+    pub fn if_set(signal: SignalId) -> Guard {
+        Guard {
+            literals: vec![(signal, true)],
+        }
+    }
+
+    /// Single-literal guard requiring `signal` low.
+    pub fn if_clear(signal: SignalId) -> Guard {
+        Guard {
+            literals: vec![(signal, false)],
+        }
+    }
+
+    /// The literals, sorted by signal.
+    pub fn literals(&self) -> &[(SignalId, bool)] {
+        &self.literals
+    }
+
+    /// Returns `true` for the unconditional guard.
+    pub fn is_always(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Evaluates against a full input valuation (indexed by signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a signal index out of range.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        self.literals.iter().all(|&(s, v)| inputs[s.0] == v)
+    }
+
+    /// Returns `true` if every valuation satisfying `self` also satisfies
+    /// `other` (literal-set inclusion: `other ⊆ self`).
+    pub fn implies(&self, other: &Guard) -> bool {
+        other.literals.iter().all(|l| self.literals.contains(l))
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_always() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self
+            .literals
+            .iter()
+            .map(|&(s, v)| format!("{}x{}", if v { "" } else { "!" }, s.0))
+            .collect();
+        write!(f, "{}", parts.join(" && "))
+    }
+}
+
+/// One prioritized outgoing transition of a state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Condition for taking the transition.
+    pub guard: Guard,
+    /// Destination state.
+    pub target: StateId,
+}
+
+/// Per-state definition: name, prioritized transitions, asserted Moore
+/// outputs.
+#[derive(Clone, Debug)]
+pub(crate) struct StateDef {
+    pub(crate) name: String,
+    pub(crate) transitions: Vec<Transition>,
+    pub(crate) outputs: Vec<OutputId>,
+}
+
+/// Errors from FSM construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmError {
+    /// Two states share a name.
+    DuplicateState(String),
+    /// Two signals share a name.
+    DuplicateSignal(String),
+    /// Two outputs share a name.
+    DuplicateOutput(String),
+    /// The FSM has no states.
+    Empty,
+    /// A guard requires a signal to be both high and low.
+    ContradictoryGuard {
+        /// The doubly-constrained signal.
+        signal: SignalId,
+    },
+    /// A parse error in the FSM DSL, with a 1-based line number.
+    Parse {
+        /// Line where the error was detected.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A DSL transition references an undeclared state or signal.
+    UnknownName {
+        /// Line of the reference.
+        line: usize,
+        /// The unresolved identifier.
+        name: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::DuplicateState(n) => write!(f, "duplicate state name {n}"),
+            FsmError::DuplicateSignal(n) => write!(f, "duplicate signal name {n}"),
+            FsmError::DuplicateOutput(n) => write!(f, "duplicate output name {n}"),
+            FsmError::Empty => write!(f, "state machine has no states"),
+            FsmError::ContradictoryGuard { signal } =>
+
+                write!(f, "guard requires signal x{} both high and low", signal.0),
+            FsmError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FsmError::UnknownName { line, name } => {
+                write!(f, "unknown state or signal `{name}` at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// An immutable, validated finite-state machine.
+///
+/// Build one with [`FsmBuilder`] or [`parse_fsm`](crate::parse_fsm).
+/// Semantics: in state `s` under input valuation `x`, the first transition
+/// of `s` whose guard matches fires; if none matches the FSM stays in `s`
+/// (the implicit self-loop the paper's `SN = S0; if (…) …` idiom creates).
+#[derive(Clone, Debug)]
+pub struct Fsm {
+    pub(crate) name: String,
+    pub(crate) signals: Vec<String>,
+    pub(crate) outputs: Vec<String>,
+    pub(crate) states: Vec<StateDef>,
+    pub(crate) reset: StateId,
+}
+
+impl Fsm {
+    /// FSM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Control signal names, indexed by [`SignalId`].
+    pub fn signals(&self) -> &[String] {
+        &self.signals
+    }
+
+    /// Moore output names, indexed by [`OutputId`].
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// State ids, in declaration order.
+    pub fn states(&self) -> Vec<StateId> {
+        (0..self.states.len()).map(StateId).collect()
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A state's name.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.states[s.0].name
+    }
+
+    /// Looks up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(StateId)
+    }
+
+    /// The reset state.
+    pub fn reset_state(&self) -> StateId {
+        self.reset
+    }
+
+    /// Prioritized transitions out of a state.
+    pub fn transitions(&self, s: StateId) -> &[Transition] {
+        &self.states[s.0].transitions
+    }
+
+    /// Moore outputs asserted in a state.
+    pub fn asserted_outputs(&self, s: StateId) -> &[OutputId] {
+        &self.states[s.0].outputs
+    }
+
+    /// Computes the next state for `(state, inputs)` — the behavioral `φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the signal count.
+    pub fn next_state(&self, s: StateId, inputs: &[bool]) -> StateId {
+        assert_eq!(inputs.len(), self.signals.len(), "input count mismatch");
+        for t in &self.states[s.0].transitions {
+            if t.guard.eval(inputs) {
+                return t.target;
+            }
+        }
+        s
+    }
+
+    /// States unreachable from reset (BFS over all transitions, including
+    /// implicit stays).
+    pub fn unreachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = vec![self.reset];
+        seen[self.reset.0] = true;
+        while let Some(s) = queue.pop() {
+            for t in &self.states[s.0].transitions {
+                if !seen[t.target.0] {
+                    seen[t.target.0] = true;
+                    queue.push(t.target);
+                }
+            }
+        }
+        (0..self.states.len())
+            .filter(|&i| !seen[i])
+            .map(StateId)
+            .collect()
+    }
+
+    /// Transitions that can never fire because an earlier transition of the
+    /// same state matches whenever they do. Returns `(state, transition
+    /// index)` pairs.
+    pub fn shadowed_transitions(&self) -> Vec<(StateId, usize)> {
+        let mut out = Vec::new();
+        for (si, st) in self.states.iter().enumerate() {
+            for j in 1..st.transitions.len() {
+                let tj = &st.transitions[j];
+                if st.transitions[..j]
+                    .iter()
+                    .any(|ti| tj.guard.implies(&ti.guard))
+                {
+                    out.push((StateId(si), j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of explicit transitions.
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+}
+
+/// Incrementally builds an [`Fsm`].
+///
+/// # Example
+///
+/// ```
+/// use scfi_fsm::{FsmBuilder, Guard};
+///
+/// let mut b = FsmBuilder::new("blinker");
+/// let en = b.signal("en")?;
+/// let off = b.state("OFF")?;
+/// let on = b.state("ON")?;
+/// let lit = b.output("lit")?;
+/// b.assert_output(on, lit);
+/// b.transition(off, on, Guard::if_set(en));
+/// b.transition(on, off, Guard::if_clear(en));
+/// let fsm = b.finish()?;
+/// assert_eq!(fsm.reset_state(), off); // defaults to the first state
+/// # Ok::<(), scfi_fsm::FsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct FsmBuilder {
+    name: String,
+    signals: Vec<String>,
+    signal_index: HashMap<String, SignalId>,
+    outputs: Vec<String>,
+    output_index: HashMap<String, OutputId>,
+    states: Vec<StateDef>,
+    state_index: HashMap<String, StateId>,
+    reset: Option<StateId>,
+}
+
+impl FsmBuilder {
+    /// Starts a new FSM definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        FsmBuilder {
+            name: name.into(),
+            signals: Vec::new(),
+            signal_index: HashMap::new(),
+            outputs: Vec::new(),
+            output_index: HashMap::new(),
+            states: Vec::new(),
+            state_index: HashMap::new(),
+            reset: None,
+        }
+    }
+
+    /// Declares a 1-bit control signal.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError::DuplicateSignal`] if the name is taken.
+    pub fn signal(&mut self, name: impl Into<String>) -> Result<SignalId, FsmError> {
+        let name = name.into();
+        if self.signal_index.contains_key(&name) {
+            return Err(FsmError::DuplicateSignal(name));
+        }
+        let id = SignalId(self.signals.len());
+        self.signal_index.insert(name.clone(), id);
+        self.signals.push(name);
+        Ok(id)
+    }
+
+    /// Declares a Moore output.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError::DuplicateOutput`] if the name is taken.
+    pub fn output(&mut self, name: impl Into<String>) -> Result<OutputId, FsmError> {
+        let name = name.into();
+        if self.output_index.contains_key(&name) {
+            return Err(FsmError::DuplicateOutput(name));
+        }
+        let id = OutputId(self.outputs.len());
+        self.output_index.insert(name.clone(), id);
+        self.outputs.push(name);
+        Ok(id)
+    }
+
+    /// Declares a state.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError::DuplicateState`] if the name is taken.
+    pub fn state(&mut self, name: impl Into<String>) -> Result<StateId, FsmError> {
+        let name = name.into();
+        if self.state_index.contains_key(&name) {
+            return Err(FsmError::DuplicateState(name));
+        }
+        let id = StateId(self.states.len());
+        self.state_index.insert(name.clone(), id);
+        self.states.push(StateDef {
+            name,
+            transitions: Vec::new(),
+            outputs: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Looks up a declared signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signal_index.get(name).copied()
+    }
+
+    /// Looks up a declared state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.state_index.get(name).copied()
+    }
+
+    /// Appends a transition (priority = insertion order).
+    pub fn transition(&mut self, from: StateId, to: StateId, guard: Guard) {
+        self.states[from.0].transitions.push(Transition {
+            guard,
+            target: to,
+        });
+    }
+
+    /// Marks a Moore output as asserted in a state.
+    pub fn assert_output(&mut self, state: StateId, output: OutputId) {
+        if !self.states[state.0].outputs.contains(&output) {
+            self.states[state.0].outputs.push(output);
+        }
+    }
+
+    /// Sets the reset state (defaults to the first declared state).
+    pub fn reset(&mut self, state: StateId) {
+        self.reset = Some(state);
+    }
+
+    /// Validates and freezes the FSM.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError::Empty`] if no states were declared.
+    pub fn finish(self) -> Result<Fsm, FsmError> {
+        if self.states.is_empty() {
+            return Err(FsmError::Empty);
+        }
+        Ok(Fsm {
+            name: self.name,
+            signals: self.signals,
+            outputs: self.outputs,
+            states: self.states,
+            reset: self.reset.unwrap_or(StateId(0)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Fsm {
+        let mut b = FsmBuilder::new("t");
+        let go = b.signal("go").unwrap();
+        let a = b.state("A").unwrap();
+        let c = b.state("B").unwrap();
+        b.transition(a, c, Guard::if_set(go));
+        b.transition(c, a, Guard::if_clear(go));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn next_state_follows_guards() {
+        let f = two_state();
+        let a = f.state_by_name("A").unwrap();
+        let c = f.state_by_name("B").unwrap();
+        assert_eq!(f.next_state(a, &[true]), c);
+        assert_eq!(f.next_state(a, &[false]), a); // implicit stay
+        assert_eq!(f.next_state(c, &[false]), a);
+        assert_eq!(f.next_state(c, &[true]), c);
+    }
+
+    #[test]
+    fn priority_first_match_wins() {
+        let mut b = FsmBuilder::new("p");
+        let x0 = b.signal("x0").unwrap();
+        let x1 = b.signal("x1").unwrap();
+        let s = b.state("S").unwrap();
+        let t1 = b.state("T1").unwrap();
+        let t2 = b.state("T2").unwrap();
+        b.transition(s, t1, Guard::if_set(x0));
+        b.transition(s, t2, Guard::if_set(x1));
+        let f = b.finish().unwrap();
+        // Both guards true → first wins.
+        assert_eq!(f.next_state(s, &[true, true]), t1);
+        assert_eq!(f.next_state(s, &[false, true]), t2);
+    }
+
+    #[test]
+    fn guards_dedupe_and_reject_contradiction() {
+        let g = Guard::new(vec![(SignalId(1), true), (SignalId(1), true)]).unwrap();
+        assert_eq!(g.literals().len(), 1);
+        let err = Guard::new(vec![(SignalId(1), true), (SignalId(1), false)]).unwrap_err();
+        assert!(matches!(
+            err,
+            FsmError::ContradictoryGuard { signal: SignalId(1) }
+        ));
+    }
+
+    #[test]
+    fn guard_implication() {
+        let narrow = Guard::new(vec![(SignalId(0), true), (SignalId(1), false)]).unwrap();
+        let broad = Guard::if_set(SignalId(0));
+        assert!(narrow.implies(&broad));
+        assert!(!broad.implies(&narrow));
+        assert!(narrow.implies(&Guard::always()));
+    }
+
+    #[test]
+    fn shadowed_transition_detection() {
+        let mut b = FsmBuilder::new("sh");
+        let x0 = b.signal("x0").unwrap();
+        let x1 = b.signal("x1").unwrap();
+        let s = b.state("S").unwrap();
+        let t = b.state("T").unwrap();
+        b.transition(s, t, Guard::if_set(x0));
+        // Narrower guard after broader one → never fires.
+        b.transition(
+            s,
+            t,
+            Guard::new(vec![(x0, true), (x1, true)]).unwrap(),
+        );
+        let f = b.finish().unwrap();
+        assert_eq!(f.shadowed_transitions(), vec![(s, 1)]);
+    }
+
+    #[test]
+    fn unreachable_states_found() {
+        let mut b = FsmBuilder::new("u");
+        let a = b.state("A").unwrap();
+        let c = b.state("B").unwrap();
+        let orphan = b.state("ORPHAN").unwrap();
+        b.transition(a, c, Guard::always());
+        let _ = orphan;
+        let f = b.finish().unwrap();
+        assert_eq!(f.unreachable_states(), vec![StateId(2)]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = FsmBuilder::new("d");
+        b.state("A").unwrap();
+        assert!(matches!(b.state("A"), Err(FsmError::DuplicateState(_))));
+        b.signal("x").unwrap();
+        assert!(matches!(b.signal("x"), Err(FsmError::DuplicateSignal(_))));
+        b.output("y").unwrap();
+        assert!(matches!(b.output("y"), Err(FsmError::DuplicateOutput(_))));
+    }
+
+    #[test]
+    fn empty_fsm_rejected() {
+        assert!(matches!(
+            FsmBuilder::new("e").finish(),
+            Err(FsmError::Empty)
+        ));
+    }
+
+    #[test]
+    fn moore_outputs_recorded() {
+        let mut b = FsmBuilder::new("m");
+        let s = b.state("S").unwrap();
+        let y = b.output("busy").unwrap();
+        b.assert_output(s, y);
+        b.assert_output(s, y); // idempotent
+        let f = b.finish().unwrap();
+        assert_eq!(f.asserted_outputs(s), &[y]);
+        assert_eq!(f.outputs(), &["busy".to_string()]);
+    }
+
+    #[test]
+    fn reset_defaults_to_first_state() {
+        let f = two_state();
+        assert_eq!(f.reset_state(), StateId(0));
+    }
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        assert!(FsmError::DuplicateState("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(FsmError::Parse {
+            line: 3,
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn transition_count_sums_all_states() {
+        let f = two_state();
+        assert_eq!(f.transition_count(), 2);
+    }
+}

@@ -1,0 +1,580 @@
+//! A small text DSL for describing finite-state machines.
+//!
+//! Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! fsm NAME {
+//!   inputs a, b, c;          // 1-bit control signals
+//!   outputs busy, done;      // Moore outputs
+//!   reset IDLE;              // optional; defaults to the first state
+//!   state IDLE {
+//!     out busy;              // outputs asserted while in this state
+//!     if a && !b -> RUN;     // prioritized guarded transitions
+//!     goto IDLE;             // unconditional transition (lowest priority)
+//!   }
+//!   state RUN { ... }
+//! }
+//! ```
+
+use crate::model::{Fsm, FsmBuilder, FsmError, Guard};
+
+/// Parses the FSM DSL into a validated [`Fsm`].
+///
+/// # Errors
+///
+/// [`FsmError::Parse`] on syntax errors and [`FsmError::UnknownName`] when
+/// a transition references an undeclared state or signal; both carry the
+/// 1-based source line.
+///
+/// # Example
+///
+/// ```
+/// let fsm = scfi_fsm::parse_fsm(
+///     "fsm blink { inputs en; state OFF { if en -> ON; } state ON { if !en -> OFF; } }",
+/// )?;
+/// assert_eq!(fsm.name(), "blink");
+/// assert_eq!(fsm.state_count(), 2);
+/// # Ok::<(), scfi_fsm::FsmError>(())
+/// ```
+pub fn parse_fsm(text: &str) -> Result<Fsm, FsmError> {
+    let tokens = tokenize(text)?;
+    let ast = Parser {
+        tokens: &tokens,
+        pos: 0,
+    }
+    .parse_fsm()?;
+    resolve(ast)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Arrow,
+    Bang,
+    AndAnd,
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<SpannedTok>, FsmError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(err(line, "expected `//` comment"));
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    line,
+                });
+            }
+            '}' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    line,
+                });
+            }
+            ';' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    line,
+                });
+            }
+            ',' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
+            }
+            '!' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Bang,
+                    line,
+                });
+            }
+            '&' => {
+                chars.next();
+                if chars.next() != Some('&') {
+                    return Err(err(line, "expected `&&`"));
+                }
+                out.push(SpannedTok {
+                    tok: Tok::AndAnd,
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                if chars.next() != Some('>') {
+                    return Err(err(line, "expected `->`"));
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Arrow,
+                    line,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            other => return Err(err(line, &format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn err(line: usize, message: &str) -> FsmError {
+    FsmError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+// ----- AST -------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FsmAst {
+    name: String,
+    inputs: Vec<(String, usize)>,
+    outputs: Vec<(String, usize)>,
+    reset: Option<(String, usize)>,
+    states: Vec<StateAst>,
+}
+
+#[derive(Debug)]
+struct StateAst {
+    name: String,
+    outs: Vec<(String, usize)>,
+    transitions: Vec<TransAst>,
+}
+
+#[derive(Debug)]
+struct TransAst {
+    line: usize,
+    literals: Vec<(String, bool, usize)>,
+    target: String,
+}
+
+struct Parser<'t> {
+    tokens: &'t [SpannedTok],
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> Option<&'t SpannedTok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn line(&self) -> usize {
+        self.peek()
+            .map(|t| t.line)
+            .or_else(|| self.tokens.last().map(|t| t.line))
+            .unwrap_or(1)
+    }
+
+    fn next(&mut self) -> Option<&'t SpannedTok> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<usize, FsmError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t.tok == *tok => Ok(t.line),
+            Some(t) => Err(err(t.line, &format!("expected {what}, found {:?}", t.tok))),
+            None => Err(err(line, &format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize), FsmError> {
+        let line = self.line();
+        match self.next() {
+            Some(SpannedTok {
+                tok: Tok::Ident(s),
+                line,
+            }) => Ok((s.clone(), *line)),
+            Some(t) => Err(err(t.line, &format!("expected {what}, found {:?}", t.tok))),
+            None => Err(err(line, &format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<usize, FsmError> {
+        let (word, line) = self.expect_ident(&format!("`{kw}`"))?;
+        if word == kw {
+            Ok(line)
+        } else {
+            Err(err(line, &format!("expected `{kw}`, found `{word}`")))
+        }
+    }
+
+    fn parse_fsm(mut self) -> Result<FsmAst, FsmError> {
+        self.expect_keyword("fsm")?;
+        let (name, _) = self.expect_ident("machine name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut ast = FsmAst {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            reset: None,
+            states: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Some(SpannedTok {
+                    tok: Tok::RBrace, ..
+                }) => {
+                    self.next();
+                    break;
+                }
+                Some(SpannedTok {
+                    tok: Tok::Ident(kw),
+                    line,
+                }) => {
+                    let (kw, line) = (kw.clone(), *line);
+                    match kw.as_str() {
+                        "inputs" => {
+                            self.next();
+                            self.parse_name_list(&mut ast.inputs)?;
+                        }
+                        "outputs" => {
+                            self.next();
+                            self.parse_name_list(&mut ast.outputs)?;
+                        }
+                        "reset" => {
+                            self.next();
+                            let target = self.expect_ident("reset state name")?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            ast.reset = Some(target);
+                        }
+                        "state" => {
+                            self.next();
+                            ast.states.push(self.parse_state()?);
+                        }
+                        _ => {
+                            return Err(err(
+                                line,
+                                &format!(
+                                    "expected `inputs`, `outputs`, `reset`, `state` or `}}`, found `{kw}`"
+                                ),
+                            ))
+                        }
+                    }
+                }
+                Some(t) => return Err(err(t.line, &format!("unexpected {:?}", t.tok))),
+                None => return Err(err(self.line(), "unterminated `fsm` block")),
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(err(t.line, "trailing tokens after `fsm` block"));
+        }
+        Ok(ast)
+    }
+
+    fn parse_name_list(&mut self, into: &mut Vec<(String, usize)>) -> Result<(), FsmError> {
+        loop {
+            into.push(self.expect_ident("identifier")?);
+            match self.next() {
+                Some(SpannedTok { tok: Tok::Comma, .. }) => continue,
+                Some(SpannedTok { tok: Tok::Semi, .. }) => return Ok(()),
+                Some(t) => return Err(err(t.line, "expected `,` or `;` in name list")),
+                None => return Err(err(self.line(), "unterminated name list")),
+            }
+        }
+    }
+
+    fn parse_state(&mut self) -> Result<StateAst, FsmError> {
+        let (name, _line) = self.expect_ident("state name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut state = StateAst {
+            name,
+            outs: Vec::new(),
+            transitions: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Some(SpannedTok {
+                    tok: Tok::RBrace, ..
+                }) => {
+                    self.next();
+                    return Ok(state);
+                }
+                Some(SpannedTok {
+                    tok: Tok::Ident(kw),
+                    line,
+                }) => {
+                    let (kw, line) = (kw.clone(), *line);
+                    match kw.as_str() {
+                        "out" => {
+                            self.next();
+                            self.parse_name_list(&mut state.outs)?;
+                        }
+                        "if" => {
+                            self.next();
+                            state.transitions.push(self.parse_if(line)?);
+                        }
+                        "goto" => {
+                            self.next();
+                            let (target, _) = self.expect_ident("target state")?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            state.transitions.push(TransAst {
+                                line,
+                                literals: Vec::new(),
+                                target,
+                            });
+                        }
+                        _ => {
+                            return Err(err(
+                                line,
+                                &format!("expected `out`, `if`, `goto` or `}}`, found `{kw}`"),
+                            ))
+                        }
+                    }
+                }
+                Some(t) => return Err(err(t.line, &format!("unexpected {:?}", t.tok))),
+                None => return Err(err(self.line(), "unterminated `state` block")),
+            }
+        }
+    }
+
+    fn parse_if(&mut self, line: usize) -> Result<TransAst, FsmError> {
+        let mut literals = Vec::new();
+        loop {
+            let negated = if matches!(self.peek(), Some(SpannedTok { tok: Tok::Bang, .. })) {
+                self.next();
+                true
+            } else {
+                false
+            };
+            let (name, lline) = self.expect_ident("signal name")?;
+            literals.push((name, !negated, lline));
+            match self.peek() {
+                Some(SpannedTok {
+                    tok: Tok::AndAnd, ..
+                }) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Tok::Arrow, "`->`")?;
+        let (target, _) = self.expect_ident("target state")?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(TransAst {
+            line,
+            literals,
+            target,
+        })
+    }
+}
+
+// ----- resolution --------------------------------------------------------------
+
+fn resolve(ast: FsmAst) -> Result<Fsm, FsmError> {
+    let mut b = FsmBuilder::new(ast.name);
+    for (name, _) in &ast.inputs {
+        b.signal(name.clone())?;
+    }
+    for (name, _) in &ast.outputs {
+        b.output(name.clone())?;
+    }
+    for s in &ast.states {
+        b.state(s.name.clone())?;
+    }
+    for s in &ast.states {
+        let sid = b.state_by_name(&s.name).expect("just declared");
+        for (out, line) in &s.outs {
+            // Outputs resolve against the declared output list.
+            let Some(i) = ast.outputs.iter().position(|(n, _)| n == out) else {
+                return Err(FsmError::UnknownName {
+                    line: *line,
+                    name: out.clone(),
+                });
+            };
+            b.assert_output(sid, crate::model::OutputId(i));
+        }
+        for t in &s.transitions {
+            let target = b.state_by_name(&t.target).ok_or(FsmError::UnknownName {
+                line: t.line,
+                name: t.target.clone(),
+            })?;
+            let mut lits = Vec::with_capacity(t.literals.len());
+            for (name, value, lline) in &t.literals {
+                let sig = b.signal_by_name(name).ok_or(FsmError::UnknownName {
+                    line: *lline,
+                    name: name.clone(),
+                })?;
+                lits.push((sig, *value));
+            }
+            let guard = Guard::new(lits)?;
+            b.transition(sid, target, guard);
+        }
+    }
+    if let Some((reset, line)) = &ast.reset {
+        let rid = b.state_by_name(reset).ok_or(FsmError::UnknownName {
+            line: *line,
+            name: reset.clone(),
+        })?;
+        b.reset(rid);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCK: &str = "
+        // a tiny lock controller
+        fsm lock {
+          inputs key_ok, tamper;
+          outputs open, alarm;
+          reset LOCKED;
+          state LOCKED {
+            if key_ok && !tamper -> OPEN;
+            if tamper -> ALARM;
+          }
+          state OPEN {
+            out open;
+            if tamper -> ALARM;
+            if !key_ok -> LOCKED;
+          }
+          state ALARM { out alarm; goto ALARM; }
+        }";
+
+    #[test]
+    fn parses_full_example() {
+        let f = parse_fsm(LOCK).unwrap();
+        assert_eq!(f.name(), "lock");
+        assert_eq!(f.signals(), &["key_ok".to_string(), "tamper".to_string()]);
+        assert_eq!(f.outputs().len(), 2);
+        assert_eq!(f.state_count(), 3);
+        assert_eq!(f.state_name(f.reset_state()), "LOCKED");
+        // LOCKED: 2 transitions; OPEN: 2; ALARM: 1 unconditional goto.
+        assert_eq!(f.transition_count(), 5);
+        let alarm = f.state_by_name("ALARM").unwrap();
+        assert!(f.transitions(alarm)[0].guard.is_always());
+        assert_eq!(f.transitions(alarm)[0].target, alarm);
+    }
+
+    #[test]
+    fn semantics_of_parsed_machine() {
+        let f = parse_fsm(LOCK).unwrap();
+        let locked = f.state_by_name("LOCKED").unwrap();
+        let open = f.state_by_name("OPEN").unwrap();
+        let alarm = f.state_by_name("ALARM").unwrap();
+        assert_eq!(f.next_state(locked, &[true, false]), open);
+        assert_eq!(f.next_state(locked, &[true, true]), alarm);
+        assert_eq!(f.next_state(locked, &[false, false]), locked);
+        assert_eq!(f.next_state(alarm, &[true, false]), alarm);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let f = parse_fsm("fsm f { state A { goto B; } state B { } }").unwrap();
+        assert_eq!(f.state_count(), 2);
+    }
+
+    #[test]
+    fn unknown_target_reports_line() {
+        let e = parse_fsm("fsm f {\n state A {\n goto NOPE;\n }\n }").unwrap_err();
+        match e {
+            FsmError::UnknownName { line, name } => {
+                assert_eq!(name, "NOPE");
+                assert_eq!(line, 3);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_signal_reports_line() {
+        let e = parse_fsm("fsm f { state A { if ghost -> A; } }").unwrap_err();
+        assert!(matches!(e, FsmError::UnknownName { name, .. } if name == "ghost"));
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let e = parse_fsm("fsm f { state A { out nope; } }").unwrap_err();
+        assert!(matches!(e, FsmError::UnknownName { name, .. } if name == "nope"));
+    }
+
+    #[test]
+    fn syntax_errors_report_line() {
+        let e = parse_fsm("fsm f {\n state A {\n if x ->\n }\n}").unwrap_err();
+        assert!(matches!(e, FsmError::Parse { .. } | FsmError::UnknownName { .. }));
+        let e = parse_fsm("fsm f { state A { if x - A; } }").unwrap_err();
+        assert!(matches!(e, FsmError::Parse { .. }));
+        let e = parse_fsm("machine f {}").unwrap_err();
+        assert!(matches!(e, FsmError::Parse { .. }));
+        let e = parse_fsm("fsm f { state A { } } extra").unwrap_err();
+        assert!(matches!(e, FsmError::Parse { .. }));
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let f = parse_fsm("fsm f { // comment\n state A { // another\n } }").unwrap();
+        assert_eq!(f.state_count(), 1);
+    }
+
+    #[test]
+    fn contradictory_guard_surfaces() {
+        let e = parse_fsm("fsm f { inputs x; state A { if x && !x -> A; } }").unwrap_err();
+        assert!(matches!(e, FsmError::ContradictoryGuard { .. }));
+    }
+
+    #[test]
+    fn reset_must_be_known() {
+        let e = parse_fsm("fsm f { reset GHOST; state A { } }").unwrap_err();
+        assert!(matches!(e, FsmError::UnknownName { name, .. } if name == "GHOST"));
+    }
+
+    #[test]
+    fn empty_machine_rejected() {
+        let e = parse_fsm("fsm f { }").unwrap_err();
+        assert!(matches!(e, FsmError::Empty));
+    }
+}

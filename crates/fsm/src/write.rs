@@ -1,0 +1,141 @@
+//! Writing an [`Fsm`] back to the text DSL.
+
+use std::fmt::Write as _;
+
+use crate::model::Fsm;
+
+impl Fsm {
+    /// Renders the FSM as DSL text that [`parse_fsm`](crate::parse_fsm)
+    /// accepts and that reconstructs an equivalent machine (same states,
+    /// signals, outputs, reset, and transition semantics).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scfi_fsm::parse_fsm;
+    ///
+    /// let fsm = parse_fsm("fsm t { inputs a; state P { if !a -> Q; } state Q { } }")?;
+    /// let round = parse_fsm(&fsm.to_dsl())?;
+    /// assert_eq!(round.state_count(), fsm.state_count());
+    /// assert_eq!(round.next_state(round.reset_state(), &[false]),
+    ///            fsm.next_state(fsm.reset_state(), &[false]));
+    /// # Ok::<(), scfi_fsm::FsmError>(())
+    /// ```
+    pub fn to_dsl(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "fsm {} {{", self.name());
+        if !self.signals().is_empty() {
+            let _ = writeln!(s, "  inputs {};", self.signals().join(", "));
+        }
+        if !self.outputs().is_empty() {
+            let _ = writeln!(s, "  outputs {};", self.outputs().join(", "));
+        }
+        let _ = writeln!(s, "  reset {};", self.state_name(self.reset_state()));
+        for state in self.states() {
+            let _ = write!(s, "  state {} {{", self.state_name(state));
+            let outs = self.asserted_outputs(state);
+            if !outs.is_empty() {
+                let names: Vec<&str> = outs
+                    .iter()
+                    .map(|o| self.outputs()[o.0].as_str())
+                    .collect();
+                let _ = write!(s, " out {};", names.join(", "));
+            }
+            for t in self.transitions(state) {
+                if t.guard.is_always() {
+                    let _ = write!(s, " goto {};", self.state_name(t.target));
+                } else {
+                    let lits: Vec<String> = t
+                        .guard
+                        .literals()
+                        .iter()
+                        .map(|&(sig, v)| {
+                            format!(
+                                "{}{}",
+                                if v { "" } else { "!" },
+                                self.signals()[sig.0]
+                            )
+                        })
+                        .collect();
+                    let _ = write!(
+                        s,
+                        " if {} -> {};",
+                        lits.join(" && "),
+                        self.state_name(t.target)
+                    );
+                }
+            }
+            let _ = writeln!(s, " }}");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_fsm;
+
+    const LOCK: &str = "
+        fsm lock {
+          inputs key_ok, tamper;
+          outputs open, alarm;
+          reset LOCKED;
+          state LOCKED { if key_ok && !tamper -> OPEN; if tamper -> ALARM; }
+          state OPEN   { out open; if tamper -> ALARM; if !key_ok -> LOCKED; }
+          state ALARM  { out alarm; goto ALARM; }
+        }";
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let fsm = parse_fsm(LOCK).unwrap();
+        let text = fsm.to_dsl();
+        let round = parse_fsm(&text).unwrap();
+        assert_eq!(round.name(), fsm.name());
+        assert_eq!(round.signals(), fsm.signals());
+        assert_eq!(round.outputs(), fsm.outputs());
+        assert_eq!(round.state_count(), fsm.state_count());
+        assert_eq!(round.transition_count(), fsm.transition_count());
+        assert_eq!(
+            round.state_name(round.reset_state()),
+            fsm.state_name(fsm.reset_state())
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let fsm = parse_fsm(LOCK).unwrap();
+        let round = parse_fsm(&fsm.to_dsl()).unwrap();
+        for state in fsm.states() {
+            for bits in 0..4u32 {
+                let inputs = vec![bits & 1 == 1, bits & 2 == 2];
+                assert_eq!(
+                    round.next_state(state, &inputs),
+                    fsm.next_state(state, &inputs),
+                    "state {state:?} inputs {inputs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_suite_round_trips() {
+        // Light structural check over a machine with goto and multi-output
+        // states.
+        let text = "fsm m { inputs a; outputs x, y; state P { out x, y; goto Q; } state Q { if a -> P; } }";
+        let fsm = parse_fsm(text).unwrap();
+        let round = parse_fsm(&fsm.to_dsl()).unwrap();
+        assert_eq!(round.asserted_outputs(round.states()[0]).len(), 2);
+        assert!(round.transitions(round.states()[0])[0].guard.is_always());
+    }
+
+    #[test]
+    fn dsl_is_human_readable() {
+        let fsm = parse_fsm(LOCK).unwrap();
+        let text = fsm.to_dsl();
+        assert!(text.contains("fsm lock {"));
+        assert!(text.contains("inputs key_ok, tamper;"));
+        assert!(text.contains("if key_ok && !tamper -> OPEN;"));
+        assert!(text.contains("out alarm;"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: random FSMs lower to netlists that track the
+//! behavioral model, and CFG extraction is consistent with stepping.
+
+use proptest::prelude::*;
+use scfi_fsm::{lower_unprotected, Fsm, FsmBuilder, FsmSimulator, Guard, SignalId};
+use scfi_netlist::Simulator;
+
+/// One random transition: `(target pick, guard literal picks)`.
+type TransitionSpec = (usize, Vec<(usize, bool)>);
+
+#[derive(Clone, Debug)]
+struct Spec {
+    n_states: usize,
+    n_signals: usize,
+    transitions: Vec<Vec<TransitionSpec>>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2usize..8, 1usize..4).prop_flat_map(|(n_states, n_signals)| {
+        let transition =
+            (0usize..16, proptest::collection::vec((0usize..8, any::<bool>()), 0..3));
+        let per_state = proptest::collection::vec(transition, 0..4);
+        proptest::collection::vec(per_state, n_states..=n_states).prop_map(move |transitions| {
+            Spec {
+                n_states,
+                n_signals,
+                transitions,
+            }
+        })
+    })
+}
+
+fn build(spec: &Spec) -> Fsm {
+    let mut b = FsmBuilder::new("random");
+    let signals: Vec<SignalId> = (0..spec.n_signals)
+        .map(|i| b.signal(format!("x{i}")).expect("fresh"))
+        .collect();
+    let states: Vec<_> = (0..spec.n_states)
+        .map(|i| b.state(format!("S{i}")).expect("fresh"))
+        .collect();
+    for (si, ts) in spec.transitions.iter().enumerate() {
+        for (target, lits) in ts {
+            let mut seen = std::collections::HashSet::new();
+            let lits: Vec<(SignalId, bool)> = lits
+                .iter()
+                .filter(|(s, _)| seen.insert(s % spec.n_signals))
+                .map(|&(s, v)| (signals[s % spec.n_signals], v))
+                .collect();
+            b.transition(
+                states[si],
+                states[target % spec.n_states],
+                Guard::new(lits).expect("deduplicated"),
+            );
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The gate-level lowering of any random FSM tracks the behavioral
+    /// simulator over a random walk.
+    #[test]
+    fn lowering_tracks_behavior(s in spec(), seed in any::<u64>()) {
+        let fsm = build(&s);
+        let lowered = lower_unprotected(&fsm).expect("lowerable");
+        let mut gate = Simulator::new(lowered.module());
+        let mut gold = FsmSimulator::new(&fsm);
+        let mut rng = seed.max(1);
+        for cycle in 0..60 {
+            rng ^= rng >> 12; rng ^= rng << 25; rng ^= rng >> 27;
+            let bits = rng.wrapping_mul(0x2545F4914F6CDD1D);
+            let inputs: Vec<bool> = (0..s.n_signals).map(|i| (bits >> i) & 1 == 1).collect();
+            gate.step(&inputs);
+            let expect = gold.step(&inputs);
+            prop_assert_eq!(
+                lowered.decode_registers(gate.register_values()),
+                Some(expect),
+                "cycle {}", cycle
+            );
+        }
+    }
+
+    /// CFG matched_edge always agrees with next_state, for every state and
+    /// every input valuation.
+    #[test]
+    fn cfg_matches_semantics(s in spec()) {
+        let fsm = build(&s);
+        let cfg = fsm.cfg();
+        for state in fsm.states() {
+            for bits in 0..(1u32 << s.n_signals) {
+                let inputs: Vec<bool> =
+                    (0..s.n_signals).map(|i| (bits >> i) & 1 == 1).collect();
+                let edge = &cfg.edges()[cfg.matched_edge(state, &inputs)];
+                prop_assert_eq!(edge.from, state);
+                prop_assert_eq!(edge.to, fsm.next_state(state, &inputs));
+            }
+        }
+    }
+
+    /// Every state has at least one outgoing CFG edge and local indices
+    /// are dense.
+    #[test]
+    fn cfg_structure_is_well_formed(s in spec()) {
+        let fsm = build(&s);
+        let cfg = fsm.cfg();
+        for state in fsm.states() {
+            let locals: Vec<usize> = cfg
+                .out_edges(state)
+                .iter()
+                .map(|e| e.local_index(&fsm))
+                .collect();
+            prop_assert!(!locals.is_empty());
+            let mut sorted = locals.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), locals.len(), "duplicate local indices");
+            prop_assert!(*sorted.last().expect("nonempty") < cfg.max_out_degree());
+        }
+    }
+}

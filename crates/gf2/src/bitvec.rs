@@ -1,0 +1,420 @@
+//! Dynamic bit vectors with word-parallel operations.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length vector of bits over GF(2).
+///
+/// Bits are stored little-endian inside `u64` words: bit `i` lives in word
+/// `i / 64` at position `i % 64`. Addition over GF(2) is XOR and is exposed
+/// both as [`BitVec::xor_assign_with`] and via the `^` / `^=` operators.
+///
+/// # Example
+///
+/// ```
+/// use scfi_gf2::BitVec;
+///
+/// let mut v = BitVec::zeros(70);
+/// v.set(0, true);
+/// v.set(69, true);
+/// assert_eq!(v.count_ones(), 2);
+/// let w = v.clone() ^ v.clone();
+/// assert!(w.is_zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a vector from a slice of booleans; `bools[i]` becomes bit `i`.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a `len`-bit vector from the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or if `value` has bits set at or above `len`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= WORD_BITS, "from_u64 supports at most 64 bits");
+        assert!(
+            len == WORD_BITS || value < (1u64 << len),
+            "value 0x{value:x} does not fit in {len} bits"
+        );
+        let mut v = BitVec::zeros(len);
+        if len > 0 {
+            v.words[0] = value;
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn toggle(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+        self.get(i)
+    }
+
+    /// XORs `other` into `self` (vector addition over GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// Returns the bitwise AND of `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch in and");
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Parity (XOR) of all bits: `true` when an odd number of bits are set.
+    pub fn parity(&self) -> bool {
+        self.words.iter().fold(0u64, |acc, w| acc ^ w).count_ones() % 2 == 1
+    }
+
+    /// Parity of `self AND other` — the GF(2) inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .fold(0u64, |acc, (a, b)| acc ^ (a & b))
+            .count_ones()
+            % 2
+            == 1
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in hamming_distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Interprets the first `min(len, 64)` bits as a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() > 64`.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= WORD_BITS, "to_u64 requires at most 64 bits");
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Iterates over the bits from index 0 upward.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of all set bits, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Concatenates `self` (low bits) with `other` (high bits).
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in 0..self.len {
+            if self.get(i) {
+                out.set(i, true);
+            }
+        }
+        for i in 0..other.len {
+            if other.get(i) {
+                out.set(self.len + i, true);
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-vector of bits at the given indices, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> BitVec {
+        let mut out = BitVec::zeros(indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            if self.get(i) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Extracts bits `range.start..range.end` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.end <= self.len, "slice out of bounds");
+        let mut out = BitVec::zeros(range.len());
+        for (j, i) in range.enumerate() {
+            if self.get(i) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Clears any stray bits beyond `len` in the last storage word.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign_with(rhs);
+    }
+}
+
+impl BitXor for BitVec {
+    type Output = BitVec;
+
+    fn bitxor(mut self, rhs: BitVec) -> BitVec {
+        self.xor_assign_with(&rhs);
+        self
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Renders most-significant bit first, e.g. `0b0101` for bits {0, 2}.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b")?;
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert!(z.is_zero());
+        let o = BitVec::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        // Tail masking: no stray bits outside len.
+        let o65 = BitVec::ones(65);
+        assert_eq!(o65.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_toggle() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert!(!v.toggle(0));
+        assert!(v.toggle(1));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_u64_round_trip() {
+        let v = BitVec::from_u64(0b1011, 4);
+        assert_eq!(v.to_u64(), 0b1011);
+        assert!(v.get(0) && v.get(1) && !v.get(2) && v.get(3));
+        let max = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(max.count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_overflow_panics() {
+        let _ = BitVec::from_u64(0b10000, 4);
+    }
+
+    #[test]
+    fn xor_is_addition() {
+        let a = BitVec::from_u64(0b1100, 4);
+        let b = BitVec::from_u64(0b1010, 4);
+        let c = a.clone() ^ b.clone();
+        assert_eq!(c.to_u64(), 0b0110);
+        let mut d = a.clone();
+        d ^= &a;
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn dot_and_parity() {
+        let a = BitVec::from_u64(0b1101, 4);
+        let b = BitVec::from_u64(0b1011, 4);
+        // AND = 0b1001 → parity 0 (two ones)
+        assert!(!a.dot(&b));
+        assert!(a.parity()); // three ones
+    }
+
+    #[test]
+    fn hamming_distance_works() {
+        let a = BitVec::from_u64(0b1111, 4);
+        let b = BitVec::from_u64(0b0101, 4);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn concat_select_slice() {
+        let a = BitVec::from_u64(0b01, 2);
+        let b = BitVec::from_u64(0b11, 2);
+        let c = a.concat(&b);
+        assert_eq!(c.to_u64(), 0b1101);
+        assert_eq!(c.select(&[3, 0]).to_u64(), 0b11);
+        assert_eq!(c.slice(1..3).to_u64(), 0b10);
+    }
+
+    #[test]
+    fn support_lists_set_bits() {
+        let v = BitVec::from_u64(0b10101, 5);
+        assert_eq!(v.support(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let v = BitVec::from_u64(0b0101, 4);
+        assert_eq!(v.to_string(), "0b0101");
+        assert_eq!(format!("{v:?}"), "BitVec[4; 0b0101]");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_u64(), 0b101);
+    }
+}

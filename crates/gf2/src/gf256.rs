@@ -1,0 +1,198 @@
+//! GF(2⁸) field elements with a selectable reduction polynomial.
+
+use std::fmt;
+
+use crate::Gf2Poly;
+
+/// An element of GF(2⁸) together with its reduction polynomial.
+///
+/// The MDS layer uses [`Gf256`] as an independently-verifiable reference:
+/// the AES MixColumns matrix over `GF(2⁸)/0x11B` is provably MDS, so the
+/// block-minor MDS checker can be validated against field arithmetic.
+///
+/// The reduction polynomial must be irreducible for this type to describe a
+/// field; [`Gf256::new`] enforces that.
+///
+/// # Example
+///
+/// ```
+/// use scfi_gf2::Gf256;
+///
+/// let a = Gf256::aes(0x57);
+/// let b = Gf256::aes(0x83);
+/// assert_eq!((a * b).value(), 0xC1); // classic AES worked example
+/// assert_eq!((a * a.inverse().unwrap()).value(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gf256 {
+    value: u8,
+    modulus: u16,
+}
+
+impl Gf256 {
+    /// The AES reduction polynomial X⁸ + X⁴ + X³ + X + 1.
+    pub const AES_MODULUS: u16 = 0x11B;
+
+    /// Creates an element of `GF(2⁸)` defined by `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` does not describe an irreducible degree-8
+    /// polynomial.
+    pub fn new(value: u8, modulus: u16) -> Self {
+        let p = Gf2Poly::from_coeffs(modulus as u64);
+        assert_eq!(p.degree(), Some(8), "modulus must have degree 8");
+        assert!(
+            p.is_irreducible(),
+            "modulus {modulus:#x} is reducible; GF(2^8) requires an irreducible polynomial"
+        );
+        Gf256 { value, modulus }
+    }
+
+    /// Creates an element of the AES field `GF(2⁸)/0x11B`.
+    pub fn aes(value: u8) -> Self {
+        Gf256 {
+            value,
+            modulus: Self::AES_MODULUS,
+        }
+    }
+
+    /// The raw byte value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// The reduction polynomial.
+    pub fn modulus(self) -> u16 {
+        self.modulus
+    }
+
+    /// Returns `true` for the zero element.
+    pub fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    pub fn inverse(self) -> Option<Gf256> {
+        if self.is_zero() {
+            return None;
+        }
+        // Fermat: a^(2^8 - 2) = a^{-1}.
+        Some(self.pow(254))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut k: u32) -> Gf256 {
+        let mut base = self;
+        let mut acc = Gf256 {
+            value: 1,
+            modulus: self.modulus,
+        };
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            k >>= 1;
+        }
+        acc
+    }
+}
+
+impl std::ops::Add for Gf256 {
+    type Output = Gf256;
+
+    fn add(self, rhs: Gf256) -> Gf256 {
+        assert_eq!(self.modulus, rhs.modulus, "mixed-field addition");
+        Gf256 {
+            value: self.value ^ rhs.value,
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl std::ops::Mul for Gf256 {
+    type Output = Gf256;
+
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        assert_eq!(self.modulus, rhs.modulus, "mixed-field multiplication");
+        let m = Gf2Poly::from_coeffs(self.modulus as u64);
+        let p = Gf2Poly::from_coeffs(self.value as u64)
+            .mul_mod(Gf2Poly::from_coeffs(rhs.value as u64), m);
+        Gf256 {
+            value: p.coeffs() as u8,
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x} mod {:#05x})", self.value, self.modulus)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!((Gf256::aes(0x0F) + Gf256::aes(0xF0)).value(), 0xFF);
+        assert_eq!((Gf256::aes(0xAA) + Gf256::aes(0xAA)).value(), 0);
+    }
+
+    #[test]
+    fn multiplication_known_vectors() {
+        assert_eq!((Gf256::aes(0x57) * Gf256::aes(0x13)).value(), 0xFE);
+        assert_eq!((Gf256::aes(0x02) * Gf256::aes(0x80)).value(), 0x1B);
+        assert_eq!((Gf256::aes(0x01) * Gf256::aes(0x42)).value(), 0x42);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            let a = Gf256::aes(v);
+            let inv = a.inverse().expect("nonzero has inverse");
+            assert_eq!((a * inv).value(), 1, "inverse of {v:#x}");
+        }
+        assert!(Gf256::aes(0).inverse().is_none());
+    }
+
+    #[test]
+    fn pow_cycles() {
+        // Multiplicative group has order 255.
+        let g = Gf256::aes(0x03); // a generator of the AES field
+        assert_eq!(g.pow(255).value(), 1);
+        assert_ne!(g.pow(85).value(), 1);
+        assert_ne!(g.pow(51).value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reducible")]
+    fn reducible_modulus_rejected() {
+        let _ = Gf256::new(1, 0x105); // X^8+X^2+1 = (X^4+X+1)^2
+    }
+
+    #[test]
+    fn alternative_irreducible_modulus() {
+        // 0x11D is also irreducible; arithmetic must be self-consistent.
+        let a = Gf256::new(0x53, 0x11D);
+        let inv = a.inverse().unwrap();
+        assert_eq!((a * inv).value(), 1);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        for &(a, b, c) in &[(0x57u8, 0x83u8, 0x1Au8), (0xFF, 0x01, 0x80)] {
+            let (a, b, c) = (Gf256::aes(a), Gf256::aes(b), Gf256::aes(c));
+            assert_eq!((a * (b + c)).value(), ((a * b) + (a * c)).value());
+        }
+    }
+}

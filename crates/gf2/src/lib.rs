@@ -1,0 +1,127 @@
+//! Linear algebra over GF(2) — the binary field.
+//!
+//! This crate is the algebraic substrate of the SCFI reproduction. Everything
+//! the hardening pass solves at synthesis time (per-edge modifiers, mix-layer
+//! placements) and everything the MDS layer proves (block-minor
+//! invertibility) reduces to dense linear algebra over GF(2):
+//!
+//! * [`BitVec`] — a growable vector of bits with word-parallel XOR/AND,
+//! * [`BitMatrix`] — a dense binary matrix with Gaussian elimination, rank,
+//!   inversion, and linear-system solving,
+//! * [`Gf2Poly`] — polynomials over GF(2) up to degree 63, with carry-less
+//!   multiplication, remainder, gcd, irreducibility testing, and companion
+//!   matrices,
+//! * [`Gf256`] — GF(2⁸) field arithmetic with a selectable reduction
+//!   polynomial (used as a provably-correct reference for the MDS layer).
+//!
+//! # Example
+//!
+//! Solving a linear system `A·x = b` over GF(2):
+//!
+//! ```
+//! use scfi_gf2::{BitMatrix, BitVec};
+//!
+//! // A = [[1,1,0],[0,1,1],[1,0,1]] is singular (rows sum to 0) …
+//! let a = BitMatrix::from_fn(3, 3, |r, c| (c == r) || (c == (r + 1) % 3));
+//! assert_eq!(a.rank(), 2);
+//!
+//! // … but the system is consistent for b in the column space.
+//! let b = BitVec::from_bools(&[true, true, false]);
+//! let x = a.solve(&b).expect("consistent system");
+//! assert_eq!(a.mul_vec(&x), b);
+//! ```
+
+mod bitvec;
+mod gf256;
+mod matrix;
+mod poly;
+
+pub use bitvec::BitVec;
+pub use gf256::Gf256;
+pub use matrix::BitMatrix;
+pub use poly::Gf2Poly;
+
+/// Iterates over all `r`-element subsets of `0..n` in lexicographic order,
+/// invoking `f` for each subset.
+///
+/// Used by the MDS layer to enumerate block minors. The subset buffer passed
+/// to `f` is reused between invocations.
+///
+/// # Example
+///
+/// ```
+/// let mut subsets = Vec::new();
+/// scfi_gf2::for_each_combination(4, 2, |s| subsets.push(s.to_vec()));
+/// assert_eq!(subsets.len(), 6);
+/// assert_eq!(subsets[0], vec![0, 1]);
+/// assert_eq!(subsets[5], vec![2, 3]);
+/// ```
+pub fn for_each_combination(n: usize, r: usize, mut f: impl FnMut(&[usize])) {
+    if r > n {
+        return;
+    }
+    if r == 0 {
+        f(&[]);
+        return;
+    }
+    let mut idx: Vec<usize> = (0..r).collect();
+    loop {
+        f(&idx);
+        // Advance to the next combination.
+        let mut i = r;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - r {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..r {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_counts() {
+        let mut count = 0usize;
+        for_each_combination(6, 3, |_| count += 1);
+        assert_eq!(count, 20);
+        count = 0;
+        for_each_combination(5, 0, |s| {
+            assert!(s.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
+        count = 0;
+        for_each_combination(3, 4, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn combinations_full() {
+        let mut got = Vec::new();
+        for_each_combination(4, 4, |s| got.push(s.to_vec()));
+        assert_eq!(got, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for_each_combination(7, 4, |s| {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(seen.insert(s.to_vec()));
+        });
+        assert_eq!(seen.len(), 35);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the GF(2) algebra core.
+
+use proptest::prelude::*;
+use scfi_gf2::{BitMatrix, BitVec, Gf256, Gf2Poly};
+
+fn bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len..=len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
+    proptest::collection::vec(any::<bool>(), rows * cols..=rows * cols)
+        .prop_map(move |bits| BitMatrix::from_fn(rows, cols, |r, c| bits[r * cols + c]))
+}
+
+proptest! {
+    #[test]
+    fn xor_is_an_abelian_group(a in bitvec(40), b in bitvec(40), c in bitvec(40)) {
+        // Associativity, commutativity, identity, self-inverse.
+        let ab_c = (a.clone() ^ b.clone()) ^ c.clone();
+        let a_bc = a.clone() ^ (b.clone() ^ c.clone());
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(a.clone() ^ b.clone(), b.clone() ^ a.clone());
+        prop_assert_eq!(a.clone() ^ BitVec::zeros(40), a.clone());
+        prop_assert!((a.clone() ^ a).is_zero());
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(a in bitvec(24), b in bitvec(24), c in bitvec(24)) {
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert!(
+            a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c)
+        );
+    }
+
+    #[test]
+    fn matrix_vector_distributes(m in matrix(8, 12), x in bitvec(12), y in bitvec(12)) {
+        let lhs = m.mul_vec(&(x.clone() ^ y.clone()));
+        let rhs = m.mul_vec(&x) ^ m.mul_vec(&y);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn solve_round_trips_on_consistent_systems(m in matrix(9, 9), x in bitvec(9)) {
+        let b = m.mul_vec(&x);
+        let solved = m.solve(&b).expect("b is in the image by construction");
+        prop_assert_eq!(m.mul_vec(&solved), b);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(m in matrix(7, 7)) {
+        if let Some(inv) = m.inverse() {
+            prop_assert_eq!(m.mul_matrix(&inv), BitMatrix::identity(7));
+            prop_assert_eq!(inv.mul_matrix(&m), BitMatrix::identity(7));
+            prop_assert_eq!(m.rank(), 7);
+        } else {
+            prop_assert!(m.rank() < 7);
+        }
+    }
+
+    #[test]
+    fn pivot_columns_always_select_full_rank(m in matrix(5, 11)) {
+        let pivots = m.pivot_columns();
+        prop_assert_eq!(pivots.len(), m.rank());
+        let rows: Vec<usize> = (0..5).collect();
+        let sub = m.select(&rows, &pivots);
+        prop_assert_eq!(sub.rank(), pivots.len());
+    }
+
+    #[test]
+    fn rank_bounds(m in matrix(6, 10)) {
+        let r = m.rank();
+        prop_assert!(r <= 6);
+        prop_assert_eq!(r, m.transpose().rank());
+    }
+
+    #[test]
+    fn poly_ring_laws(a in 0u64..0x1000, b in 0u64..0x1000, c in 0u64..0x1000) {
+        let (a, b, c) = (
+            Gf2Poly::from_coeffs(a),
+            Gf2Poly::from_coeffs(b),
+            Gf2Poly::from_coeffs(c),
+        );
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        prop_assert_eq!(a.mul(Gf2Poly::ONE), a);
+    }
+
+    #[test]
+    fn poly_rem_is_a_ring_hom(a in 0u64..0xFFFF, b in 0u64..0xFFFF) {
+        let m = Gf2Poly::from_coeffs(0x11B);
+        let (a, b) = (Gf2Poly::from_coeffs(a), Gf2Poly::from_coeffs(b));
+        // (a*b) mod m == ((a mod m)*(b mod m)) mod m
+        prop_assert_eq!(a.mul(b).rem(m), a.rem(m).mul_mod(b.rem(m), m));
+        // Remainder degree is below the modulus degree.
+        if let Some(d) = a.rem(m).degree() {
+            prop_assert!(d < 8);
+        }
+    }
+
+    #[test]
+    fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (x, y, z) = (Gf256::aes(a), Gf256::aes(b), Gf256::aes(c));
+        prop_assert_eq!((x * y).value(), (y * x).value());
+        prop_assert_eq!((x * (y * z)).value(), ((x * y) * z).value());
+        prop_assert_eq!((x * (y + z)).value(), ((x * y) + (x * z)).value());
+        if a != 0 {
+            let inv = x.inverse().expect("nonzero");
+            prop_assert_eq!((x * inv).value(), 1);
+        }
+    }
+
+    #[test]
+    fn companion_matrix_represents_mul_mod(v in any::<u8>()) {
+        let m = Gf2Poly::from_coeffs(0x11B);
+        let alpha = m.companion_matrix();
+        let via_matrix = alpha.mul_vec(&BitVec::from_u64(v as u64, 8)).to_u64();
+        let via_poly = Gf2Poly::from_coeffs(v as u64).mul_mod(Gf2Poly::X, m).coeffs();
+        prop_assert_eq!(via_matrix, via_poly);
+    }
+}

@@ -1,0 +1,337 @@
+//! Lowering binary matrices to straight-line XOR programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use scfi_gf2::{BitMatrix, BitVec};
+
+/// How to lower a matrix–vector product to XOR gates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Lowering {
+    /// One balanced XOR tree per output row; no sharing between rows.
+    #[default]
+    Naive,
+    /// Paar's greedy common-subexpression elimination: repeatedly factor the
+    /// most frequent input pair into a shared intermediate signal. Lower XOR
+    /// count, possibly deeper than the naive balanced trees.
+    Paar,
+}
+
+/// One signal reference inside an [`XorProgram`].
+///
+/// Signals `0..n_inputs` are the program inputs; signal `n_inputs + i` is
+/// the result of operation `i`.
+pub type SignalId = usize;
+
+/// Where an output bit comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OutputSource {
+    /// The output is constantly zero (empty matrix row).
+    Zero,
+    /// The output equals the given signal.
+    Signal(SignalId),
+}
+
+/// A straight-line program of 2-input XOR operations computing `y = M·x`
+/// over GF(2).
+///
+/// This is the form in which the SCFI pass emits the diffusion layer into
+/// the gate-level netlist: the paper notes the lightweight diffusion
+/// functions "consist of only XOR gates" (§5.1, step 4).
+///
+/// # Example
+///
+/// ```
+/// use scfi_gf2::{BitMatrix, BitVec};
+/// use scfi_mds::{Lowering, XorProgram};
+///
+/// let m = BitMatrix::from_fn(3, 3, |r, c| r != c); // complement-identity
+/// let p = XorProgram::lower(&m, Lowering::Paar);
+/// let x = BitVec::from_u64(0b011, 3);
+/// assert_eq!(p.eval(&x), m.mul_vec(&x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct XorProgram {
+    n_inputs: usize,
+    ops: Vec<(SignalId, SignalId)>,
+    outputs: Vec<OutputSource>,
+}
+
+impl XorProgram {
+    /// Lowers matrix `m` to an XOR program with the chosen strategy.
+    pub fn lower(m: &BitMatrix, strategy: Lowering) -> XorProgram {
+        match strategy {
+            Lowering::Naive => Self::lower_naive(m),
+            Lowering::Paar => Self::lower_paar(m),
+        }
+    }
+
+    fn lower_naive(m: &BitMatrix) -> XorProgram {
+        let n_inputs = m.cols();
+        let mut prog = XorProgram {
+            n_inputs,
+            ops: Vec::new(),
+            outputs: Vec::with_capacity(m.rows()),
+        };
+        for r in 0..m.rows() {
+            let terms: Vec<SignalId> = m.row(r).support();
+            let sig = prog.balanced_xor(&terms);
+            prog.outputs.push(sig);
+        }
+        prog
+    }
+
+    fn lower_paar(m: &BitMatrix) -> XorProgram {
+        let n_inputs = m.cols();
+        let mut prog = XorProgram {
+            n_inputs,
+            ops: Vec::new(),
+            outputs: Vec::new(),
+        };
+        // Rows as signal-id sets; extraction rewrites them in place.
+        let mut rows: Vec<Vec<SignalId>> = (0..m.rows()).map(|r| m.row(r).support()).collect();
+        loop {
+            // Count co-occurrences of signal pairs across rows.
+            let mut pair_count: HashMap<(SignalId, SignalId), usize> = HashMap::new();
+            for row in &rows {
+                for i in 0..row.len() {
+                    for j in i + 1..row.len() {
+                        *pair_count.entry((row[i], row[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+            // Most frequent pair; deterministic tie-break on the pair ids.
+            let best = pair_count
+                .iter()
+                .filter(|&(_, &c)| c >= 2)
+                .max_by_key(|&(&pair, &c)| (c, std::cmp::Reverse(pair)));
+            let Some((&(a, b), _)) = best else { break };
+            let new_sig = prog.push_op(a, b);
+            for row in &mut rows {
+                if row.contains(&a) && row.contains(&b) {
+                    row.retain(|&s| s != a && s != b);
+                    row.push(new_sig);
+                }
+            }
+        }
+        for row in rows {
+            let sig = prog.balanced_xor(&row);
+            prog.outputs.push(sig);
+        }
+        prog
+    }
+
+    /// XORs a list of signals together as a balanced tree, returning the
+    /// root signal (or `Zero` for an empty list).
+    fn balanced_xor(&mut self, terms: &[SignalId]) -> OutputSource {
+        match terms.len() {
+            0 => OutputSource::Zero,
+            1 => OutputSource::Signal(terms[0]),
+            _ => {
+                let mut level: Vec<SignalId> = terms.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for chunk in level.chunks(2) {
+                        if chunk.len() == 2 {
+                            next.push(self.push_op(chunk[0], chunk[1]));
+                        } else {
+                            next.push(chunk[0]);
+                        }
+                    }
+                    level = next;
+                }
+                OutputSource::Signal(level[0])
+            }
+        }
+    }
+
+    fn push_op(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let id = self.n_inputs + self.ops.len();
+        self.ops.push((a, b));
+        id
+    }
+
+    /// Number of program inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of program outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The XOR operations in execution order. Operand ids below
+    /// [`XorProgram::n_inputs`] reference inputs; higher ids reference
+    /// earlier operation results.
+    pub fn ops(&self) -> &[(SignalId, SignalId)] {
+        &self.ops
+    }
+
+    /// Per-output sources.
+    pub fn outputs(&self) -> &[OutputSource] {
+        &self.outputs
+    }
+
+    /// Total number of 2-input XOR gates.
+    pub fn xor_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Longest chain of XOR operations from any input to any output.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.n_inputs + self.ops.len()];
+        for (i, &(a, b)) in self.ops.iter().enumerate() {
+            depth[self.n_inputs + i] = 1 + depth[a].max(depth[b]);
+        }
+        self.outputs
+            .iter()
+            .map(|o| match o {
+                OutputSource::Zero => 0,
+                OutputSource::Signal(s) => depth[*s],
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the program on an input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_inputs()`.
+    pub fn eval(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.n_inputs, "input width mismatch");
+        let mut vals: Vec<bool> = x.iter().collect();
+        vals.reserve(self.ops.len());
+        for &(a, b) in &self.ops {
+            let v = vals[a] ^ vals[b];
+            vals.push(v);
+        }
+        self.outputs
+            .iter()
+            .map(|o| match o {
+                OutputSource::Zero => false,
+                OutputSource::Signal(s) => vals[*s],
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for XorProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XorProgram({} inputs, {} XORs, depth {}, {} outputs)",
+            self.n_inputs,
+            self.xor_count(),
+            self.depth(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        let mut state = seed.max(1);
+        BitMatrix::from_fn(rows, cols, |_, _| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D) & 1 == 1
+        })
+    }
+
+    fn exhaustive_equiv(m: &BitMatrix, p: &XorProgram) {
+        assert!(m.cols() <= 16, "test helper limit");
+        for v in 0..(1u64 << m.cols()) {
+            let x = BitVec::from_u64(v, m.cols());
+            assert_eq!(p.eval(&x), m.mul_vec(&x), "input {v:#x}");
+        }
+    }
+
+    #[test]
+    fn naive_matches_matrix_exhaustively() {
+        let m = dense(6, 6, 7);
+        exhaustive_equiv(&m, &XorProgram::lower(&m, Lowering::Naive));
+    }
+
+    #[test]
+    fn paar_matches_matrix_exhaustively() {
+        let m = dense(6, 6, 7);
+        exhaustive_equiv(&m, &XorProgram::lower(&m, Lowering::Paar));
+    }
+
+    #[test]
+    fn paar_never_worse_than_naive_on_dense_matrices() {
+        for seed in 1..6 {
+            let m = dense(8, 8, seed);
+            let naive = XorProgram::lower(&m, Lowering::Naive).xor_count();
+            let paar = XorProgram::lower(&m, Lowering::Paar).xor_count();
+            assert!(paar <= naive, "seed {seed}: paar {paar} > naive {naive}");
+        }
+    }
+
+    #[test]
+    fn naive_count_matches_density() {
+        let m = dense(8, 8, 3);
+        let expected: usize = (0..8)
+            .map(|r| m.row(r).count_ones().saturating_sub(1))
+            .sum();
+        assert_eq!(XorProgram::lower(&m, Lowering::Naive).xor_count(), expected);
+    }
+
+    #[test]
+    fn zero_row_yields_zero_output() {
+        let mut m = dense(4, 4, 9);
+        for c in 0..4 {
+            m.set(2, c, false);
+        }
+        for strategy in [Lowering::Naive, Lowering::Paar] {
+            let p = XorProgram::lower(&m, strategy);
+            assert_eq!(p.outputs()[2], OutputSource::Zero);
+            exhaustive_equiv(&m, &p);
+        }
+    }
+
+    #[test]
+    fn single_entry_row_is_passthrough() {
+        let m = BitMatrix::identity(5);
+        let p = XorProgram::lower(&m, Lowering::Naive);
+        assert_eq!(p.xor_count(), 0);
+        for (i, o) in p.outputs().iter().enumerate() {
+            assert_eq!(*o, OutputSource::Signal(i));
+        }
+    }
+
+    #[test]
+    fn depth_of_balanced_tree_is_logarithmic() {
+        // A single all-ones row of width 8 → depth 3 balanced tree.
+        let m = BitMatrix::from_fn(1, 8, |_, _| true);
+        let p = XorProgram::lower(&m, Lowering::Naive);
+        assert_eq!(p.xor_count(), 7);
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn paar_shares_common_pairs() {
+        // Two identical dense rows: Paar should share nearly everything.
+        let m = BitMatrix::from_fn(2, 8, |_, _| true);
+        let naive = XorProgram::lower(&m, Lowering::Naive);
+        let paar = XorProgram::lower(&m, Lowering::Paar);
+        assert_eq!(naive.xor_count(), 14);
+        assert!(paar.xor_count() <= 8, "got {}", paar.xor_count());
+        exhaustive_equiv(&m, &paar);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let m = BitMatrix::identity(3);
+        let p = XorProgram::lower(&m, Lowering::Naive);
+        let s = p.to_string();
+        assert!(s.contains("3 inputs"));
+        assert!(s.contains("0 XORs"));
+    }
+}

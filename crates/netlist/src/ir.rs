@@ -1,0 +1,453 @@
+//! Core netlist types: cells, nets, modules.
+
+use std::fmt;
+
+/// Identifies a net — the single output of a cell. `NetId` and [`CellId`]
+/// share the same index space: net `i` is driven by cell `i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifies a cell in a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl NetId {
+    /// The driving cell of this net.
+    pub fn cell(self) -> CellId {
+        CellId(self.0)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CellId {
+    /// The net driven by this cell.
+    pub fn net(self) -> NetId {
+        NetId(self.0)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The logic function of a cell.
+///
+/// The netlist is deliberately restricted to the primitives a standard-cell
+/// mapper handles directly: 2-input gates, an inverter, a buffer, a 2:1 mux
+/// and a D flip-flop. Wider operations are built as trees by
+/// [`ModuleBuilder`](crate::ModuleBuilder).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CellKind {
+    /// Module input port (no operands). Port order follows creation order.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// `y = a & b`.
+    And,
+    /// `y = a | b`.
+    Or,
+    /// `y = a ^ b`.
+    Xor,
+    /// `y = !(a & b)`.
+    Nand,
+    /// `y = !(a | b)`.
+    Nor,
+    /// `y = !(a ^ b)`.
+    Xnor,
+    /// 2:1 multiplexer: `y = sel ? b : a` with pins `[sel, a, b]`.
+    Mux,
+    /// D flip-flop with reset/initial value `init`; pin `[d]`.
+    ///
+    /// The simulator applies `init` at reset and updates `q` from `d` on
+    /// every clock step.
+    Dff {
+        /// Value after reset.
+        init: bool,
+    },
+}
+
+impl CellKind {
+    /// The number of input pins this kind requires.
+    pub fn arity(&self) -> usize {
+        match self {
+            CellKind::Input | CellKind::Const(_) => 0,
+            CellKind::Buf | CellKind::Not | CellKind::Dff { .. } => 1,
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Xor
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xnor => 2,
+            CellKind::Mux => 3,
+        }
+    }
+
+    /// Returns `true` for sequential (state-holding) cells.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, CellKind::Dff { .. })
+    }
+
+    /// Short lowercase mnemonic, e.g. `"xor"`.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CellKind::Input => "input",
+            CellKind::Const(false) => "const0",
+            CellKind::Const(true) => "const1",
+            CellKind::Buf => "buf",
+            CellKind::Not => "not",
+            CellKind::And => "and",
+            CellKind::Or => "or",
+            CellKind::Xor => "xor",
+            CellKind::Nand => "nand",
+            CellKind::Nor => "nor",
+            CellKind::Xnor => "xnor",
+            CellKind::Mux => "mux",
+            CellKind::Dff { .. } => "dff",
+        }
+    }
+}
+
+/// One cell instance: a logic function plus its input nets.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Logic function.
+    pub kind: CellKind,
+    /// Input nets, in pin order (see [`CellKind`] for pin meanings).
+    pub pins: Vec<NetId>,
+    /// Optional debug name (ports always carry one).
+    pub name: Option<String>,
+}
+
+/// Errors produced by [`Module::validate`] / `ModuleBuilder::finish`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A cell has the wrong number of input pins.
+    PinCount {
+        /// Offending cell.
+        cell: u32,
+        /// Pins required by the cell kind.
+        expected: usize,
+        /// Pins actually connected.
+        found: usize,
+    },
+    /// A pin references a net that does not exist.
+    DanglingPin {
+        /// Offending cell.
+        cell: u32,
+        /// Offending net index.
+        net: u32,
+    },
+    /// The combinational logic contains a cycle not broken by a flip-flop.
+    CombinationalLoop {
+        /// A cell participating in the cycle.
+        cell: u32,
+    },
+    /// A flip-flop was created but its data input was never connected.
+    UnconnectedDff {
+        /// Offending cell.
+        cell: u32,
+    },
+    /// An output port references a net that does not exist.
+    DanglingOutput {
+        /// Port name.
+        port: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::PinCount {
+                cell,
+                expected,
+                found,
+            } => write!(f, "cell c{cell} has {found} pins, expected {expected}"),
+            ValidateError::DanglingPin { cell, net } => {
+                write!(f, "cell c{cell} references nonexistent net n{net}")
+            }
+            ValidateError::CombinationalLoop { cell } => {
+                write!(f, "combinational loop through cell c{cell}")
+            }
+            ValidateError::UnconnectedDff { cell } => {
+                write!(f, "flip-flop c{cell} has no data input connected")
+            }
+            ValidateError::DanglingOutput { port } => {
+                write!(f, "output port {port} references a nonexistent net")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A flat gate-level netlist.
+///
+/// Construct modules with [`ModuleBuilder`](crate::ModuleBuilder); a
+/// finished module is immutable and validated (pin arities, no dangling
+/// nets, no combinational loops, all flip-flops connected).
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub(crate) name: String,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+    /// Combinational evaluation order (excludes inputs/consts/DFFs).
+    pub(crate) topo: Vec<CellId>,
+    /// All flip-flop cells.
+    pub(crate) registers: Vec<CellId>,
+}
+
+impl Module {
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All cells, indexed by [`CellId`].
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// One cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Number of cells (= number of nets).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` for an empty module.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Input port nets, in port order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output ports `(name, net)`, in port order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Flip-flop cells, in creation order.
+    pub fn registers(&self) -> &[CellId] {
+        &self.registers
+    }
+
+    /// Combinational cells in a valid evaluation order.
+    pub fn topo_order(&self) -> &[CellId] {
+        &self.topo
+    }
+
+    /// Looks up an output net by port name.
+    pub fn output_net(&self, port: &str) -> Option<NetId> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == port)
+            .map(|&(_, net)| net)
+    }
+
+    /// Re-checks the structural invariants. A module built through
+    /// [`ModuleBuilder::finish`](crate::ModuleBuilder::finish) always
+    /// passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        validate_cells(&self.cells, &self.outputs).map(|_| ())
+    }
+}
+
+/// Validates cell structure and computes the combinational topo order.
+pub(crate) fn validate_cells(
+    cells: &[Cell],
+    outputs: &[(String, NetId)],
+) -> Result<Vec<CellId>, ValidateError> {
+    let n = cells.len();
+    for (i, cell) in cells.iter().enumerate() {
+        let expected = cell.kind.arity();
+        if cell.pins.len() != expected {
+            if cell.kind.is_sequential() && cell.pins.is_empty() {
+                return Err(ValidateError::UnconnectedDff { cell: i as u32 });
+            }
+            return Err(ValidateError::PinCount {
+                cell: i as u32,
+                expected,
+                found: cell.pins.len(),
+            });
+        }
+        for pin in &cell.pins {
+            if pin.index() >= n {
+                return Err(ValidateError::DanglingPin {
+                    cell: i as u32,
+                    net: pin.0,
+                });
+            }
+        }
+    }
+    for (port, net) in outputs {
+        if net.index() >= n {
+            return Err(ValidateError::DanglingOutput { port: port.clone() });
+        }
+    }
+    // Kahn topological sort over combinational cells; DFF outputs, inputs
+    // and constants are sources.
+    let is_comb = |c: &Cell| !matches!(c.kind, CellKind::Input | CellKind::Const(_)) && !c.kind.is_sequential();
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, cell) in cells.iter().enumerate() {
+        if !is_comb(cell) {
+            continue;
+        }
+        for pin in &cell.pins {
+            let src = pin.index();
+            if is_comb(&cells[src]) {
+                indegree[i] += 1;
+                fanout[src].push(i as u32);
+            }
+        }
+    }
+    let mut queue: Vec<u32> = (0..n)
+        .filter(|&i| is_comb(&cells[i]) && indegree[i] == 0)
+        .map(|i| i as u32)
+        .collect();
+    let mut topo = Vec::new();
+    let mut head = 0usize;
+    while head < queue.len() {
+        let c = queue[head];
+        head += 1;
+        topo.push(CellId(c));
+        for &next in &fanout[c as usize] {
+            indegree[next as usize] -= 1;
+            if indegree[next as usize] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    let comb_total = cells.iter().filter(|c| is_comb(c)).count();
+    if topo.len() != comb_total {
+        // Find a cell stuck in the cycle for the error message.
+        let stuck = (0..n)
+            .find(|&i| is_comb(&cells[i]) && indegree[i] > 0)
+            .unwrap_or(0);
+        return Err(ValidateError::CombinationalLoop { cell: stuck as u32 });
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(CellKind::Input.arity(), 0);
+        assert_eq!(CellKind::Not.arity(), 1);
+        assert_eq!(CellKind::Xor.arity(), 2);
+        assert_eq!(CellKind::Mux.arity(), 3);
+        assert_eq!(CellKind::Dff { init: false }.arity(), 1);
+        assert!(CellKind::Dff { init: true }.is_sequential());
+        assert!(!CellKind::And.is_sequential());
+    }
+
+    #[test]
+    fn net_cell_id_round_trip() {
+        let n = NetId(7);
+        assert_eq!(n.cell().net(), n);
+        assert_eq!(format!("{n:?}"), "n7");
+        assert_eq!(format!("{:?}", n.cell()), "c7");
+    }
+
+    #[test]
+    fn module_accessors() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.and2(a, x);
+        b.output("y", y);
+        let m = b.finish().unwrap();
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.inputs().len(), 2);
+        assert_eq!(m.output_net("y"), Some(y));
+        assert_eq!(m.output_net("nope"), None);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(m.validate().is_ok());
+        assert_eq!(m.cell(y.cell()).kind, CellKind::And);
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        // Hand-build an invalid module: a = a & b (self loop).
+        let cells = vec![
+            Cell {
+                kind: CellKind::Input,
+                pins: vec![],
+                name: Some("b".into()),
+            },
+            Cell {
+                kind: CellKind::And,
+                pins: vec![NetId(1), NetId(0)],
+                name: None,
+            },
+        ];
+        let err = validate_cells(&cells, &[]).unwrap_err();
+        assert!(matches!(err, ValidateError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut b = ModuleBuilder::new("counter");
+        let q = b.dff_uninit(false);
+        let nq = b.not(q);
+        b.set_dff_input(q, nq);
+        b.output("q", q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn dangling_pin_detected() {
+        let cells = vec![Cell {
+            kind: CellKind::Not,
+            pins: vec![NetId(9)],
+            name: None,
+        }];
+        let err = validate_cells(&cells, &[]).unwrap_err();
+        assert!(matches!(err, ValidateError::DanglingPin { net: 9, .. }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidateError::CombinationalLoop { cell: 3 };
+        assert!(e.to_string().contains("c3"));
+        let e = ValidateError::UnconnectedDff { cell: 1 };
+        assert!(e.to_string().contains("flip-flop"));
+    }
+}

@@ -1,0 +1,214 @@
+//! VCD (Value Change Dump) waveform recording for the simulator.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ir::{Module, NetId};
+use crate::sim::Simulator;
+
+/// Records net values cycle by cycle and renders an IEEE-1364 VCD file —
+/// loadable in GTKWave and friends — for debugging hardened netlists.
+///
+/// # Example
+///
+/// ```
+/// use scfi_netlist::{ModuleBuilder, Simulator, VcdRecorder};
+///
+/// let mut b = ModuleBuilder::new("t");
+/// let a = b.input("a");
+/// let q = b.dff_uninit(false);
+/// let d = b.xor2(q, a);
+/// b.set_dff_input(q, d);
+/// b.output("q", q);
+/// let m = b.finish()?;
+///
+/// let mut sim = Simulator::new(&m);
+/// let mut vcd = VcdRecorder::new(&m, &[("a", a), ("q", q)]);
+/// for inputs in [[true], [false], [true]] {
+///     sim.step(&inputs);
+///     vcd.sample(&sim);
+/// }
+/// let text = vcd.render();
+/// assert!(text.contains("$enddefinitions"));
+/// # Ok::<(), scfi_netlist::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct VcdRecorder {
+    module_name: String,
+    /// `(display name, net, vcd id)` per tracked signal.
+    signals: Vec<(String, NetId, String)>,
+    /// One row of sampled values per cycle.
+    samples: Vec<Vec<bool>>,
+}
+
+impl VcdRecorder {
+    /// Starts a recorder tracking the given `(name, net)` pairs.
+    pub fn new(module: &Module, signals: &[(&str, NetId)]) -> VcdRecorder {
+        let signals = signals
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, net))| (name.to_string(), net, vcd_id(i)))
+            .collect();
+        VcdRecorder {
+            module_name: module.name().to_string(),
+            signals,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Tracks every output port of the module.
+    pub fn for_outputs(module: &Module) -> VcdRecorder {
+        let pairs: Vec<(String, NetId)> = module
+            .outputs()
+            .iter()
+            .map(|(name, net)| (name.clone(), *net))
+            .collect();
+        let signals = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, net))| (name, net, vcd_id(i)))
+            .collect();
+        VcdRecorder {
+            module_name: module.name().to_string(),
+            signals,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Samples the tracked nets from a settled simulator (call after each
+    /// [`Simulator::step`]).
+    pub fn sample(&mut self, sim: &Simulator<'_>) {
+        let row = self.signals.iter().map(|&(_, net, _)| sim.peek(net)).collect();
+        self.samples.push(row);
+    }
+
+    /// Number of sampled cycles.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Renders the recording as VCD text (1 ns timescale, one timestep per
+    /// cycle, only changes emitted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date scfi-repro $end");
+        let _ = writeln!(out, "$version scfi-netlist vcd recorder $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", sanitize(&self.module_name));
+        for (name, _, id) in &self.signals {
+            let _ = writeln!(out, "$var wire 1 {id} {} $end", sanitize(name));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last: HashMap<&str, bool> = HashMap::new();
+        for (t, row) in self.samples.iter().enumerate() {
+            let mut changes = String::new();
+            for ((_, _, id), &v) in self.signals.iter().zip(row) {
+                if last.get(id.as_str()) != Some(&v) {
+                    let _ = writeln!(changes, "{}{id}", if v { '1' } else { '0' });
+                    last.insert(id, v);
+                }
+            }
+            if !changes.is_empty() || t == 0 {
+                let _ = writeln!(out, "#{t}");
+                out.push_str(&changes);
+            }
+        }
+        let _ = writeln!(out, "#{}", self.samples.len());
+        out
+    }
+}
+
+/// Short printable-ASCII identifier for signal index `i`.
+fn vcd_id(mut i: usize) -> String {
+    // VCD identifiers are strings over '!'..'~'.
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    fn toggle() -> crate::Module {
+        let mut b = ModuleBuilder::new("toggle");
+        let q = b.dff_uninit(false);
+        let n = b.not(q);
+        b.set_dff_input(q, n);
+        b.output("q", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn records_and_renders_changes() {
+        let m = toggle();
+        let mut sim = Simulator::new(&m);
+        let mut vcd = VcdRecorder::for_outputs(&m);
+        for _ in 0..4 {
+            sim.step(&[]);
+            vcd.sample(&sim);
+        }
+        assert_eq!(vcd.len(), 4);
+        let text = vcd.render();
+        assert!(text.contains("$scope module toggle $end"));
+        assert!(text.contains("$var wire 1 ! q $end"));
+        // q toggles every cycle: 0,1,0,1 → four change records.
+        assert_eq!(text.matches("0!").count() + text.matches("1!").count(), 4);
+        assert!(text.contains("#0"));
+        assert!(text.contains("#3"));
+    }
+
+    #[test]
+    fn unchanged_signals_are_not_re_emitted() {
+        let mut b = ModuleBuilder::new("const");
+        let a = b.input("a");
+        b.output("y", a);
+        let m = b.finish().unwrap();
+        let mut sim = Simulator::new(&m);
+        let mut vcd = VcdRecorder::for_outputs(&m);
+        for _ in 0..5 {
+            sim.step(&[true]);
+            vcd.sample(&sim);
+        }
+        let text = vcd.render();
+        assert_eq!(text.matches("1!").count(), 1, "one change only:\n{text}");
+    }
+
+    #[test]
+    fn vcd_ids_are_printable_and_unique() {
+        let ids: Vec<String> = (0..200).map(vcd_id).collect();
+        let set: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn empty_recorder_renders_header_only() {
+        let m = toggle();
+        let vcd = VcdRecorder::for_outputs(&m);
+        assert!(vcd.is_empty());
+        let text = vcd.render();
+        assert!(text.contains("$enddefinitions"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthesis-style area/timing report for every Table-1 benchmark FSM in
+//! all three configurations (unprotected / redundancy / SCFI).
+//!
+//! Run with `cargo run --example area_report -- [N]` (default N = 3).
+
+use scfi_repro::core::{harden, redundancy, ScfiConfig};
+use scfi_repro::fsm::lower_unprotected;
+use scfi_repro::netlist::ModuleStats;
+use scfi_repro::stdcell::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(3);
+    let lib = Library::nangate45_like();
+
+    println!("protection level N = {n}; areas are FSM logic only (GE)\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "fsm", "unprot", "redundancy", "scfi", "scfi depth", "scfi ps"
+    );
+    for bench in scfi_opentitan::all() {
+        let unprot = lower_unprotected(&bench.fsm)?;
+        let red = redundancy(&bench.fsm, n)?;
+        let hardened = harden(&bench.fsm, &ScfiConfig::new(n))?;
+        let scfi_mapped = lib.map(hardened.module());
+        println!(
+            "{:<18} {:>10.0} {:>12.0} {:>10.0} {:>12} {:>10.0}",
+            bench.name,
+            lib.map(unprot.module()).area_ge(),
+            lib.map(red.module()).area_ge(),
+            scfi_mapped.area_ge(),
+            ModuleStats::of(hardened.module()).depth(),
+            scfi_mapped.min_period_ps(),
+        );
+    }
+
+    println!("\nper-stage cell counts of the hardened adc_ctrl_fsm:");
+    let adc = scfi_opentitan::by_name("adc_ctrl_fsm").expect("suite entry");
+    let hardened = harden(&adc.fsm, &ScfiConfig::new(n))?;
+    let r = hardened.regions();
+    println!("  pattern match   {:>5} cells", r.pattern_match.len());
+    println!("  modifier select {:>5} cells", r.modifier_select.len());
+    println!("  MDS diffusion   {:>5} cells", r.diffusion.len());
+    println!("  error logic     {:>5} cells", r.error_logic.len());
+    println!("\nreport:\n{}", hardened.report());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! A full SYNFI-style fault-injection campaign against a hardened FSM,
+//! broken down by circuit region — reproducing the methodology of the
+//! paper's §6.4 formal analysis interactively.
+//!
+//! Run with `cargo run --release --example fault_campaign`.
+
+use scfi_repro::core::{harden, PadPolicy, ScfiConfig};
+use scfi_repro::faultsim::{
+    paper_success_probability, run_exhaustive, run_multi_fault, CampaignConfig, FaultEffect,
+    ScfiTarget, VulnerabilityMap,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's formal-analysis target: an FSM with 14 CFG transitions,
+    // protection level 2, full 32-bit MDS under test.
+    let fsm = scfi_opentitan::synfi_formal_fsm();
+    let hardened = harden(&fsm, &ScfiConfig::new(2).pad(PadPolicy::Replicate))?;
+    println!(
+        "target: {} — {} CFG edges, protection level 2",
+        fsm.name(),
+        hardened.cfg().len()
+    );
+    println!(
+        "analytic success probability (paper §6.3 formula): {:.3e}\n",
+        paper_success_probability(&hardened)
+    );
+
+    // Exhaustive single-flip campaigns per φ_FH stage.
+    let regions = hardened.regions().clone();
+    let stages = [
+        ("pattern match", regions.pattern_match),
+        ("modifier select", regions.modifier_select),
+        ("MDS diffusion", regions.diffusion),
+        ("error logic", regions.error_logic),
+    ];
+    println!("exhaustive transient flips (gate outputs + input pins), by stage:");
+    for (name, region) in stages {
+        let report = run_exhaustive(
+            &ScfiTarget::new(&hardened),
+            &CampaignConfig::new()
+                .effects(vec![FaultEffect::Flip])
+                .region(region)
+                .with_pin_faults()
+                .threads(2),
+        );
+        println!("  {name:<16} {report}");
+    }
+    println!("\n(the paper's §7 'limitation' lives in the selector logic: 1-bit");
+    println!(" match signals allow within-CFG redirections — visible above as the");
+    println!(" non-zero escape rate outside the diffusion layer)");
+
+    // Which concrete cells do the escapes go through?
+    let map = VulnerabilityMap::analyze(
+        &ScfiTarget::new(&hardened),
+        &CampaignConfig::new().effects(vec![FaultEffect::Flip]),
+    );
+    println!("\nper-cell attribution (top offenders):\n{map}");
+
+    // Multi-fault attacker sweep (threat model: N−1 faults anywhere).
+    println!("\nsampled multi-fault attacks (whole module, 3000 runs each):");
+    for m in 1..=4 {
+        let report = run_multi_fault(
+            &ScfiTarget::new(&hardened),
+            m,
+            3000,
+            &CampaignConfig::new().seed(7 + m as u64),
+        );
+        println!("  {m} simultaneous faults: {report}");
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # scfi-repro — SCFI: State Machine Control-Flow Hardening Against Fault Attacks
+//!
+//! A from-scratch Rust reproduction of the DATE 2023 paper by Nasahl et al.
+//! (arXiv:2208.01356): a synthesis pass that replaces the next-state logic
+//! of a finite-state machine with a fault-hardened function `φ_FH` built
+//! from Hamming-distance-N encodings and an MDS diffusion layer, so that
+//! fault attacks on the state registers, the control signals, or the
+//! next-state logic itself collapse the FSM into a terminal error state
+//! instead of hijacking its control flow.
+//!
+//! This crate is a facade re-exporting every subsystem:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`gf2`] | `scfi-gf2` | GF(2) linear algebra |
+//! | [`mds`] | `scfi-mds` | verified MDS matrices + XOR lowering |
+//! | [`netlist`] | `scfi-netlist` | gate-level IR, simulation, fault hooks |
+//! | [`stdcell`] | `scfi-stdcell` | area/timing model, mapping, sizing |
+//! | [`fsm`] | `scfi-fsm` | FSM model, CFG, DSL, behavioral simulation |
+//! | [`encode`] | `scfi-encode` | Hamming-distance-N codebooks |
+//! | [`core`] | `scfi-core` | **the SCFI pass** + redundancy baseline |
+//! | [`faultsim`] | `scfi-faultsim` | SYNFI-style fault campaigns |
+//! | [`opentitan`] | `scfi-opentitan` | the Table-1 benchmark FSM suite |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scfi_repro::core::{harden, ScfiConfig};
+//! use scfi_repro::fsm::parse_fsm;
+//!
+//! // Describe the FSM in the bundled DSL (or via the builder API).
+//! let fsm = parse_fsm(
+//!     "fsm lock {
+//!        inputs key_ok, tamper;
+//!        state LOCKED { if key_ok && !tamper -> OPEN; }
+//!        state OPEN   { if tamper -> LOCKED; }
+//!      }",
+//! )?;
+//!
+//! // Harden it at protection level N = 3: an attacker now needs at least
+//! // three precisely-placed bit flips to move the FSM between valid states.
+//! let hardened = harden(&fsm, &ScfiConfig::new(3))?;
+//! hardened.check_all_edges()?; // every CFG transition still works
+//!
+//! // The emitted artifact is a plain gate-level netlist.
+//! assert!(hardened.module().output_net("alert").is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use scfi_core as core;
+pub use scfi_encode as encode;
+pub use scfi_faultsim as faultsim;
+pub use scfi_fsm as fsm;
+pub use scfi_gf2 as gf2;
+pub use scfi_mds as mds;
+pub use scfi_netlist as netlist;
+pub use scfi_opentitan as opentitan;
+pub use scfi_stdcell as stdcell;

@@ -1,0 +1,187 @@
+//! Property-based tests over the whole stack: random FSMs stay equivalent
+//! through hardening, codebooks keep their distance guarantees, the
+//! diffusion layer keeps its avalanche property, and single sub-N faults
+//! never silently hijack a hardened machine.
+
+use proptest::prelude::*;
+
+use scfi_repro::core::{harden, ScfiConfig, StateDecode};
+use scfi_repro::encode::CodeSpec;
+use scfi_repro::fsm::{Fsm, FsmBuilder, FsmSimulator, Guard, SignalId, StateId};
+use scfi_repro::gf2::{BitMatrix, BitVec};
+use scfi_repro::mds::{Lowering, MdsSpec, XorProgram};
+use scfi_repro::netlist::Simulator;
+
+/// One random transition: `(target pick, guard literal picks)`.
+type TransitionSpec = (usize, Vec<(usize, bool)>);
+
+/// Specification of a random FSM, turned into a real [`Fsm`] by
+/// [`build_fsm`]. All indices are taken modulo the actual ranges so any
+/// byte soup yields a valid machine.
+#[derive(Clone, Debug)]
+struct FsmSpec {
+    n_states: usize,
+    n_signals: usize,
+    /// Per state: list of (target, guard literals as (signal, polarity)).
+    transitions: Vec<Vec<TransitionSpec>>,
+}
+
+fn fsm_spec() -> impl Strategy<Value = FsmSpec> {
+    (2usize..7, 1usize..4).prop_flat_map(|(n_states, n_signals)| {
+        let transition = (0usize..16, proptest::collection::vec((0usize..8, any::<bool>()), 0..3));
+        let per_state = proptest::collection::vec(transition, 0..4);
+        proptest::collection::vec(per_state, n_states..=n_states).prop_map(
+            move |transitions| FsmSpec {
+                n_states,
+                n_signals,
+                transitions,
+            },
+        )
+    })
+}
+
+fn build_fsm(spec: &FsmSpec) -> Fsm {
+    let mut b = FsmBuilder::new("random");
+    let signals: Vec<SignalId> = (0..spec.n_signals)
+        .map(|i| b.signal(format!("x{i}")).expect("fresh"))
+        .collect();
+    let states: Vec<StateId> = (0..spec.n_states)
+        .map(|i| b.state(format!("S{i}")).expect("fresh"))
+        .collect();
+    for (si, ts) in spec.transitions.iter().enumerate() {
+        for (target, lits) in ts {
+            let target = states[target % spec.n_states];
+            // Deduplicate signals inside the guard to avoid contradictions.
+            let mut seen = std::collections::HashSet::new();
+            let lits: Vec<(SignalId, bool)> = lits
+                .iter()
+                .filter(|(s, _)| seen.insert(s % spec.n_signals))
+                .map(|&(s, v)| (signals[s % spec.n_signals], v))
+                .collect();
+            let guard = Guard::new(lits).expect("deduplicated");
+            b.transition(states[si], target, guard);
+        }
+    }
+    b.finish().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hardening any random FSM preserves its behavior exactly.
+    #[test]
+    fn hardened_random_fsm_is_equivalent(spec in fsm_spec(), seed in any::<u64>()) {
+        let fsm = build_fsm(&spec);
+        let hardened = harden(&fsm, &ScfiConfig::new(2)).expect("harden");
+        hardened.check_all_edges().expect("edges");
+        hardened.check_equivalence(100, seed).expect("random walk");
+    }
+
+    /// A single register-bit flip can never silently move a hardened FSM
+    /// to a different valid state (FT1, the Fig. 4 default arm).
+    #[test]
+    fn single_register_flip_never_hijacks(spec in fsm_spec(), walk in 0u64..1000) {
+        let fsm = build_fsm(&spec);
+        let hardened = harden(&fsm, &ScfiConfig::new(2)).expect("harden");
+        let regs = hardened.module().registers().to_vec();
+        // Walk to a pseudo-random reachable state first.
+        let mut gold = FsmSimulator::new(&fsm);
+        let mut w = walk.max(1);
+        for _ in 0..8 {
+            w ^= w >> 12; w ^= w << 25; w ^= w >> 27;
+            let raw: Vec<bool> = (0..fsm.signals().len()).map(|i| (w >> i) & 1 == 1).collect();
+            gold.step(&raw);
+        }
+        let cur = gold.state();
+        for (i, &reg) in regs.iter().enumerate() {
+            let mut sim = Simulator::new(hardened.module());
+            let code: Vec<bool> = hardened.encode_state(cur).iter().collect();
+            sim.set_register_values(&code);
+            sim.flip_register(reg);
+            let raw = vec![false; fsm.signals().len()];
+            let xe: Vec<bool> = hardened.encode_condition(cur, &raw).iter().collect();
+            sim.step(&xe);
+            let decoded = hardened.decode_registers(sim.register_values());
+            prop_assert_eq!(decoded, StateDecode::Error, "reg bit {} escaped", i);
+        }
+    }
+
+    /// A single control-word bit flip is likewise always caught (FT2).
+    #[test]
+    fn single_control_flip_never_hijacks(spec in fsm_spec(), bit in any::<proptest::sample::Index>()) {
+        let fsm = build_fsm(&spec);
+        let hardened = harden(&fsm, &ScfiConfig::new(2)).expect("harden");
+        let cur = fsm.reset_state();
+        let raw = vec![false; fsm.signals().len()];
+        let mut xe: Vec<bool> = hardened.encode_condition(cur, &raw).iter().collect();
+        let flip = bit.index(xe.len());
+        xe[flip] = !xe[flip];
+        let mut sim = Simulator::new(hardened.module());
+        sim.step(&xe);
+        prop_assert_eq!(
+            hardened.decode_registers(sim.register_values()),
+            StateDecode::Error
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Codebooks always verify, exclude zero by default, and decode
+    /// round-trip.
+    #[test]
+    fn codebooks_hold_their_guarantees(count in 1usize..24, d in 1usize..5) {
+        let code = CodeSpec::new(count, d).build().expect("buildable");
+        prop_assert!(code.verify());
+        prop_assert!(code.min_weight() >= d);
+        for i in 0..code.len() {
+            prop_assert_eq!(code.decode(code.word(i)), Some(i));
+        }
+    }
+
+    /// GF(2) algebra: (A·B)ᵀ = Bᵀ·Aᵀ and rank is transpose-invariant.
+    #[test]
+    fn matrix_algebra_laws(seed in any::<u64>()) {
+        let mut s = seed.max(1);
+        let mut bit = move || { s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            s.wrapping_mul(0x2545F4914F6CDD1D) & 1 == 1 };
+        let a = BitMatrix::from_fn(6, 6, |_, _| bit());
+        let b = BitMatrix::from_fn(6, 6, |_, _| bit());
+        let ab_t = a.mul_matrix(&b).transpose();
+        let bt_at = b.transpose().mul_matrix(&a.transpose());
+        prop_assert_eq!(ab_t, bt_at);
+        prop_assert_eq!(a.rank(), a.transpose().rank());
+        if let Some(inv) = a.inverse() {
+            prop_assert_eq!(a.mul_matrix(&inv), BitMatrix::identity(6));
+        }
+    }
+
+    /// The MDS avalanche: every nonzero 32-bit input disturbs at least
+    /// 5 − wt(x) output lanes (branch number 5).
+    #[test]
+    fn mds_branch_bound_holds(x in 1u64..u32::MAX as u64) {
+        let mds = MdsSpec::ScfiLightweight.build();
+        let input = BitVec::from_u64(x & 0xFFFF_FFFF, 32);
+        prop_assume!(!input.is_zero());
+        let output = mds.mul(&input);
+        let wt_in = mds.block().symbol_weight(&input);
+        let wt_out = mds.block().symbol_weight(&output);
+        prop_assert!(wt_in + wt_out >= 5, "wt {wt_in} + {wt_out} < 5");
+    }
+
+    /// XOR-program lowering is exact for random matrices under both
+    /// strategies.
+    #[test]
+    fn xor_lowering_is_exact(seed in any::<u64>(), x in any::<u16>()) {
+        let mut s = seed.max(1);
+        let mut bit = move || { s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            s.wrapping_mul(0x2545F4914F6CDD1D) & 1 == 1 };
+        let m = BitMatrix::from_fn(10, 16, |_, _| bit());
+        let v = BitVec::from_u64(x as u64, 16);
+        for strategy in [Lowering::Naive, Lowering::Paar] {
+            let p = XorProgram::lower(&m, strategy);
+            prop_assert_eq!(p.eval(&v), m.mul_vec(&v));
+        }
+    }
+}
