@@ -89,7 +89,10 @@ fn print_ablations() {
         "{:<12} {:>10} {:>16} {:>14}",
         "padding", "area [GE]", "diffusion cells", "escape rate"
     );
-    for (label, policy) in [("zero", PadPolicy::Zero), ("replicate", PadPolicy::Replicate)] {
+    for (label, policy) in [
+        ("zero", PadPolicy::Zero),
+        ("replicate", PadPolicy::Replicate),
+    ] {
         let h = harden(&fsm, &ScfiConfig::new(2).pad(policy)).expect("harden");
         let area = lib.map(h.module()).area_ge();
         println!(
@@ -112,7 +115,10 @@ fn print_ablations() {
         ("baseline prototype", ScfiConfig::new(2)),
         ("adaptive MDS size", ScfiConfig::new(2).adaptive_mds(true)),
         ("2 selector rails", ScfiConfig::new(2).selector_rails(2)),
-        ("protected outputs", ScfiConfig::new(2).protect_outputs(true)),
+        (
+            "protected outputs",
+            ScfiConfig::new(2).protect_outputs(true),
+        ),
     ];
     for (label, config) in configs {
         let h = harden(&fsm, &config).expect("harden");

@@ -61,7 +61,10 @@ fn print_table1() {
 
 fn bench_transforms(c: &mut Criterion) {
     let suite = scfi_opentitan::all();
-    let adc = suite.iter().find(|b| b.name == "adc_ctrl_fsm").expect("suite");
+    let adc = suite
+        .iter()
+        .find(|b| b.name == "adc_ctrl_fsm")
+        .expect("suite");
     let i2c = suite.iter().find(|b| b.name == "i2c_fsm").expect("suite");
     let mut group = c.benchmark_group("table1");
     group.bench_function("harden_adc_ctrl_n3", |b| {

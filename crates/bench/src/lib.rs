@@ -14,9 +14,7 @@
 //! * [`geometric_mean`] — the Table 1 summary row.
 
 use scfi_core::{harden, redundancy, HardenedFsm, PadPolicy, ScfiConfig};
-use scfi_faultsim::{
-    run_exhaustive, CampaignConfig, CampaignReport, FaultEffect, ScfiTarget,
-};
+use scfi_faultsim::{run_exhaustive, CampaignConfig, CampaignReport, FaultEffect, ScfiTarget};
 use scfi_fsm::lower_unprotected;
 use scfi_opentitan::BenchFsm;
 use scfi_stdcell::Library;
@@ -181,8 +179,7 @@ pub fn at_sweep(
 /// available gates in the MDS matrix multiplication").
 pub fn synfi_experiment() -> (HardenedFsm, CampaignReport) {
     let fsm = scfi_opentitan::synfi_formal_fsm();
-    let hardened =
-        harden(&fsm, &ScfiConfig::new(2).pad(PadPolicy::Replicate)).expect("harden");
+    let hardened = harden(&fsm, &ScfiConfig::new(2).pad(PadPolicy::Replicate)).expect("harden");
     let report = {
         let target = ScfiTarget::new(&hardened);
         run_exhaustive(

@@ -144,10 +144,12 @@ fn load_fsm(path: &str) -> Result<Fsm, CliError> {
     let text = if path == "-" {
         use std::io::Read as _;
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| CliError {
-            message: format!("reading stdin: {e}"),
-            code: 2,
-        })?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| CliError {
+                message: format!("reading stdin: {e}"),
+                code: 2,
+            })?;
         s
     } else {
         std::fs::read_to_string(path).map_err(|e| CliError {
@@ -163,7 +165,9 @@ fn load_fsm(path: &str) -> Result<Fsm, CliError> {
 
 fn parse_config(flags: &mut Flags<'_>) -> Result<ScfiConfig, CliError> {
     let level: usize = match flags.value("--level")? {
-        Some(v) => v.parse().map_err(|_| usage_err("--level must be a number"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage_err("--level must be a number"))?,
         None => 3,
     };
     let mut config = ScfiConfig::new(level);
@@ -171,7 +175,9 @@ fn parse_config(flags: &mut Flags<'_>) -> Result<ScfiConfig, CliError> {
         config = config.adaptive_mds(true);
     }
     if let Some(r) = flags.value("--rails")? {
-        let rails: usize = r.parse().map_err(|_| usage_err("--rails must be a number"))?;
+        let rails: usize = r
+            .parse()
+            .map_err(|_| usage_err("--rails must be a number"))?;
         if rails == 0 {
             return Err(usage_err("--rails must be at least 1"));
         }
@@ -243,7 +249,9 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         .map(|v| v.parse().map_err(|_| usage_err("--multi must be a number")))
         .transpose()?;
     let runs: usize = match flags.value("--runs")? {
-        Some(v) => v.parse().map_err(|_| usage_err("--runs must be a number"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage_err("--runs must be a number"))?,
         None => 2000,
     };
     let (_fsm, hardened) = harden_from(&mut flags)?;
@@ -387,10 +395,8 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static COUNTER: AtomicUsize = AtomicUsize::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "scfi_cli_demo_{}_{unique}.dsl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("scfi_cli_demo_{}_{unique}.dsl", std::process::id()));
         std::fs::write(
             &path,
             "fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }",
@@ -473,7 +479,13 @@ mod tests {
     #[test]
     fn analyze_rank_attributes_cells() {
         let path = write_demo();
-        let out = run_ok(&["analyze", path.to_str().expect("utf8"), "--level", "2", "--rank"]);
+        let out = run_ok(&[
+            "analyze",
+            path.to_str().expect("utf8"),
+            "--level",
+            "2",
+            "--rank",
+        ]);
         assert!(out.contains("cells"));
         let _ = std::fs::remove_file(path);
     }

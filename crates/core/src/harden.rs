@@ -175,8 +175,16 @@ pub fn harden(fsm: &Fsm, config: &ScfiConfig) -> Result<HardenedFsm, ScfiError> 
         modifiers.push(modifier);
     }
 
-    let (module, regions) =
-        emit(fsm, &cfg, config, &mds, &state_code, &cond_code, &layout, &modifiers)?;
+    let (module, regions) = emit(
+        fsm,
+        &cfg,
+        config,
+        &mds,
+        &state_code,
+        &cond_code,
+        &layout,
+        &modifiers,
+    )?;
     let diffusion_xors = mds.xor_program(config.lowering_strategy()).xor_count() * layout.k();
     let report = HardenReport {
         n_states: fsm.state_count(),
@@ -617,7 +625,10 @@ mod tests {
         for (i, &reg) in regs.iter().enumerate() {
             let mut sim = Simulator::new(h.module());
             sim.flip_register(reg);
-            let xe: Vec<bool> = h.encode_condition(fsm.reset_state(), &[false, false]).iter().collect();
+            let xe: Vec<bool> = h
+                .encode_condition(fsm.reset_state(), &[false, false])
+                .iter()
+                .collect();
             sim.step(&xe);
             let decoded = h.decode_registers(sim.register_values());
             assert_eq!(decoded, StateDecode::Error, "reg bit {i} flip escaped");

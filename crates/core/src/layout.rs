@@ -160,13 +160,12 @@ impl MixLayout {
             }
             let mut mod_positions: Vec<usize> = pivots.iter().map(|&i| perm[i]).collect();
             mod_positions.sort_unstable();
-            let solve_inv = matrix
-                .select(&rows, &mod_positions)
-                .inverse()
-                .ok_or(ScfiError::LayoutUnsolvable {
+            let solve_inv = matrix.select(&rows, &mod_positions).inverse().ok_or(
+                ScfiError::LayoutUnsolvable {
                     instance: j,
                     tried: 1,
-                })?;
+                },
+            )?;
             let mod_in: Vec<(usize, usize)> = mod_positions
                 .iter()
                 .map(|&p| {
@@ -464,10 +463,7 @@ mod tests {
                     rng ^= rng >> 12;
                     rng ^= rng << 25;
                     rng ^= rng >> 27;
-                    BitVec::from_u64(
-                        rng.wrapping_mul(0x2545F4914F6CDD1D) & ((1u64 << w) - 1),
-                        w,
-                    )
+                    BitVec::from_u64(rng.wrapping_mul(0x2545F4914F6CDD1D) & ((1u64 << w) - 1), w)
                 };
                 let from = draw(sw);
                 let ctrl = draw(xw);
@@ -540,10 +536,7 @@ mod tests {
                     rng ^= rng >> 12;
                     rng ^= rng << 25;
                     rng ^= rng >> 27;
-                    BitVec::from_u64(
-                        rng.wrapping_mul(0x2545F4914F6CDD1D) & ((1u64 << w) - 1),
-                        w,
-                    )
+                    BitVec::from_u64(rng.wrapping_mul(0x2545F4914F6CDD1D) & ((1u64 << w) - 1), w)
                 };
                 let from = draw(sw);
                 let ctrl = draw(xw);

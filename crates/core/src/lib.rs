@@ -43,6 +43,6 @@ pub mod verify;
 
 pub use config::{PadPolicy, ScfiConfig};
 pub use error::ScfiError;
-pub use harden::{harden, HardenReport, HardenRegions, HardenedFsm, StateDecode};
+pub use harden::{harden, HardenRegions, HardenReport, HardenedFsm, StateDecode};
 pub use layout::{InstanceLayout, MixLayout};
 pub use redundancy::{redundancy, RedundantFsm};

@@ -19,7 +19,7 @@ use scfi_fsm::{Cfg, Fsm, StateId};
 use scfi_gf2::BitVec;
 use scfi_netlist::{Module, ModuleBuilder, NetId};
 
-use crate::{ScfiError};
+use crate::ScfiError;
 
 /// An FSM protected by `N`-fold modular redundancy.
 ///
@@ -90,10 +90,7 @@ pub fn redundancy(fsm: &Fsm, n: usize) -> Result<RedundantFsm, ScfiError> {
         let mut edge_match = Vec::with_capacity(cfg.edges().len());
         let mut targets = Vec::with_capacity(cfg.edges().len());
         for edge in cfg.edges() {
-            let m = b.and2(
-                state_match[edge.from.0],
-                cond_match[edge.local_index(fsm)],
-            );
+            let m = b.and2(state_match[edge.from.0], cond_match[edge.local_index(fsm)]);
             edge_match.push(m);
             targets.push(b.const_word(&encodings[edge.to.0]));
         }
@@ -224,7 +221,8 @@ mod tests {
     fn equivalence_for_all_n() {
         for n in [2, 3, 4] {
             let r = redundancy(&lock(), n).unwrap();
-            r.check_equivalence(300, 7).unwrap_or_else(|e| panic!("N={n}: {e}"));
+            r.check_equivalence(300, 7)
+                .unwrap_or_else(|e| panic!("N={n}: {e}"));
         }
     }
 
@@ -260,7 +258,10 @@ mod tests {
         // by bank, so the second half belongs to replica 1).
         let regs = r.module().registers();
         sim.flip_register(regs[r.state_bits()]);
-        let xe: Vec<bool> = r.encode_condition(f.reset_state(), &[false, false]).iter().collect();
+        let xe: Vec<bool> = r
+            .encode_condition(f.reset_state(), &[false, false])
+            .iter()
+            .collect();
         let out = sim.step(&xe);
         assert!(out[out.len() - 1], "mismatch alert must fire");
     }

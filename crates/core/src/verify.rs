@@ -25,7 +25,9 @@ impl TraceRng {
     }
 
     pub(crate) fn bools(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|i| (self.next_u64() >> (i % 32)) & 1 == 1).collect()
+        (0..n)
+            .map(|i| (self.next_u64() >> (i % 32)) & 1 == 1)
+            .collect()
     }
 }
 

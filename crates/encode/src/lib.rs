@@ -304,11 +304,7 @@ impl Codebook {
     /// The smallest Hamming weight among codewords — the cost of reaching
     /// the all-zero ERROR word by faults.
     pub fn min_weight(&self) -> usize {
-        self.words
-            .iter()
-            .map(BitVec::count_ones)
-            .min()
-            .unwrap_or(0)
+        self.words.iter().map(BitVec::count_ones).min().unwrap_or(0)
     }
 }
 

@@ -335,11 +335,7 @@ pub fn run_multi_fault<T: FaultTarget>(
 }
 
 /// Executes a prepared work list, optionally across threads.
-fn run_work<T: FaultTarget>(
-    target: &T,
-    work: &[(usize, Fault)],
-    threads: usize,
-) -> CampaignReport {
+fn run_work<T: FaultTarget>(target: &T, work: &[(usize, Fault)], threads: usize) -> CampaignReport {
     let run_slice = |slice: &[(usize, Fault)]| {
         let mut report = CampaignReport::empty();
         for &(scenario, fault) in slice {
@@ -362,14 +358,16 @@ fn run_work<T: FaultTarget>(
         return run_slice(work);
     }
     let chunk = work.len().div_ceil(threads);
-    let partials: Vec<CampaignReport> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<CampaignReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = work
             .chunks(chunk)
-            .map(|slice| scope.spawn(move |_| run_slice(slice)))
+            .map(|slice| scope.spawn(move || run_slice(slice)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("campaign scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
     let mut total = CampaignReport::empty();
     for p in partials {
         total.merge(p);
@@ -417,10 +415,7 @@ mod tests {
         let f = fsm();
         let lowered = lower_unprotected(&f).unwrap();
         let t = UnprotectedTarget::new(&f, &lowered);
-        let report = run_exhaustive(
-            &t,
-            &CampaignConfig::new().with_register_flips(),
-        );
+        let report = run_exhaustive(&t, &CampaignConfig::new().with_register_flips());
         assert!(
             report.hijack_rate() > 0.1,
             "unprotected FSM must be easy to hijack: {report}"
@@ -569,7 +564,10 @@ mod tests {
         };
         let r1 = rate(&h1);
         let r2 = rate(&h2);
-        assert!(r2 <= r1, "rails=2 rate {r2} must not exceed rails=1 rate {r1}");
+        assert!(
+            r2 <= r1,
+            "rails=2 rate {r2} must not exceed rails=1 rate {r1}"
+        );
     }
 
     #[test]

@@ -79,10 +79,8 @@ mod tests {
 
     #[test]
     fn success_probability_is_tiny() {
-        let fsm = parse_fsm(
-            "fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }",
-        )
-        .unwrap();
+        let fsm =
+            parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }").unwrap();
         let h = harden(&fsm, &ScfiConfig::new(2)).unwrap();
         let p = paper_success_probability(&h);
         assert!(p > 0.0);

@@ -129,10 +129,7 @@ impl FaultTarget for RedundancyTarget<'_> {
         // so a corruption committed on this edge raises the alert in the
         // *next* cycle — evaluate it on the post-step banks directly.
         let sb = self.redundant.state_bits();
-        let mismatch = regs
-            .chunks(sb)
-            .skip(1)
-            .any(|bank| bank != &regs[..sb]);
+        let mismatch = regs.chunks(sb).skip(1).any(|bank| bank != &regs[..sb]);
         let alert = outputs[outputs.len() - 1] || mismatch;
         match self.redundant.decode_registers(regs) {
             Some(s) if s == edge.to && !alert => Outcome::Masked,

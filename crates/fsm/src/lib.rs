@@ -16,7 +16,8 @@
 //!   "stay" edges that an `if/else-if` chain creates,
 //! * [`FsmSimulator`] — a behavioral reference simulator used as the golden
 //!   model in equivalence checks,
-//! * [`parse_fsm`] — a small text DSL for describing FSMs,
+//! * [`parse_fsm`] / [`write_fsm`] — a small text DSL for describing FSMs
+//!   and the writer that round-trips an [`Fsm`] back to it,
 //! * [`lower_unprotected`] — lowering to a binary-encoded gate-level
 //!   netlist, the baseline circuit that both Table 1's "unprotected" column
 //!   and the redundancy baseline build on.
@@ -53,3 +54,4 @@ pub use lower::{lower_unprotected, LoweredFsm};
 pub use model::{Fsm, FsmBuilder, FsmError, Guard, OutputId, SignalId, StateId, Transition};
 pub use parse::parse_fsm;
 pub use sim::FsmSimulator;
+pub use write::write_fsm;

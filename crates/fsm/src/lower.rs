@@ -69,10 +69,7 @@ impl LoweredFsm {
     /// a state id, or `None` for a code outside the state space.
     pub fn decode_registers(&self, regs: &[bool]) -> Option<StateId> {
         let word = BitVec::from_bools(regs);
-        self.encodings
-            .iter()
-            .position(|e| *e == word)
-            .map(StateId)
+        self.encodings.iter().position(|e| *e == word).map(StateId)
     }
 }
 
@@ -147,11 +144,7 @@ pub fn lower_unprotected(fsm: &Fsm) -> Result<LoweredFsm, ValidateError> {
         let terms: Vec<NetId> = fsm
             .states()
             .iter()
-            .filter(|&&s| {
-                fsm.asserted_outputs(s)
-                    .iter()
-                    .any(|o| o.0 == oi)
-            })
+            .filter(|&&s| fsm.asserted_outputs(s).iter().any(|o| o.0 == oi))
             .map(|&s| matches[s.0])
             .collect();
         let y = b.or_all(&terms);
@@ -269,7 +262,10 @@ mod tests {
         assert_eq!(lowered.state_bits(), 1);
         let mut sim = Simulator::new(lowered.module());
         sim.step(&[]);
-        assert_eq!(lowered.decode_registers(sim.register_values()), Some(StateId(0)));
+        assert_eq!(
+            lowered.decode_registers(sim.register_values()),
+            Some(StateId(0))
+        );
     }
 
     #[test]

@@ -191,9 +191,9 @@ impl fmt::Display for FsmError {
             FsmError::DuplicateSignal(n) => write!(f, "duplicate signal name {n}"),
             FsmError::DuplicateOutput(n) => write!(f, "duplicate output name {n}"),
             FsmError::Empty => write!(f, "state machine has no states"),
-            FsmError::ContradictoryGuard { signal } =>
-
-                write!(f, "guard requires signal x{} both high and low", signal.0),
+            FsmError::ContradictoryGuard { signal } => {
+                write!(f, "guard requires signal x{} both high and low", signal.0)
+            }
             FsmError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             FsmError::UnknownName { line, name } => {
                 write!(f, "unknown state or signal `{name}` at line {line}")
@@ -440,10 +440,9 @@ impl FsmBuilder {
 
     /// Appends a transition (priority = insertion order).
     pub fn transition(&mut self, from: StateId, to: StateId, guard: Guard) {
-        self.states[from.0].transitions.push(Transition {
-            guard,
-            target: to,
-        });
+        self.states[from.0]
+            .transitions
+            .push(Transition { guard, target: to });
     }
 
     /// Marks a Moore output as asserted in a state.
@@ -525,7 +524,9 @@ mod tests {
         let err = Guard::new(vec![(SignalId(1), true), (SignalId(1), false)]).unwrap_err();
         assert!(matches!(
             err,
-            FsmError::ContradictoryGuard { signal: SignalId(1) }
+            FsmError::ContradictoryGuard {
+                signal: SignalId(1)
+            }
         ));
     }
 
@@ -547,11 +548,7 @@ mod tests {
         let t = b.state("T").unwrap();
         b.transition(s, t, Guard::if_set(x0));
         // Narrower guard after broader one → never fires.
-        b.transition(
-            s,
-            t,
-            Guard::new(vec![(x0, true), (x1, true)]).unwrap(),
-        );
+        b.transition(s, t, Guard::new(vec![(x0, true), (x1, true)]).unwrap());
         let f = b.finish().unwrap();
         assert_eq!(f.shadowed_transitions(), vec![(s, 1)]);
     }

@@ -318,7 +318,9 @@ impl<'t> Parser<'t> {
         loop {
             into.push(self.expect_ident("identifier")?);
             match self.next() {
-                Some(SpannedTok { tok: Tok::Comma, .. }) => continue,
+                Some(SpannedTok {
+                    tok: Tok::Comma, ..
+                }) => continue,
                 Some(SpannedTok { tok: Tok::Semi, .. }) => return Ok(()),
                 Some(t) => return Err(err(t.line, "expected `,` or `;` in name list")),
                 None => return Err(err(self.line(), "unterminated name list")),
@@ -545,7 +547,10 @@ mod tests {
     #[test]
     fn syntax_errors_report_line() {
         let e = parse_fsm("fsm f {\n state A {\n if x ->\n }\n}").unwrap_err();
-        assert!(matches!(e, FsmError::Parse { .. } | FsmError::UnknownName { .. }));
+        assert!(matches!(
+            e,
+            FsmError::Parse { .. } | FsmError::UnknownName { .. }
+        ));
         let e = parse_fsm("fsm f { state A { if x - A; } }").unwrap_err();
         assert!(matches!(e, FsmError::Parse { .. }));
         let e = parse_fsm("machine f {}").unwrap_err();

@@ -35,10 +35,7 @@ impl Fsm {
             let _ = write!(s, "  state {} {{", self.state_name(state));
             let outs = self.asserted_outputs(state);
             if !outs.is_empty() {
-                let names: Vec<&str> = outs
-                    .iter()
-                    .map(|o| self.outputs()[o.0].as_str())
-                    .collect();
+                let names: Vec<&str> = outs.iter().map(|o| self.outputs()[o.0].as_str()).collect();
                 let _ = write!(s, " out {};", names.join(", "));
             }
             for t in self.transitions(state) {
@@ -50,11 +47,7 @@ impl Fsm {
                         .literals()
                         .iter()
                         .map(|&(sig, v)| {
-                            format!(
-                                "{}{}",
-                                if v { "" } else { "!" },
-                                self.signals()[sig.0]
-                            )
+                            format!("{}{}", if v { "" } else { "!" }, self.signals()[sig.0])
                         })
                         .collect();
                     let _ = write!(
@@ -70,6 +63,13 @@ impl Fsm {
         let _ = writeln!(s, "}}");
         s
     }
+}
+
+/// Renders `fsm` as DSL text that [`parse_fsm`](crate::parse_fsm) accepts —
+/// the free-function counterpart of [`Fsm::to_dsl`], convenient for
+/// `parse_fsm(&write_fsm(&f))` round-trip checks.
+pub fn write_fsm(fsm: &Fsm) -> String {
+    fsm.to_dsl()
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 //! behavioral model, and CFG extraction is consistent with stepping.
 
 use proptest::prelude::*;
-use scfi_fsm::{lower_unprotected, Fsm, FsmBuilder, FsmSimulator, Guard, SignalId};
+use scfi_fsm::{
+    lower_unprotected, parse_fsm, write_fsm, Fsm, FsmBuilder, FsmSimulator, Guard, SignalId,
+};
 use scfi_netlist::Simulator;
 
 /// One random transition: `(target pick, guard literal picks)`.
@@ -17,8 +19,10 @@ struct Spec {
 
 fn spec() -> impl Strategy<Value = Spec> {
     (2usize..8, 1usize..4).prop_flat_map(|(n_states, n_signals)| {
-        let transition =
-            (0usize..16, proptest::collection::vec((0usize..8, any::<bool>()), 0..3));
+        let transition = (
+            0usize..16,
+            proptest::collection::vec((0usize..8, any::<bool>()), 0..3),
+        );
         let per_state = proptest::collection::vec(transition, 0..4);
         proptest::collection::vec(per_state, n_states..=n_states).prop_map(move |transitions| {
             Spec {
@@ -31,6 +35,14 @@ fn spec() -> impl Strategy<Value = Spec> {
 }
 
 fn build(spec: &Spec) -> Fsm {
+    build_with(spec, &[], None)
+}
+
+/// Builds the random FSM, optionally decorated with Moore outputs (one per
+/// entry of `out_masks`; bit `i % 8` of a mask asserts the output in state
+/// `i`) and an explicit reset state — so the DSL writer has to emit every
+/// construct of the grammar.
+fn build_with(spec: &Spec, out_masks: &[u8], reset_pick: Option<usize>) -> Fsm {
     let mut b = FsmBuilder::new("random");
     let signals: Vec<SignalId> = (0..spec.n_signals)
         .map(|i| b.signal(format!("x{i}")).expect("fresh"))
@@ -38,6 +50,19 @@ fn build(spec: &Spec) -> Fsm {
     let states: Vec<_> = (0..spec.n_states)
         .map(|i| b.state(format!("S{i}")).expect("fresh"))
         .collect();
+    let outputs: Vec<_> = (0..out_masks.len())
+        .map(|i| b.output(format!("y{i}")).expect("fresh"))
+        .collect();
+    for (oi, &mask) in out_masks.iter().enumerate() {
+        for (si, &state) in states.iter().enumerate() {
+            if (mask >> (si % 8)) & 1 == 1 {
+                b.assert_output(state, outputs[oi]);
+            }
+        }
+    }
+    if let Some(pick) = reset_pick {
+        b.reset(states[pick % spec.n_states]);
+    }
     for (si, ts) in spec.transitions.iter().enumerate() {
         for (target, lits) in ts {
             let mut seen = std::collections::HashSet::new();
@@ -118,5 +143,53 @@ proptest! {
             prop_assert_eq!(sorted.len(), locals.len(), "duplicate local indices");
             prop_assert!(*sorted.last().expect("nonempty") < cfg.max_out_degree());
         }
+    }
+
+    /// `parse_fsm(write_fsm(f))` reconstructs an identical machine: same
+    /// naming, structure, reset, Moore outputs, and — exhaustively over the
+    /// input space — the same next-state function.
+    #[test]
+    fn dsl_round_trip_preserves_machine(
+        s in spec(),
+        out_masks in proptest::collection::vec(any::<u8>(), 0..3),
+        reset in any::<u32>(),
+    ) {
+        let fsm = build_with(&s, &out_masks, Some(reset as usize));
+        let round = parse_fsm(&write_fsm(&fsm));
+        prop_assert!(round.is_ok(), "writer output must parse: {:?}", round.err());
+        let round = round.unwrap();
+        prop_assert_eq!(round.name(), fsm.name());
+        prop_assert_eq!(round.signals(), fsm.signals());
+        prop_assert_eq!(round.outputs(), fsm.outputs());
+        prop_assert_eq!(round.state_count(), fsm.state_count());
+        prop_assert_eq!(round.transition_count(), fsm.transition_count());
+        prop_assert_eq!(round.reset_state(), fsm.reset_state());
+        for state in fsm.states() {
+            prop_assert_eq!(round.state_name(state), fsm.state_name(state));
+            prop_assert_eq!(round.asserted_outputs(state), fsm.asserted_outputs(state));
+            for bits in 0..(1u32 << s.n_signals) {
+                let inputs: Vec<bool> =
+                    (0..s.n_signals).map(|i| (bits >> i) & 1 == 1).collect();
+                prop_assert_eq!(
+                    round.next_state(state, &inputs),
+                    fsm.next_state(state, &inputs),
+                    "state {:?} inputs {:?}", state, inputs
+                );
+            }
+        }
+    }
+
+    /// The writer is a normal form: writing the round-tripped machine
+    /// reproduces the text byte for byte.
+    #[test]
+    fn dsl_writer_is_idempotent(
+        s in spec(),
+        out_masks in proptest::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let fsm = build_with(&s, &out_masks, None);
+        let text = write_fsm(&fsm);
+        let round = parse_fsm(&text);
+        prop_assert!(round.is_ok(), "writer output must parse: {:?}", round.err());
+        prop_assert_eq!(write_fsm(&round.unwrap()), text);
     }
 }

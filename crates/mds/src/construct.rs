@@ -174,10 +174,10 @@ impl fmt::Debug for MdsMatrix {
 fn build_aes() -> MdsMatrix {
     let alpha = Gf2Poly::from_coeffs(0x11B).companion_matrix();
     let entries = [
-        Gf2Poly::X,                  // α       (AES 0x02)
-        Gf2Poly::from_coeffs(0b11),  // α + 1   (AES 0x03)
-        Gf2Poly::ONE,                // 1
-        Gf2Poly::ONE,                // 1
+        Gf2Poly::X,                 // α       (AES 0x02)
+        Gf2Poly::from_coeffs(0b11), // α + 1   (AES 0x03)
+        Gf2Poly::ONE,               // 1
+        Gf2Poly::ONE,               // 1
     ];
     let m = MdsMatrix::new("aes-mixcolumns", circulant(&alpha, &entries));
     assert!(m.block.is_mds(), "AES MixColumns failed the MDS check");
@@ -277,7 +277,10 @@ fn circulant(alpha: &BitMatrix, entries: &[Gf2Poly]) -> BlockMatrix {
 /// Hadamard block matrix (`k` a power of two): `M[i][j] = entries[i XOR j]`.
 fn hadamard(alpha: &BitMatrix, entries: &[Gf2Poly]) -> BlockMatrix {
     let k = entries.len();
-    assert!(k.is_power_of_two(), "Hadamard layout needs a power-of-two k");
+    assert!(
+        k.is_power_of_two(),
+        "Hadamard layout needs a power-of-two k"
+    );
     let maps: Vec<BitMatrix> = entries.iter().map(|p| p.eval_matrix(alpha)).collect();
     let mut blocks = Vec::with_capacity(k * k);
     for r in 0..k {
@@ -341,10 +344,7 @@ mod tests {
                 state ^= state >> 12;
                 state ^= state << 25;
                 state ^= state >> 27;
-                let x = BitVec::from_u64(
-                    state.wrapping_mul(0x2545F4914F6CDD1D) & 0xFFFF_FFFF,
-                    32,
-                );
+                let x = BitVec::from_u64(state.wrapping_mul(0x2545F4914F6CDD1D) & 0xFFFF_FFFF, 32);
                 assert_eq!(p.eval(&x), m.mul(&x));
             }
         }

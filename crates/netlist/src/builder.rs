@@ -88,7 +88,11 @@ impl ModuleBuilder {
 
     /// Emits a 2-input gate through the structural-hashing table.
     fn gate2(&mut self, kind: CellKind, a: NetId, b: NetId, commutative: bool) -> NetId {
-        let (x, y) = if commutative && b.0 < a.0 { (b, a) } else { (a, b) };
+        let (x, y) = if commutative && b.0 < a.0 {
+            (b, a)
+        } else {
+            (a, b)
+        };
         let tag = match kind {
             CellKind::And => 0u8,
             CellKind::Or => 1,
@@ -116,12 +120,18 @@ impl ModuleBuilder {
 
     /// Declares a vector of input ports named `name[0..width]`, LSB first.
     pub fn input_word(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// A constant driver (deduplicated per module).
     pub fn constant(&mut self, value: bool) -> NetId {
-        let slot = if value { &mut self.const1 } else { &mut self.const0 };
+        let slot = if value {
+            &mut self.const1
+        } else {
+            &mut self.const0
+        };
         if let Some(id) = *slot {
             return id;
         }
@@ -527,9 +537,15 @@ mod tests {
         let mut sim = Simulator::new(&m);
         let table = [
             // a, b → and or xor nand nor xnor not
-            ([false, false], [false, false, false, true, true, true, true]),
+            (
+                [false, false],
+                [false, false, false, true, true, true, true],
+            ),
             ([false, true], [false, true, true, true, false, false, true]),
-            ([true, false], [false, true, true, true, false, false, false]),
+            (
+                [true, false],
+                [false, true, true, true, false, false, false],
+            ),
             ([true, true], [true, true, false, false, false, true, false]),
         ];
         for (inp, expect) in table {

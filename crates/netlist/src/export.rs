@@ -73,12 +73,7 @@ impl Module {
         }
         // Input aliases.
         for net in &self.inputs {
-            let _ = writeln!(
-                s,
-                "  wire n{} = {};",
-                net.0,
-                self.port_name(net.index())
-            );
+            let _ = writeln!(s, "  wire n{} = {};", net.0, self.port_name(net.index()));
         }
         // Gates.
         for (i, cell) in self.cells.iter().enumerate() {
@@ -126,7 +121,13 @@ impl Module {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, '_');

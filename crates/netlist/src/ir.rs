@@ -318,7 +318,9 @@ pub(crate) fn validate_cells(
     }
     // Kahn topological sort over combinational cells; DFF outputs, inputs
     // and constants are sources.
-    let is_comb = |c: &Cell| !matches!(c.kind, CellKind::Input | CellKind::Const(_)) && !c.kind.is_sequential();
+    let is_comb = |c: &Cell| {
+        !matches!(c.kind, CellKind::Input | CellKind::Const(_)) && !c.kind.is_sequential()
+    };
     let mut indegree = vec![0usize; n];
     let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, cell) in cells.iter().enumerate() {

@@ -243,7 +243,11 @@ impl<'m> Simulator<'m> {
     ///
     /// Panics on width mismatch.
     pub fn set_register_values(&mut self, values: &[bool]) {
-        assert_eq!(values.len(), self.reg_state.len(), "register count mismatch");
+        assert_eq!(
+            values.len(),
+            self.reg_state.len(),
+            "register count mismatch"
+        );
         self.reg_state.copy_from_slice(values);
     }
 

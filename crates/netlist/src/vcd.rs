@@ -78,7 +78,11 @@ impl VcdRecorder {
     /// Samples the tracked nets from a settled simulator (call after each
     /// [`Simulator::step`]).
     pub fn sample(&mut self, sim: &Simulator<'_>) {
-        let row = self.signals.iter().map(|&(_, net, _)| sim.peek(net)).collect();
+        let row = self
+            .signals
+            .iter()
+            .map(|&(_, net, _)| sim.peek(net))
+            .collect();
         self.samples.push(row);
     }
 

@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn paper_areas_match_table1() {
         let areas: Vec<f64> = all().iter().map(|b| b.paper_module_ge).collect();
-        assert_eq!(areas, vec![1019.0, 632.0, 2729.0, 537.0, 933.0, 2857.0, 301.0]);
+        assert_eq!(
+            areas,
+            vec![1019.0, 632.0, 2729.0, 537.0, 933.0, 2857.0, 301.0]
+        );
     }
 
     #[test]
@@ -315,7 +318,11 @@ mod tests {
     #[test]
     fn synfi_fsm_has_14_cfg_edges() {
         let f = synfi_formal_fsm();
-        assert_eq!(f.cfg().len(), 14, "paper §6.4 uses an FSM with 14 transitions");
+        assert_eq!(
+            f.cfg().len(),
+            14,
+            "paper §6.4 uses an FSM with 14 transitions"
+        );
     }
 
     #[test]
@@ -328,12 +335,7 @@ mod tests {
         let b = by_name("adc_ctrl_fsm").unwrap();
         let f = &b.fsm;
         let mut sim = FsmSimulator::new(f);
-        let sig = |name: &str| {
-            f.signals()
-                .iter()
-                .position(|s| s == name)
-                .expect("signal")
-        };
+        let sig = |name: &str| f.signals().iter().position(|s| s == name).expect("signal");
         let mut inputs = vec![false; f.signals().len()];
         inputs[sig("oneshot_mode")] = true;
         sim.step(&inputs);

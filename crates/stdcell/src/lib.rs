@@ -133,17 +133,72 @@ impl Library {
     pub fn nangate45_like() -> Library {
         let mut specs = HashMap::new();
         for spec in [
-            CellSpec { name: "TIE", area_ge: 0.33, delay_ps: 0.0, load_ps_per_fanout: 0.0 },
-            CellSpec { name: "BUF", area_ge: 1.0, delay_ps: 126.0, load_ps_per_fanout: 42.0 },
-            CellSpec { name: "INV", area_ge: 0.67, delay_ps: 70.0, load_ps_per_fanout: 56.0 },
-            CellSpec { name: "AND2", area_ge: 1.33, delay_ps: 140.0, load_ps_per_fanout: 63.0 },
-            CellSpec { name: "OR2", area_ge: 1.33, delay_ps: 154.0, load_ps_per_fanout: 70.0 },
-            CellSpec { name: "XOR2", area_ge: 2.0, delay_ps: 196.0, load_ps_per_fanout: 84.0 },
-            CellSpec { name: "NAND2", area_ge: 1.0, delay_ps: 98.0, load_ps_per_fanout: 63.0 },
-            CellSpec { name: "NOR2", area_ge: 1.0, delay_ps: 112.0, load_ps_per_fanout: 70.0 },
-            CellSpec { name: "XNOR2", area_ge: 2.0, delay_ps: 210.0, load_ps_per_fanout: 84.0 },
-            CellSpec { name: "MUX2", area_ge: 2.33, delay_ps: 210.0, load_ps_per_fanout: 84.0 },
-            CellSpec { name: "DFF", area_ge: 4.67, delay_ps: 0.0, load_ps_per_fanout: 70.0 },
+            CellSpec {
+                name: "TIE",
+                area_ge: 0.33,
+                delay_ps: 0.0,
+                load_ps_per_fanout: 0.0,
+            },
+            CellSpec {
+                name: "BUF",
+                area_ge: 1.0,
+                delay_ps: 126.0,
+                load_ps_per_fanout: 42.0,
+            },
+            CellSpec {
+                name: "INV",
+                area_ge: 0.67,
+                delay_ps: 70.0,
+                load_ps_per_fanout: 56.0,
+            },
+            CellSpec {
+                name: "AND2",
+                area_ge: 1.33,
+                delay_ps: 140.0,
+                load_ps_per_fanout: 63.0,
+            },
+            CellSpec {
+                name: "OR2",
+                area_ge: 1.33,
+                delay_ps: 154.0,
+                load_ps_per_fanout: 70.0,
+            },
+            CellSpec {
+                name: "XOR2",
+                area_ge: 2.0,
+                delay_ps: 196.0,
+                load_ps_per_fanout: 84.0,
+            },
+            CellSpec {
+                name: "NAND2",
+                area_ge: 1.0,
+                delay_ps: 98.0,
+                load_ps_per_fanout: 63.0,
+            },
+            CellSpec {
+                name: "NOR2",
+                area_ge: 1.0,
+                delay_ps: 112.0,
+                load_ps_per_fanout: 70.0,
+            },
+            CellSpec {
+                name: "XNOR2",
+                area_ge: 2.0,
+                delay_ps: 210.0,
+                load_ps_per_fanout: 84.0,
+            },
+            CellSpec {
+                name: "MUX2",
+                area_ge: 2.33,
+                delay_ps: 210.0,
+                load_ps_per_fanout: 84.0,
+            },
+            CellSpec {
+                name: "DFF",
+                area_ge: 4.67,
+                delay_ps: 0.0,
+                load_ps_per_fanout: 70.0,
+            },
         ] {
             specs.insert(spec.name, spec);
         }
@@ -349,7 +404,10 @@ impl<'l, 'm> MappedModule<'l, 'm> {
                 .iter()
                 .map(|p| p.index())
                 .max_by(|&a, &b| arrival[a].partial_cmp(&arrival[b]).expect("finite"));
-            if matches!(cell.kind, CellKind::Dff { .. } | CellKind::Input | CellKind::Const(_)) {
+            if matches!(
+                cell.kind,
+                CellKind::Dff { .. } | CellKind::Input | CellKind::Const(_)
+            ) {
                 break;
             }
         }
@@ -397,8 +455,7 @@ impl<'l, 'm> MappedModule<'l, 'm> {
                 .copied();
             match candidate {
                 Some(c) => {
-                    self.drives[c.index()] =
-                        self.drives[c.index()].upsized().expect("filtered");
+                    self.drives[c.index()] = self.drives[c.index()].upsized().expect("filtered");
                 }
                 None => {
                     return SizingResult {

@@ -21,14 +21,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fsm = &bench.fsm;
     let lib = Library::nangate45_like();
 
-    println!("target: {} ({} states) — the Table-1 case where SCFI's fixed", fsm.name(), fsm.state_count());
+    println!(
+        "target: {} ({} states) — the Table-1 case where SCFI's fixed",
+        fsm.name(),
+        fsm.state_count()
+    );
     println!("32-bit MDS cost loses to redundancy, motivating §7's size adaptation\n");
 
     let configs: [(&str, ScfiConfig); 5] = [
         ("paper prototype", ScfiConfig::new(2)),
         ("adaptive MDS", ScfiConfig::new(2).adaptive_mds(true)),
         ("2 selector rails", ScfiConfig::new(2).selector_rails(2)),
-        ("protected outputs", ScfiConfig::new(2).protect_outputs(true)),
+        (
+            "protected outputs",
+            ScfiConfig::new(2).protect_outputs(true),
+        ),
         (
             "all three",
             ScfiConfig::new(2)

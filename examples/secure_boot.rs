@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run_exhaustive(
         &target,
         &CampaignConfig::new()
-            .effects(vec![FaultEffect::Flip, FaultEffect::Stuck0, FaultEffect::Stuck1])
+            .effects(vec![
+                FaultEffect::Flip,
+                FaultEffect::Stuck0,
+                FaultEffect::Stuck1,
+            ])
             .with_register_flips()
             .threads(2),
     );
@@ -54,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = run_exhaustive(
             &target,
             &CampaignConfig::new()
-                .effects(vec![FaultEffect::Flip, FaultEffect::Stuck0, FaultEffect::Stuck1])
+                .effects(vec![
+                    FaultEffect::Flip,
+                    FaultEffect::Stuck0,
+                    FaultEffect::Stuck1,
+                ])
                 .with_register_flips()
                 .threads(2),
         );

@@ -1,0 +1,292 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be vendored. This shim implements the surface the workspace's
+//! `benches/*.rs` targets use — `Criterion` configuration builders,
+//! `benchmark_group` / `bench_function` / `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop: warm up for `warm_up_time`, then run
+//! batches until `measurement_time` elapses (at least `sample_size`
+//! iterations) and report the mean, minimum, and maximum per-iteration
+//! time on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target wall-clock budget for the measurement loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up loop.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim prints results as it goes.
+    pub fn final_summary(&self) {}
+
+    /// Opens a named group of benchmarks. The group starts from this
+    /// driver's configuration; group-level overrides stay scoped to the
+    /// group, as in real criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: std::marker::PhantomData,
+            config: self.clone(),
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_benchmark(&config, id.as_ref(), f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing one configuration.
+///
+/// Holds its own copy of the driver's configuration (the borrow on the
+/// parent [`Criterion`] is kept only for API compatibility), so the
+/// override setters below affect this group alone.
+pub struct BenchmarkGroup<'a> {
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    config: Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&self.config.clone(), &label, f);
+        self
+    }
+
+    /// Per-group override of [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Per-group override of [`Criterion::measurement_time`].
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs the timed payload.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// (total elapsed, iterations, min, max) accumulated by `iter`.
+    recorded: Option<(Duration, u64, Duration, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Times `payload`, running it repeatedly per the driver's
+    /// warm-up/measurement budgets. The payload's return value is passed
+    /// through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(payload());
+        }
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters = 0u64;
+        let measure_deadline = Instant::now() + self.config.measurement_time;
+        while iters < self.config.sample_size as u64 || Instant::now() < measure_deadline {
+            let start = Instant::now();
+            black_box(payload());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            iters += 1;
+            if total > self.config.measurement_time * 4 {
+                break; // slow payloads: don't overshoot the budget badly
+            }
+        }
+        self.recorded = Some((total, iters, min, max));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        recorded: None,
+    };
+    f(&mut bencher);
+    match bencher.recorded {
+        Some((total, iters, min, max)) if iters > 0 => {
+            let mean = total / iters as u32;
+            println!(
+                "{label:<40} time: [{} {} {}]  ({iters} iterations)",
+                fmt_duration(min),
+                fmt_duration(mean),
+                fmt_duration(max),
+            );
+        }
+        _ => println!("{label:<40} time: [no samples recorded]"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as in criterion:
+///
+/// ```ignore
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        targets = payload
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        group();
+    }
+
+    #[test]
+    fn grouped_bench_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("fast", |b| b.iter(|| black_box(1u64).wrapping_mul(3)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_to_the_driver() {
+        let mut c = Criterion::default()
+            .sample_size(7)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1).measurement_time(Duration::from_millis(1));
+        g.finish();
+        assert_eq!(c.sample_size, 7, "group sample_size leaked to the driver");
+        assert_eq!(
+            c.measurement_time,
+            Duration::from_millis(2),
+            "group measurement_time leaked to the driver"
+        );
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}

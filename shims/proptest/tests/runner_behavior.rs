@@ -1,0 +1,52 @@
+//! Behavioral checks of the shim's test runner itself: rejected cases are
+//! re-drawn (still reaching the configured case count), an unsatisfiable
+//! `prop_assume!` aborts instead of passing vacuously, and failures report
+//! the generated values.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Half the input space is rejected; the runner must still execute 16
+    /// accepted cases rather than silently running ~8.
+    #[test]
+    fn rejected_cases_are_redrawn(x in 0u64..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+}
+
+#[test]
+fn unsatisfiable_assume_panics_instead_of_passing() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u64..100) {
+                prop_assume!(x > 1000); // never true
+                prop_assert!(false, "unreachable");
+            }
+        }
+        inner();
+    });
+    let err = result.expect_err("an always-rejecting property must not pass");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("too many rejected cases"), "got: {msg}");
+}
+
+#[test]
+fn failures_report_the_generated_values() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u64..100) {
+                prop_assert!(x > 100, "impossible bound");
+            }
+        }
+        inner();
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("generated values"), "got: {msg}");
+    assert!(msg.contains("x ="), "dump must name the argument: {msg}");
+}

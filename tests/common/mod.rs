@@ -1,0 +1,152 @@
+//! Shared support for the workspace-level differential tests.
+//!
+//! The paper's security argument is an equivalence claim (§3.2): under zero
+//! faults, the protected gate-level machine `FSM_F` must behave exactly like
+//! the behavioral golden model `FSM_F̄` — `φ_F(S, X, 0) = φ_F̄(S, X, 0)`.
+//! The drivers here enforce that claim cycle by cycle for all three
+//! evaluation configurations of §6.1: the unprotected lowering, the N-fold
+//! redundancy baseline, and the SCFI-hardened netlist.
+//!
+//! Each driver runs the behavioral [`FsmSimulator`] and the gate-level
+//! [`Simulator`] in lock-step over a deterministic seeded input sequence and
+//! asserts, every cycle:
+//!
+//! * the decoded state register equals the golden model's state,
+//! * the Moore outputs (sampled pre-transition, as the netlist does) equal
+//!   the golden model's `λ(S)`,
+//! * no alert / error flag fires on a fault-free run.
+
+use scfi_core::{HardenedFsm, RedundantFsm, StateDecode};
+use scfi_fsm::{Fsm, FsmSimulator, LoweredFsm};
+use scfi_netlist::Simulator;
+
+/// Deterministic xorshift64* input trace: `len` cycles of `n_signals` raw
+/// control bits. Same seed → same trace, on every platform.
+pub fn trace(n_signals: usize, len: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut state = seed.max(1);
+    (0..len)
+        .map(|_| {
+            (0..n_signals)
+                .map(|_| {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545F4914F6CDD1D) & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Lock-step conformance of the unprotected lowering (§6.1 configuration
+/// (i)) against the behavioral model: decoded state and Moore outputs must
+/// agree every cycle.
+pub fn assert_unprotected_conformance(fsm: &Fsm, lowered: &LoweredFsm, steps: usize, seed: u64) {
+    let mut gate = Simulator::new(lowered.module());
+    let mut gold = FsmSimulator::new(fsm);
+    let sb = lowered.state_bits();
+    for (cycle, raw) in trace(fsm.signals().len(), steps, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let gold_outputs = gold.outputs();
+        let out = gate.step(&raw);
+        let expect = gold.step(&raw);
+        assert_eq!(
+            &out[sb..],
+            &gold_outputs[..],
+            "{}: cycle {cycle}: unprotected Moore outputs diverged",
+            fsm.name()
+        );
+        assert_eq!(
+            lowered.decode_registers(gate.register_values()),
+            Some(expect),
+            "{}: cycle {cycle}: unprotected netlist diverged from golden model (expected {})",
+            fsm.name(),
+            fsm.state_name(expect)
+        );
+    }
+}
+
+/// Lock-step conformance of the N-fold redundancy baseline (§6.1
+/// configuration (ii)): decoded replica-0 state and Moore outputs must track
+/// the golden model, and the replica-mismatch alert must stay low.
+pub fn assert_redundancy_conformance(r: &RedundantFsm, steps: usize, seed: u64) {
+    let fsm = r.fsm();
+    let mut gate = Simulator::new(r.module());
+    let mut gold = FsmSimulator::new(fsm);
+    let sb = r.state_bits();
+    let n_out = fsm.outputs().len();
+    for (cycle, raw) in trace(fsm.signals().len(), steps, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let gold_outputs = gold.outputs();
+        let xe: Vec<bool> = r.encode_condition(gold.state(), &raw).iter().collect();
+        let out = gate.step(&xe);
+        let expect = gold.step(&raw);
+        assert_eq!(
+            &out[sb..sb + n_out],
+            &gold_outputs[..],
+            "{}: cycle {cycle}: redundancy Moore outputs diverged",
+            fsm.name()
+        );
+        assert!(
+            !out[sb + n_out],
+            "{}: cycle {cycle}: replica mismatch alert on a fault-free run",
+            fsm.name()
+        );
+        assert_eq!(
+            r.decode_registers(gate.register_values()),
+            Some(expect),
+            "{}: cycle {cycle}: redundant netlist diverged from golden model (expected {})",
+            fsm.name(),
+            fsm.state_name(expect)
+        );
+    }
+}
+
+/// Lock-step conformance of the SCFI-hardened netlist (§6.1 configuration
+/// (iii)): the decoded encoded-state register and Moore outputs must track
+/// the golden model, with `alert` and `in_error` low throughout — the
+/// fault-free half of the paper's equivalence claim.
+pub fn assert_scfi_conformance(h: &HardenedFsm, steps: usize, seed: u64) {
+    let fsm = h.fsm();
+    let mut gate = Simulator::new(h.module());
+    let mut gold = FsmSimulator::new(fsm);
+    let sw = h.state_code().width();
+    let n_out = fsm.outputs().len();
+    for (cycle, raw) in trace(fsm.signals().len(), steps, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let gold_outputs = gold.outputs();
+        let xe: Vec<bool> = h.encode_condition(gold.state(), &raw).iter().collect();
+        let out = gate.step(&xe);
+        let expect = gold.step(&raw);
+        assert_eq!(
+            &out[sw..sw + n_out],
+            &gold_outputs[..],
+            "{}: cycle {cycle}: SCFI Moore outputs diverged",
+            fsm.name()
+        );
+        assert!(
+            !out[sw + n_out],
+            "{}: cycle {cycle}: false alert on a fault-free run",
+            fsm.name()
+        );
+        assert!(
+            !out[sw + n_out + 1],
+            "{}: cycle {cycle}: spurious in_error on a fault-free run",
+            fsm.name()
+        );
+        match h.decode_registers(gate.register_values()) {
+            StateDecode::State(s) if s == expect => {}
+            other => panic!(
+                "{}: cycle {cycle}: SCFI netlist decoded {other:?}, golden model is in {}",
+                fsm.name(),
+                fsm.state_name(expect)
+            ),
+        }
+    }
+}

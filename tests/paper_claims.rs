@@ -21,10 +21,18 @@ fn table1_shape_holds() {
     let otbn = scfi_opentitan::by_name("otbn_controller").expect("suite");
     for n in [3usize, 4] {
         let pw_scfi = lib
-            .map(harden(&pwrmgr.fsm, &ScfiConfig::new(n)).expect("harden").module())
+            .map(
+                harden(&pwrmgr.fsm, &ScfiConfig::new(n))
+                    .expect("harden")
+                    .module(),
+            )
             .area_ge();
         let pw_red = lib
-            .map(scfi_repro::core::redundancy(&pwrmgr.fsm, n).expect("red").module())
+            .map(
+                scfi_repro::core::redundancy(&pwrmgr.fsm, n)
+                    .expect("red")
+                    .module(),
+            )
             .area_ge();
         assert!(
             pw_scfi < pw_red,
@@ -34,10 +42,18 @@ fn table1_shape_holds() {
     // otbn: tiny FSM — SCFI's fixed MDS cost keeps it close to or above
     // redundancy at N=2 (the paper's observed crossover).
     let ot_scfi = lib
-        .map(harden(&otbn.fsm, &ScfiConfig::new(2)).expect("harden").module())
+        .map(
+            harden(&otbn.fsm, &ScfiConfig::new(2))
+                .expect("harden")
+                .module(),
+        )
         .area_ge();
     let ot_red = lib
-        .map(scfi_repro::core::redundancy(&otbn.fsm, 2).expect("red").module())
+        .map(
+            scfi_repro::core::redundancy(&otbn.fsm, 2)
+                .expect("red")
+                .module(),
+        )
         .area_ge();
     assert!(
         ot_scfi > ot_red * 0.8,
@@ -73,7 +89,11 @@ fn timing_depth_shape_holds() {
 fn synfi_escape_rate_shape_holds() {
     let fsm = scfi_opentitan::synfi_formal_fsm();
     let hardened = harden(&fsm, &ScfiConfig::new(2).pad(PadPolicy::Replicate)).expect("harden");
-    assert_eq!(hardened.cfg().len(), 14, "the paper's FSM has 14 transitions");
+    assert_eq!(
+        hardened.cfg().len(),
+        14,
+        "the paper's FSM has 14 transitions"
+    );
     let report = run_exhaustive(
         &ScfiTarget::new(&hardened),
         &CampaignConfig::new()

@@ -53,8 +53,12 @@ fn hardened_area_grows_sublinearly_vs_redundancy() {
     let scfi4 = lib
         .map(harden(&fsm, &ScfiConfig::new(4)).expect("harden").module())
         .area_ge();
-    let red2 = lib.map(redundancy(&fsm, 2).expect("red").module()).area_ge();
-    let red4 = lib.map(redundancy(&fsm, 4).expect("red").module()).area_ge();
+    let red2 = lib
+        .map(redundancy(&fsm, 2).expect("red").module())
+        .area_ge();
+    let red4 = lib
+        .map(redundancy(&fsm, 4).expect("red").module())
+        .area_ge();
     // SCFI's increment from N=2 to N=4 must be flatter than redundancy's —
     // the paper's scalability claim.
     let scfi_growth = scfi4 / scfi2;
@@ -83,7 +87,10 @@ fn behavioral_gate_level_and_hardened_agree_on_long_runs() {
         let bits = seed.wrapping_mul(0x2545F4914F6CDD1D);
         let raw: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
 
-        let xe: Vec<bool> = hardened.encode_condition(gold.state(), &raw).iter().collect();
+        let xe: Vec<bool> = hardened
+            .encode_condition(gold.state(), &raw)
+            .iter()
+            .collect();
         let expect = gold.step(&raw);
         plain.step(&raw);
         prot.step(&xe);

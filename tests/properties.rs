@@ -28,15 +28,18 @@ struct FsmSpec {
 
 fn fsm_spec() -> impl Strategy<Value = FsmSpec> {
     (2usize..7, 1usize..4).prop_flat_map(|(n_states, n_signals)| {
-        let transition = (0usize..16, proptest::collection::vec((0usize..8, any::<bool>()), 0..3));
+        let transition = (
+            0usize..16,
+            proptest::collection::vec((0usize..8, any::<bool>()), 0..3),
+        );
         let per_state = proptest::collection::vec(transition, 0..4);
-        proptest::collection::vec(per_state, n_states..=n_states).prop_map(
-            move |transitions| FsmSpec {
+        proptest::collection::vec(per_state, n_states..=n_states).prop_map(move |transitions| {
+            FsmSpec {
                 n_states,
                 n_signals,
                 transitions,
-            },
-        )
+            }
+        })
     })
 }
 
