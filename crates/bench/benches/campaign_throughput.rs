@@ -1,0 +1,96 @@
+//! Campaign-engine throughput: scalar reference vs 64-lane packed engine
+//! on the `adc_ctrl_fsm` exhaustive gate-output-flip campaign (protection
+//! level 2), reported as injections/second.
+//!
+//! Both engines run the identical work list single-threaded, so the ratio
+//! is pure engine speedup — no parallelism in the numerator. CI runs this
+//! bench with `--test` (one iteration per payload, no measurement loop) so
+//! the target cannot rot; the README records the measured speedup.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use scfi_core::{harden, HardenedFsm, ScfiConfig};
+use scfi_faultsim::{
+    run_exhaustive, run_exhaustive_scalar, CampaignConfig, CampaignReport, ScfiTarget,
+};
+
+fn hardened_adc() -> HardenedFsm {
+    let bench = scfi_opentitan::by_name("adc_ctrl_fsm").expect("suite entry");
+    harden(&bench.fsm, &ScfiConfig::new(2)).expect("harden")
+}
+
+fn single_thread_config() -> CampaignConfig {
+    CampaignConfig::new().threads(1)
+}
+
+fn print_throughput() {
+    let hardened = hardened_adc();
+    let target = ScfiTarget::new(&hardened);
+    let config = single_thread_config();
+    let time = |f: &dyn Fn() -> CampaignReport| {
+        let start = Instant::now();
+        let report = f();
+        (report, start.elapsed())
+    };
+    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
+    let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
+    assert_eq!(
+        (
+            scalar_report.injections,
+            scalar_report.masked,
+            scalar_report.detected,
+            scalar_report.hijacked
+        ),
+        (
+            packed_report.injections,
+            packed_report.masked,
+            packed_report.detected,
+            packed_report.hijacked
+        ),
+        "engines disagree"
+    );
+    let rate = |r: &CampaignReport, t: Duration| r.injections as f64 / t.as_secs_f64();
+    let scalar_rate = rate(&scalar_report, scalar_t);
+    let packed_rate = rate(&packed_report, packed_t);
+    println!(
+        "\n=== campaign engine throughput (adc_ctrl_fsm, N=2, exhaustive flips, 1 thread) ==="
+    );
+    println!(
+        "fault space: {} injections over {} cells",
+        scalar_report.injections,
+        hardened.module().len()
+    );
+    println!("scalar engine: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
+    println!("packed engine: {packed_rate:>12.0} injections/s  ({packed_t:.2?})");
+    println!("speedup:       {:>12.1}x\n", packed_rate / scalar_rate);
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let hardened = hardened_adc();
+    let target = ScfiTarget::new(&hardened);
+    let config = single_thread_config();
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.bench_function("scalar_exhaustive", |b| {
+        b.iter(|| run_exhaustive_scalar(&target, &config))
+    });
+    group.bench_function("packed_exhaustive", |b| {
+        b.iter(|| run_exhaustive(&target, &config))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_engines
+}
+
+fn main() {
+    print_throughput();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

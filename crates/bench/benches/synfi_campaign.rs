@@ -38,18 +38,14 @@ fn print_synfi() {
     // against the unprotected FSM.
     let full = run_exhaustive(
         &ScfiTarget::new(&hardened),
-        &CampaignConfig::new()
-            .effects(vec![FaultEffect::Flip])
-            .threads(2),
+        &CampaignConfig::new().effects(vec![FaultEffect::Flip]),
     );
     println!("whole protected module, gate-output flips: {full}");
     let fsm = hardened.fsm().clone();
     let lowered = lower_unprotected(&fsm).expect("lowering");
     let unprot = run_exhaustive(
         &UnprotectedTarget::new(&fsm, &lowered),
-        &CampaignConfig::new()
-            .effects(vec![FaultEffect::Flip])
-            .threads(2),
+        &CampaignConfig::new().effects(vec![FaultEffect::Flip]),
     );
     println!("unprotected FSM, same fault model:        {unprot}");
     println!(

@@ -182,13 +182,14 @@ pub fn synfi_experiment() -> (HardenedFsm, CampaignReport) {
     let hardened = harden(&fsm, &ScfiConfig::new(2).pad(PadPolicy::Replicate)).expect("harden");
     let report = {
         let target = ScfiTarget::new(&hardened);
+        // Packed wave engine, one worker per CPU (the CampaignConfig
+        // default); results are deterministic regardless of thread count.
         run_exhaustive(
             &target,
             &CampaignConfig::new()
                 .effects(vec![FaultEffect::Flip])
                 .region(hardened.regions().diffusion.clone())
-                .with_pin_faults()
-                .threads(2),
+                .with_pin_faults(),
         )
     };
     (hardened, report)

@@ -6,6 +6,7 @@ use std::ops::Range;
 use scfi_netlist::{CellId, CellKind, Simulator};
 
 use crate::target::FaultTarget;
+use crate::wave::{self, WorkList};
 
 /// The effect dimension of the fault model (§2.1: "transient, i.e.
 /// bit-flips, or stuck-at effects").
@@ -72,15 +73,15 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// Defaults: transient flips on every gate output, no pin faults,
-    /// register flips included, single-threaded.
+    /// Defaults: transient flips on every gate output, no pin faults, no
+    /// register flips, one worker thread per available CPU.
     pub fn new() -> Self {
         CampaignConfig {
             effects: vec![FaultEffect::Flip],
             region: None,
             include_register_flips: false,
             include_pin_faults: false,
-            threads: 1,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             seed: 0xFA17,
         }
     }
@@ -111,7 +112,13 @@ impl CampaignConfig {
         self
     }
 
-    /// Worker threads for the campaign (default 1).
+    /// Worker threads for the campaign (default:
+    /// [`std::thread::available_parallelism`]).
+    ///
+    /// Campaign results are deterministic regardless of this setting: the
+    /// wave executor writes each injection's outcome to its work-list slot,
+    /// so reports are independent of thread count, wave boundaries and
+    /// lane order.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
@@ -121,6 +128,11 @@ impl CampaignConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Configured worker thread count.
+    pub(crate) fn thread_count(&self) -> usize {
+        self.threads
     }
 }
 
@@ -260,31 +272,115 @@ pub(crate) fn arm(sim: &mut Simulator<'_>, fault: Fault) {
     }
 }
 
-/// Runs one injection: preload the scenario, arm the fault, run the
-/// transition cycle, classify.
-fn inject_one<T: FaultTarget>(target: &T, scenario: usize, fault: Fault) -> Outcome {
-    let (regs, inputs) = target.scenario(scenario);
-    let mut sim = Simulator::new(target.module());
-    sim.set_register_values(&regs);
-    arm(&mut sim, fault);
-    let out = sim.step(&inputs);
-    target.classify(scenario, sim.register_values(), &out)
+/// Folds per-item outcomes back into the aggregate report, recording the
+/// first 64 hijacks (in work-list order) as examples.
+fn aggregate(work: &WorkList, outcomes: &[Outcome]) -> CampaignReport {
+    let mut report = CampaignReport::empty();
+    for (i, &outcome) in outcomes.iter().enumerate() {
+        report.injections += 1;
+        match outcome {
+            Outcome::Masked => report.masked += 1,
+            Outcome::Detected => report.detected += 1,
+            Outcome::Hijack => {
+                report.hijacked += 1;
+                if report.hijack_examples.len() < 64 {
+                    let (scenario, faults) = work.item(i);
+                    report.hijack_examples.push(FaultRecord {
+                        scenario,
+                        fault: faults[0],
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Builds the exhaustive scenario-major work list: every scenario × every
+/// fault in the list.
+pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> WorkList {
+    let scenarios = target.scenario_count();
+    let mut work = WorkList::with_capacity(scenarios * faults.len());
+    for s in 0..scenarios {
+        for fault in faults {
+            work.push(s, std::slice::from_ref(fault));
+        }
+    }
+    work
 }
 
 /// Exhaustive single-fault campaign: every scenario × every fault site ×
 /// every configured effect — the §6.4 experiment.
+///
+/// Runs on the bit-parallel [`PackedSimulator`](scfi_netlist::PackedSimulator)
+/// wave engine, 64 injections per netlist pass, sharded across
+/// [`CampaignConfig::threads`] workers. Produces injection-for-injection
+/// the same report as the scalar reference engine
+/// ([`run_exhaustive_scalar`]); the workspace conformance suite pins the
+/// two against each other on every Table-1 FSM.
 pub fn run_exhaustive<T: FaultTarget>(target: &T, config: &CampaignConfig) -> CampaignReport {
+    let faults = fault_list(target, config);
+    let work = exhaustive_work(target, &faults);
+    let outcomes = wave::execute(target, &work, config.threads);
+    aggregate(&work, &outcomes)
+}
+
+/// The scalar reference implementation of [`run_exhaustive`]: one
+/// [`Simulator`] per worker, reused across injections via
+/// [`Simulator::reset_to`] + [`Simulator::clear_faults`].
+///
+/// The packed engine is strictly faster; this path exists as the
+/// differential oracle (and for debugging single injections with `peek`
+/// and VCD hooks).
+pub fn run_exhaustive_scalar<T: FaultTarget>(
+    target: &T,
+    config: &CampaignConfig,
+) -> CampaignReport {
     let faults = fault_list(target, config);
     let scenarios = target.scenario_count();
     let work: Vec<(usize, Fault)> = (0..scenarios)
         .flat_map(|s| faults.iter().map(move |&f| (s, f)))
         .collect();
-    run_work(target, &work, config.threads)
+    run_work_scalar(target, &work, config.threads)
+}
+
+/// Draws the multi-fault work list: `runs` items of `faults_per_run`
+/// simultaneous faults each, from the config's seeded xorshift64* stream
+/// (scenario draw first, then the fault draws, per run).
+fn multi_fault_work<T: FaultTarget>(
+    target: &T,
+    faults: &[Fault],
+    faults_per_run: usize,
+    runs: usize,
+    seed: u64,
+) -> WorkList {
+    let mut rng = seed.max(1);
+    let mut next = move || {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut work = WorkList::with_capacity(runs);
+    let mut armed = Vec::with_capacity(faults_per_run);
+    for _ in 0..runs {
+        let scenario = (next() as usize) % target.scenario_count();
+        armed.clear();
+        for _ in 0..faults_per_run {
+            armed.push(faults[(next() as usize) % faults.len()]);
+        }
+        work.push(scenario, &armed);
+    }
+    work
 }
 
 /// Seeded random multi-fault campaign: `runs` experiments, each injecting
 /// `faults_per_run` simultaneous faults into a random scenario — the
 /// multi-fault attacker of the threat model (§3, "N−1 faults").
+///
+/// Runs on the packed wave engine; the fault draw stream is identical to
+/// [`run_multi_fault_scalar`], so the two engines report the same results
+/// for the same seed.
 pub fn run_multi_fault<T: FaultTarget>(
     target: &T,
     faults_per_run: usize,
@@ -295,27 +391,37 @@ pub fn run_multi_fault<T: FaultTarget>(
     if faults.is_empty() || target.scenario_count() == 0 {
         return CampaignReport::empty();
     }
-    let mut rng = config.seed.max(1);
-    let mut next = move || {
-        rng ^= rng >> 12;
-        rng ^= rng << 25;
-        rng ^= rng >> 27;
-        rng.wrapping_mul(0x2545F4914F6CDD1D)
-    };
+    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
+    let outcomes = wave::execute(target, &work, config.threads);
+    aggregate(&work, &outcomes)
+}
+
+/// The scalar reference implementation of [`run_multi_fault`] (same seeded
+/// draw stream, scalar simulator).
+pub fn run_multi_fault_scalar<T: FaultTarget>(
+    target: &T,
+    faults_per_run: usize,
+    runs: usize,
+    config: &CampaignConfig,
+) -> CampaignReport {
+    let faults = fault_list(target, config);
+    if faults.is_empty() || target.scenario_count() == 0 {
+        return CampaignReport::empty();
+    }
+    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
+    let mut sim = Simulator::new(target.module());
+    let mut outputs = Vec::with_capacity(target.module().outputs().len());
     let mut report = CampaignReport::empty();
-    for _ in 0..runs {
-        let scenario = (next() as usize) % target.scenario_count();
+    for i in 0..work.len() {
+        let (scenario, armed) = work.item(i);
         let (regs, inputs) = target.scenario(scenario);
-        let mut sim = Simulator::new(target.module());
-        sim.set_register_values(&regs);
-        let mut armed = Vec::new();
-        for _ in 0..faults_per_run {
-            let f = faults[(next() as usize) % faults.len()];
+        sim.clear_faults();
+        sim.reset_to(&regs);
+        for &f in armed {
             arm(&mut sim, f);
-            armed.push(f);
         }
-        let out = sim.step(&inputs);
-        let outcome = target.classify(scenario, sim.register_values(), &out);
+        sim.step_into(&inputs, &mut outputs);
+        let outcome = target.classify(scenario, sim.register_values(), &outputs);
         report.injections += 1;
         match outcome {
             Outcome::Masked => report.masked += 1,
@@ -334,12 +440,32 @@ pub fn run_multi_fault<T: FaultTarget>(
     report
 }
 
-/// Executes a prepared work list, optionally across threads.
-fn run_work<T: FaultTarget>(target: &T, work: &[(usize, Fault)], threads: usize) -> CampaignReport {
+/// Executes a prepared work list on the scalar engine, optionally across
+/// threads. Each worker owns one reusable simulator and output buffer and
+/// caches the last scenario's preload, so the per-injection cost is one
+/// register reset plus one simulated cycle — no allocation, no
+/// `Simulator::new`.
+fn run_work_scalar<T: FaultTarget>(
+    target: &T,
+    work: &[(usize, Fault)],
+    threads: usize,
+) -> CampaignReport {
     let run_slice = |slice: &[(usize, Fault)]| {
+        let mut sim = Simulator::new(target.module());
+        let mut outputs = Vec::with_capacity(target.module().outputs().len());
+        let mut cached: Option<(usize, Vec<bool>, Vec<bool>)> = None;
         let mut report = CampaignReport::empty();
         for &(scenario, fault) in slice {
-            let outcome = inject_one(target, scenario, fault);
+            if cached.as_ref().map(|c| c.0) != Some(scenario) {
+                let (regs, inputs) = target.scenario(scenario);
+                cached = Some((scenario, regs, inputs));
+            }
+            let (_, regs, inputs) = cached.as_ref().expect("cached scenario");
+            sim.clear_faults();
+            sim.reset_to(regs);
+            arm(&mut sim, fault);
+            sim.step_into(inputs, &mut outputs);
+            let outcome = target.classify(scenario, sim.register_values(), &outputs);
             report.injections += 1;
             match outcome {
                 Outcome::Masked => report.masked += 1,
@@ -579,6 +705,75 @@ mod tests {
         // Branch number drops with the smaller matrix; detection must
         // still dominate.
         assert!(report.coverage() > 0.8, "{report}");
+    }
+
+    /// Field-wise aggregate comparison (hijack examples included — both
+    /// engines record the first 64 hijacks in work-list order).
+    fn assert_reports_identical(packed: &CampaignReport, scalar: &CampaignReport, what: &str) {
+        assert_eq!(packed, scalar, "{what}: packed and scalar reports differ");
+    }
+
+    #[test]
+    fn packed_exhaustive_matches_scalar_across_fault_models() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let configs = [
+            CampaignConfig::new(),
+            CampaignConfig::new().with_register_flips(),
+            CampaignConfig::new().with_pin_faults(),
+            CampaignConfig::new()
+                .effects(vec![
+                    FaultEffect::Flip,
+                    FaultEffect::Stuck0,
+                    FaultEffect::Stuck1,
+                ])
+                .with_pin_faults()
+                .with_register_flips(),
+            CampaignConfig::new().region(h.regions().diffusion.clone()),
+        ];
+        for (i, config) in configs.iter().enumerate() {
+            let packed = run_exhaustive(&t, config);
+            let scalar = run_exhaustive_scalar(&t, &config.clone().threads(1));
+            assert_reports_identical(&packed, &scalar, &format!("config {i}"));
+        }
+    }
+
+    #[test]
+    fn packed_exhaustive_matches_scalar_on_baselines() {
+        let f = fsm();
+        let lowered = lower_unprotected(&f).unwrap();
+        let unprot = UnprotectedTarget::new(&f, &lowered);
+        let config = CampaignConfig::new()
+            .with_register_flips()
+            .with_pin_faults();
+        assert_reports_identical(
+            &run_exhaustive(&unprot, &config),
+            &run_exhaustive_scalar(&unprot, &config),
+            "unprotected",
+        );
+        let r = redundancy(&f, 3).unwrap();
+        let red = RedundancyTarget::new(&r);
+        assert_reports_identical(
+            &run_exhaustive(&red, &config),
+            &run_exhaustive_scalar(&red, &config),
+            "redundancy",
+        );
+    }
+
+    #[test]
+    fn packed_multi_fault_matches_scalar_per_seed() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        for seed in [1, 42, 0xFA17] {
+            let config = CampaignConfig::new().with_register_flips().seed(seed);
+            assert_reports_identical(
+                &run_multi_fault(&t, 3, 300, &config),
+                &run_multi_fault_scalar(&t, 3, 300, &config),
+                &format!("seed {seed}"),
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,21 @@
 //!
 //! Campaigns run exhaustively over every (edge × site × effect) triple
 //! ([`run_exhaustive`]) or as seeded random multi-fault samples
-//! ([`run_multi_fault`]), optionally in parallel across threads.
+//! ([`run_multi_fault`]), in parallel across threads by default.
+//!
+//! # Two engines
+//!
+//! Campaigns execute on the bit-parallel
+//! [`PackedSimulator`](scfi_netlist::PackedSimulator): the work list is
+//! chunked into waves of 64 `(scenario, fault)` lanes, each wave costs one
+//! netlist pass, and faults are precompiled AND/OR/XOR masks. The scalar
+//! [`Simulator`](scfi_netlist::Simulator) path is retained as the
+//! differential reference — [`run_exhaustive_scalar`] /
+//! [`run_multi_fault_scalar`] produce injection-for-injection identical
+//! reports and exist to cross-check the fast engine (the workspace
+//! conformance suite pins the two against each other on every Table-1
+//! FSM) and to debug single injections. Reports are deterministic and
+//! independent of thread count, wave boundaries and lane order.
 //!
 //! # Example
 //!
@@ -44,10 +58,11 @@
 mod campaign;
 mod target;
 mod vulnerability;
+mod wave;
 
 pub use campaign::{
-    run_exhaustive, run_multi_fault, CampaignConfig, CampaignReport, Fault, FaultEffect,
-    FaultRecord, FaultSite, Outcome,
+    run_exhaustive, run_exhaustive_scalar, run_multi_fault, run_multi_fault_scalar, CampaignConfig,
+    CampaignReport, Fault, FaultEffect, FaultRecord, FaultSite, Outcome,
 };
 pub use target::{FaultTarget, RedundancyTarget, ScfiTarget, UnprotectedTarget};
 pub use vulnerability::{SiteStats, VulnerabilityMap};

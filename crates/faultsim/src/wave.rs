@@ -1,0 +1,235 @@
+//! Batched 64-lane campaign execution over the packed simulator.
+//!
+//! The wave executor is the throughput core behind
+//! [`run_exhaustive`](crate::run_exhaustive),
+//! [`run_multi_fault`](crate::run_multi_fault) and
+//! [`VulnerabilityMap`](crate::VulnerabilityMap): the `(scenario, faults)`
+//! work list is chunked into waves of up to [`LANES`] injections, each wave
+//! runs as one pass of a [`PackedSimulator`] (per-lane register preloads,
+//! per-lane fault masks, one shared clock edge), and lanes are classified
+//! by extracting each lane's registers and outputs. Simulator scratch —
+//! the compiled netlist, value arrays, preload/output words and extraction
+//! buffers — is reused across every wave of a worker.
+//!
+//! Waves are sharded across threads in contiguous blocks. The outcome of
+//! item `i` is written to slot `i` regardless of which thread or lane
+//! computed it, so results are deterministic: independent of the thread
+//! count, the wave boundaries and the lane order.
+
+use scfi_netlist::{extract_lane, PackedNetlist, PackedSimulator, LANES};
+
+use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
+use crate::target::FaultTarget;
+
+/// A flat `(scenario, faults)` work list: item `i` injects the fault group
+/// `faults(i)` into scenario `scenario(i)`. Single-fault campaigns store
+/// one fault per item; multi-fault campaigns store one group per run.
+#[derive(Clone, Debug)]
+pub(crate) struct WorkList {
+    scenarios: Vec<u32>,
+    /// Prefix offsets into `faults`, one extra entry at the end.
+    offsets: Vec<u32>,
+    faults: Vec<Fault>,
+}
+
+impl WorkList {
+    pub(crate) fn with_capacity(items: usize) -> Self {
+        let mut w = WorkList {
+            scenarios: Vec::with_capacity(items),
+            offsets: Vec::with_capacity(items + 1),
+            faults: Vec::with_capacity(items),
+        };
+        w.offsets.push(0);
+        w
+    }
+
+    /// Appends one item injecting `faults` simultaneously into `scenario`.
+    pub(crate) fn push(&mut self, scenario: usize, faults: &[Fault]) {
+        self.scenarios.push(scenario as u32);
+        self.faults.extend_from_slice(faults);
+        self.offsets.push(self.faults.len() as u32);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// The `(scenario, faults)` of item `i`.
+    pub(crate) fn item(&self, i: usize) -> (usize, &[Fault]) {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        (self.scenarios[i] as usize, &self.faults[lo..hi])
+    }
+}
+
+/// Arms one fault in the selected lanes of a packed simulator. Mirrors the
+/// scalar [`arm`](crate::campaign::arm) mapping exactly.
+fn arm_lanes(sim: &mut PackedSimulator<'_>, fault: Fault, lanes: u64) {
+    match (fault.site, fault.effect) {
+        (FaultSite::CellOutput(c), FaultEffect::Flip) => sim.set_net_flip(c.net(), lanes),
+        (FaultSite::CellOutput(c), FaultEffect::Stuck0) => sim.set_net_stuck(c.net(), false, lanes),
+        (FaultSite::CellOutput(c), FaultEffect::Stuck1) => sim.set_net_stuck(c.net(), true, lanes),
+        (FaultSite::Pin(c, p), FaultEffect::Flip) => sim.set_pin_flip(c, p as usize, lanes),
+        (FaultSite::Pin(c, p), FaultEffect::Stuck0) => {
+            sim.set_pin_stuck(c, p as usize, false, lanes)
+        }
+        (FaultSite::Pin(c, p), FaultEffect::Stuck1) => {
+            sim.set_pin_stuck(c, p as usize, true, lanes)
+        }
+        (FaultSite::Register(c), _) => sim.flip_register(c, lanes),
+    }
+}
+
+/// Executes the work list on the packed engine and returns one outcome per
+/// item, in item order. `threads` worker threads share the compiled
+/// netlist; each owns its simulator and scratch.
+pub(crate) fn execute<T: FaultTarget>(target: &T, work: &WorkList, threads: usize) -> Vec<Outcome> {
+    let n = work.len();
+    let mut outcomes = vec![Outcome::Masked; n];
+    if n == 0 {
+        return outcomes;
+    }
+    let compiled = PackedNetlist::compile(target.module());
+    let waves = n.div_ceil(LANES);
+    let threads = threads.max(1).min(waves);
+    if threads <= 1 {
+        run_waves(target, &compiled, work, 0, &mut outcomes);
+    } else {
+        // Contiguous blocks of whole waves per worker; each worker writes
+        // its own disjoint outcome slice.
+        let per = waves.div_ceil(threads) * LANES;
+        std::thread::scope(|scope| {
+            for (t, chunk) in outcomes.chunks_mut(per).enumerate() {
+                let compiled = &compiled;
+                scope.spawn(move || run_waves(target, compiled, work, t * per, chunk));
+            }
+        });
+    }
+    outcomes
+}
+
+/// Runs the items `base..base + out.len()` of the work list, one wave of
+/// up to [`LANES`] injections at a time, writing outcomes into `out`.
+fn run_waves<T: FaultTarget>(
+    target: &T,
+    compiled: &PackedNetlist,
+    work: &WorkList,
+    base: usize,
+    out: &mut [Outcome],
+) {
+    let mut sim = PackedSimulator::new(compiled);
+    let mut reg_words = vec![0u64; compiled.register_count()];
+    let mut input_words = vec![0u64; compiled.input_count()];
+    let mut out_words: Vec<u64> = Vec::with_capacity(compiled.output_count());
+    let mut reg_bits: Vec<bool> = Vec::with_capacity(compiled.register_count());
+    let mut out_bits: Vec<bool> = Vec::with_capacity(compiled.output_count());
+    // Work lists are scenario-major, so caching the last scenario's preload
+    // makes the per-lane setup a pure bit-scatter for almost every wave.
+    let mut cached: Option<(usize, Vec<bool>, Vec<bool>)> = None;
+
+    let mut done = 0usize;
+    while done < out.len() {
+        let lanes = LANES.min(out.len() - done);
+        sim.clear_faults();
+        reg_words.fill(0);
+        input_words.fill(0);
+        for lane in 0..lanes {
+            let (scenario, _) = work.item(base + done + lane);
+            if cached.as_ref().map(|c| c.0) != Some(scenario) {
+                let (regs, inputs) = target.scenario(scenario);
+                assert_eq!(
+                    regs.len(),
+                    reg_words.len(),
+                    "scenario register preload width mismatch"
+                );
+                assert_eq!(
+                    inputs.len(),
+                    input_words.len(),
+                    "scenario input width mismatch"
+                );
+                cached = Some((scenario, regs, inputs));
+            }
+            let (_, regs, inputs) = cached.as_ref().expect("cached scenario");
+            let bit = 1u64 << lane;
+            for (j, &v) in regs.iter().enumerate() {
+                if v {
+                    reg_words[j] |= bit;
+                }
+            }
+            for (j, &v) in inputs.iter().enumerate() {
+                if v {
+                    input_words[j] |= bit;
+                }
+            }
+        }
+        // Register preloads must land before register-flip faults arm:
+        // flips mutate the stored state, as in the scalar engine.
+        sim.set_register_words(&reg_words);
+        for lane in 0..lanes {
+            let (_, faults) = work.item(base + done + lane);
+            for &f in faults {
+                arm_lanes(&mut sim, f, 1u64 << lane);
+            }
+        }
+        sim.step_into(&input_words, &mut out_words);
+        for lane in 0..lanes {
+            let (scenario, _) = work.item(base + done + lane);
+            extract_lane(sim.register_words(), lane, &mut reg_bits);
+            extract_lane(&out_words, lane, &mut out_bits);
+            out[done + lane] = target.classify(scenario, &reg_bits, &out_bits);
+        }
+        done += lanes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{fault_list, CampaignConfig};
+    use crate::target::ScfiTarget;
+    use scfi_core::{harden, ScfiConfig};
+    use scfi_fsm::parse_fsm;
+
+    fn target_fsm() -> scfi_fsm::Fsm {
+        parse_fsm(
+            "fsm m { inputs a, b;
+               state S0 { if a -> S1; if b -> S2; }
+               state S1 { if b -> S2; }
+               state S2 { goto S0; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn work_list_round_trips_items() {
+        let f = Fault {
+            site: FaultSite::Register(scfi_netlist::CellId(3)),
+            effect: FaultEffect::Flip,
+        };
+        let g = Fault {
+            site: FaultSite::Pin(scfi_netlist::CellId(1), 2),
+            effect: FaultEffect::Stuck1,
+        };
+        let mut w = WorkList::with_capacity(3);
+        w.push(4, &[f]);
+        w.push(9, &[f, g]);
+        w.push(0, &[]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.item(0), (4, &[f][..]));
+        assert_eq!(w.item(1), (9, &[f, g][..]));
+        assert_eq!(w.item(2), (0, &[][..]));
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_thread_count() {
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let faults = fault_list(&t, &CampaignConfig::new().with_register_flips());
+        let work = crate::campaign::exhaustive_work(&t, &faults);
+        let one = execute(&t, &work, 1);
+        let four = execute(&t, &work, 4);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), work.len());
+    }
+}

@@ -468,13 +468,17 @@ impl ModuleBuilder {
     /// dangles, or the combinational logic contains a cycle.
     pub fn finish(self) -> Result<Module, ValidateError> {
         let topo = validate_cells(&self.cells, &self.outputs)?;
-        let registers = self
+        let registers: Vec<crate::CellId> = self
             .cells
             .iter()
             .enumerate()
             .filter(|(_, c)| c.kind.is_sequential())
             .map(|(i, _)| crate::CellId(i as u32))
             .collect();
+        let mut reg_pos = vec![u32::MAX; self.cells.len()];
+        for (pos, r) in registers.iter().enumerate() {
+            reg_pos[r.index()] = pos as u32;
+        }
         Ok(Module {
             name: self.name,
             cells: self.cells,
@@ -482,6 +486,7 @@ impl ModuleBuilder {
             outputs: self.outputs,
             topo,
             registers,
+            reg_pos,
         })
     }
 }

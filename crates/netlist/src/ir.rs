@@ -216,6 +216,9 @@ pub struct Module {
     pub(crate) topo: Vec<CellId>,
     /// All flip-flop cells.
     pub(crate) registers: Vec<CellId>,
+    /// Cell index → position in `registers`, `u32::MAX` for non-registers.
+    /// Precomputed once so simulators never need a per-instance hash map.
+    pub(crate) reg_pos: Vec<u32>,
 }
 
 impl Module {
@@ -257,6 +260,14 @@ impl Module {
     /// Flip-flop cells, in creation order.
     pub fn registers(&self) -> &[CellId] {
         &self.registers
+    }
+
+    /// Position of `cell` in [`Module::registers`], or `None` if it is not
+    /// a flip-flop of this module.
+    pub fn register_position(&self, cell: CellId) -> Option<usize> {
+        self.reg_pos
+            .get(cell.index())
+            .and_then(|&p| (p != u32::MAX).then_some(p as usize))
     }
 
     /// Combinational cells in a valid evaluation order.

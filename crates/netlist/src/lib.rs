@@ -13,6 +13,11 @@
 //!   hooks the SYNFI-style analysis needs: transient bit-flips and stuck-at
 //!   faults on any net or any individual cell input pin, and direct register
 //!   manipulation,
+//! * [`PackedNetlist`] / [`PackedSimulator`] — the word-level, bit-parallel
+//!   campaign engine: the module compiled once into a levelized
+//!   struct-of-arrays program, evaluated over `u64` nets where each bit is
+//!   an independent simulation lane (64 fault injections per gate
+//!   operation, faults as precompiled AND/OR/XOR masks),
 //! * [`ModuleStats`] — cell histograms and logic depth,
 //! * DOT and structural-Verilog export.
 //!
@@ -40,12 +45,14 @@
 mod builder;
 mod export;
 mod ir;
+mod packed;
 mod sim;
 mod stats;
 mod vcd;
 
 pub use builder::ModuleBuilder;
 pub use ir::{Cell, CellId, CellKind, Module, NetId, ValidateError};
+pub use packed::{extract_lane, PackedNetlist, PackedSimulator, LANES};
 pub use sim::Simulator;
 pub use stats::ModuleStats;
 pub use vcd::VcdRecorder;

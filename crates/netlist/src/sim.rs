@@ -42,8 +42,6 @@ pub struct Simulator<'m> {
     values: Vec<bool>,
     /// Stored state per register, parallel to `module.registers()`.
     reg_state: Vec<bool>,
-    /// Register position by cell id (for targeted register faults).
-    reg_index: HashMap<u32, usize>,
     cycle: u64,
     net_flip: HashSet<u32>,
     net_stuck: HashMap<u32, bool>,
@@ -62,17 +60,10 @@ impl<'m> Simulator<'m> {
                 _ => unreachable!("registers() yields only flip-flops"),
             })
             .collect();
-        let reg_index = module
-            .registers()
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.0, i))
-            .collect();
         Simulator {
             module,
             values: vec![false; module.len()],
             reg_state,
-            reg_index,
             cycle: 0,
             net_flip: HashSet::new(),
             net_stuck: HashMap::new(),
@@ -102,6 +93,19 @@ impl<'m> Simulator<'m> {
                 _ => unreachable!(),
             };
         }
+        self.cycle = 0;
+    }
+
+    /// Overwrites all register state and restarts the cycle counter — the
+    /// cheap way to reuse one simulator across many campaign injections
+    /// instead of paying [`Simulator::new`] allocation per injection.
+    /// Armed faults are preserved (pair with [`Simulator::clear_faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn reset_to(&mut self, regs: &[bool]) {
+        self.set_register_values(regs);
         self.cycle = 0;
     }
 
@@ -135,11 +139,23 @@ impl<'m> Simulator<'m> {
     ///
     /// Panics if `inputs.len()` differs from the module's input count.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.module.outputs().len());
+        self.step_into(inputs, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Simulator::step`]: samples the output
+    /// ports into `outputs` (cleared first) instead of returning a fresh
+    /// `Vec`. This is the hot-loop entry point for fault campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the module's input count.
+    pub fn step_into(&mut self, inputs: &[bool], outputs: &mut Vec<bool>) {
         self.eval_comb(inputs);
-        let out = self.sample_outputs();
+        self.sample_outputs_into(outputs);
         self.commit_registers();
         self.cycle += 1;
-        out
     }
 
     /// Evaluates the combinational network for the current cycle without
@@ -207,22 +223,34 @@ impl<'m> Simulator<'m> {
 
     /// Samples the output ports after [`Simulator::eval_comb`].
     pub fn sample_outputs(&self) -> Vec<bool> {
-        self.module
-            .outputs()
-            .iter()
-            .map(|&(_, net)| self.values[net.index()])
-            .collect()
+        let mut out = Vec::with_capacity(self.module.outputs().len());
+        self.sample_outputs_into(&mut out);
+        out
     }
 
-    /// Commits every flip-flop's data input into its state.
+    /// Samples the output ports into `out` (cleared first) without
+    /// allocating — the campaign-loop variant of
+    /// [`Simulator::sample_outputs`].
+    pub fn sample_outputs_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(
+            self.module
+                .outputs()
+                .iter()
+                .map(|&(_, net)| self.values[net.index()]),
+        );
+    }
+
+    /// Commits every flip-flop's data input into its state, in place.
+    ///
+    /// The data inputs are read from the settled net values (never from
+    /// `reg_state` itself), so the commit needs no intermediate buffer.
     pub fn commit_registers(&mut self) {
         let m = self.module;
-        let next: Vec<bool> = m
-            .registers()
-            .iter()
-            .map(|&r| self.read_pin(r.0, 0, m.cell(r).pins[0]))
-            .collect();
-        self.reg_state = next;
+        for (i, &r) in m.registers().iter().enumerate() {
+            let v = self.read_pin(r.0, 0, m.cell(r).pins[0]);
+            self.reg_state[i] = v;
+        }
     }
 
     /// Reads the settled value of an arbitrary net (valid after a step or
@@ -258,9 +286,9 @@ impl<'m> Simulator<'m> {
     ///
     /// Panics if `reg` is not a flip-flop of this module.
     pub fn flip_register(&mut self, reg: CellId) {
-        let idx = *self
-            .reg_index
-            .get(&reg.0)
+        let idx = self
+            .module
+            .register_position(reg)
             .unwrap_or_else(|| panic!("{reg:?} is not a register"));
         self.reg_state[idx] = !self.reg_state[idx];
     }
@@ -448,5 +476,39 @@ mod tests {
         let m = counter();
         let mut sim = Simulator::new(&m);
         let _ = sim.step(&[true]);
+    }
+
+    #[test]
+    fn reset_to_restarts_from_arbitrary_state() {
+        let m = counter();
+        let mut sim = Simulator::new(&m);
+        sim.step(&[]);
+        sim.step(&[]);
+        sim.reset_to(&[true, true]);
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.step(&[]), vec![true, true]);
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        let m = counter();
+        let mut a = Simulator::new(&m);
+        let mut b = Simulator::new(&m);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            b.step_into(&[], &mut out);
+            assert_eq!(a.step(&[]), out);
+        }
+        assert_eq!(a.cycle(), b.cycle());
+    }
+
+    #[test]
+    fn register_position_identifies_flip_flops() {
+        let m = counter();
+        for (i, &r) in m.registers().iter().enumerate() {
+            assert_eq!(m.register_position(r), Some(i));
+        }
+        let comb = m.topo_order()[0];
+        assert_eq!(m.register_position(comb), None);
     }
 }

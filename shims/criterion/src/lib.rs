@@ -10,10 +10,25 @@
 //! iterations) and report the mean, minimum, and maximum per-iteration
 //! time on stdout.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], as `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// Returns `true` when the bench binary was invoked with `--test` (as
+/// `cargo bench -- --test` passes it), mirroring real criterion's test
+/// mode: every benchmark payload runs exactly once, unmeasured, so CI can
+/// assert benches still work without paying measurement time.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| has_test_flag(std::env::args()))
+}
+
+/// `--test` detection, separated from `std::env` for testability.
+fn has_test_flag(mut args: impl Iterator<Item = String>) -> bool {
+    args.any(|a| a == "--test")
+}
 
 /// Top-level benchmark driver and configuration.
 #[derive(Clone, Debug)]
@@ -134,6 +149,13 @@ impl Bencher<'_> {
     /// warm-up/measurement budgets. The payload's return value is passed
     /// through [`black_box`] so the work is not optimised away.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if test_mode() {
+            let start = Instant::now();
+            black_box(payload());
+            let elapsed = start.elapsed();
+            self.recorded = Some((elapsed, 1, elapsed, elapsed));
+            return;
+        }
         let warm_deadline = Instant::now() + self.config.warm_up_time;
         while Instant::now() < warm_deadline {
             black_box(payload());
@@ -288,5 +310,14 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
         assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+
+    #[test]
+    fn test_flag_detection() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(has_test_flag(args(&["bench", "--test"]).into_iter()));
+        assert!(!has_test_flag(args(&["bench", "--bench"]).into_iter()));
+        assert!(!has_test_flag(args(&["bench", "--testx"]).into_iter()));
+        assert!(!has_test_flag(std::iter::empty()));
     }
 }

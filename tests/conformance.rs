@@ -17,7 +17,10 @@
 mod common;
 
 use scfi_core::{harden, redundancy, ScfiConfig, ScfiError, StateDecode};
-use scfi_faultsim::{run_exhaustive, CampaignConfig, ScfiTarget};
+use scfi_faultsim::{
+    run_exhaustive, run_exhaustive_scalar, CampaignConfig, CampaignReport, FaultTarget,
+    RedundancyTarget, ScfiTarget, UnprotectedTarget,
+};
 use scfi_fsm::lower_unprotected;
 use scfi_netlist::Simulator;
 
@@ -194,6 +197,53 @@ fn register_fault_campaign_detects_every_injection() {
             "{}: every register fault must be detected: {report}",
             b.name
         );
+    }
+}
+
+/// Asserts that the packed wave engine and the scalar reference engine
+/// produce byte-identical aggregate counts for the same campaign.
+fn assert_engines_agree<T: FaultTarget>(target: &T, config: &CampaignConfig, what: &str) {
+    let packed = run_exhaustive(target, config);
+    let scalar = run_exhaustive_scalar(target, config);
+    let counts = |r: &CampaignReport| (r.injections, r.masked, r.detected, r.hijacked);
+    assert_eq!(
+        counts(&packed),
+        counts(&scalar),
+        "{what}: packed engine diverged from the scalar reference\n  packed: {packed}\n  scalar: {scalar}"
+    );
+    assert!(packed.injections > 0, "{what}: empty campaign");
+}
+
+/// Cross-engine campaign conformance over the paper's full evaluation
+/// matrix: for every Table-1 FSM, every configuration of §6.1
+/// (unprotected, redundancy, SCFI) and every protection level N ∈
+/// {2, 3, 4}, the bit-parallel packed engine must reproduce the scalar
+/// engine's `CampaignReport` aggregates exactly — the same exhaustive
+/// gate-output flip campaign, injection for injection.
+#[test]
+fn packed_campaign_engine_matches_scalar_on_every_table1_fsm() {
+    let config = CampaignConfig::new().with_register_flips();
+    for b in scfi_opentitan::all() {
+        let lowered = lower_unprotected(&b.fsm).expect("lowering");
+        assert_engines_agree(
+            &UnprotectedTarget::new(&b.fsm, &lowered),
+            &config,
+            &format!("{} unprotected", b.name),
+        );
+        for n in [2, 3, 4] {
+            let r = redundancy(&b.fsm, n).expect("redundancy");
+            assert_engines_agree(
+                &RedundancyTarget::new(&r),
+                &config,
+                &format!("{} redundancy N={n}", b.name),
+            );
+            let h = harden(&b.fsm, &ScfiConfig::new(n)).expect("harden");
+            assert_engines_agree(
+                &ScfiTarget::new(&h),
+                &config,
+                &format!("{} SCFI N={n}", b.name),
+            );
+        }
     }
 }
 
