@@ -1,0 +1,95 @@
+//! Multi-cycle campaign throughput: the packed wave engine vs the scalar
+//! reference on the secure-boot protocol workload — depth-4 CFG walks over
+//! `secure_boot_fsm` (SCFI, protection level 2), every walk step glitched
+//! transiently, exhaustive over gate-output flips plus register flips.
+//!
+//! Reported as injections/second (one injection = one fault group run
+//! through one whole walk, i.e. four simulated cycles). Both engines run
+//! the identical work list single-threaded, so the ratio is pure engine
+//! speedup. CI runs this bench with `--test` (one iteration per payload,
+//! no measurement loop), which also asserts the two engines agree on the
+//! multi-cycle workload.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use scfi_core::{harden, HardenedFsm, ScfiConfig};
+use scfi_faultsim::{
+    run_exhaustive, run_exhaustive_scalar, CampaignConfig, CampaignReport, FaultTarget, ScfiTarget,
+};
+
+/// Walk depth: the secure-boot happy path is a 6-transition chain; depth 4
+/// keeps the exhaustive product tractable while every scenario still rides
+/// corrupted state across multiple edges.
+const DEPTH: usize = 4;
+const WALK_SEED: u64 = 0xB007_5EED;
+
+fn hardened_boot() -> HardenedFsm {
+    harden(&scfi_opentitan::secure_boot_fsm(), &ScfiConfig::new(2)).expect("harden")
+}
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::new().with_register_flips().threads(1)
+}
+
+fn print_throughput() {
+    let hardened = hardened_boot();
+    let target = ScfiTarget::with_protocol(&hardened, DEPTH, WALK_SEED);
+    let config = campaign_config();
+    let time = |f: &dyn Fn() -> CampaignReport| {
+        let start = Instant::now();
+        let report = f();
+        (report, start.elapsed())
+    };
+    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
+    let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
+    assert_eq!(
+        scalar_report, packed_report,
+        "engines disagree on the multi-cycle workload"
+    );
+    let rate = |r: &CampaignReport, t: Duration| r.injections as f64 / t.as_secs_f64();
+    let scalar_rate = rate(&scalar_report, scalar_t);
+    let packed_rate = rate(&packed_report, packed_t);
+    println!(
+        "\n=== multi-cycle campaign throughput (secure_boot_fsm, N=2, depth-{DEPTH} walks, 1 thread) ==="
+    );
+    println!(
+        "protocol space: {} scenarios x faults = {} injections ({} cycles each)",
+        target.scenario_count(),
+        packed_report.injections,
+        DEPTH
+    );
+    println!("result: {packed_report}");
+    println!("scalar engine: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
+    println!("packed engine: {packed_rate:>12.0} injections/s  ({packed_t:.2?})");
+    println!("speedup:       {:>12.1}x\n", packed_rate / scalar_rate);
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let hardened = hardened_boot();
+    let target = ScfiTarget::with_protocol(&hardened, DEPTH, WALK_SEED);
+    let config = campaign_config();
+    let mut group = c.benchmark_group("campaign_multicycle");
+    group.bench_function("scalar_protocol_exhaustive", |b| {
+        b.iter(|| run_exhaustive_scalar(&target, &config))
+    });
+    group.bench_function("packed_protocol_exhaustive", |b| {
+        b.iter(|| run_exhaustive(&target, &config))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_engines
+}
+
+fn main() {
+    print_throughput();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

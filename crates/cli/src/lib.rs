@@ -10,6 +10,7 @@
 //!             [--emit verilog|dot|report]
 //! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
 //!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
+//!              [--protocol K]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! ```
@@ -52,11 +53,14 @@ pub const USAGE: &str = "usage:
               [--emit verilog|dot|report]
   scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
+               [--protocol K]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
 
 `-` reads the FSM DSL from standard input. `scfi suite` lists the bundled
-OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.";
+OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.
+`--protocol K` runs a multi-cycle campaign over depth-K CFG walks, each
+step glitched transiently, instead of the single-transition experiment.";
 
 /// Runs the CLI on an argument vector (without the program name), writing
 /// the result into `out`.
@@ -254,6 +258,15 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
             .map_err(|_| usage_err("--runs must be a number"))?,
         None => 2000,
     };
+    let protocol: Option<usize> = flags
+        .value("--protocol")?
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&k: &usize| k > 0)
+                .ok_or_else(|| usage_err("--protocol must be a positive walk depth"))
+        })
+        .transpose()?;
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
 
@@ -274,7 +287,19 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         config = config.with_pin_faults();
     }
 
-    let target = ScfiTarget::new(&hardened);
+    let target = match protocol {
+        // Walk seed fixed so repeated invocations analyze the same
+        // protocol scenario set.
+        Some(depth) => ScfiTarget::with_protocol(&hardened, depth, 0x5CF1_3007),
+        None => ScfiTarget::new(&hardened),
+    };
+    if let Some(depth) = protocol {
+        let _ = writeln!(
+            out,
+            "multi-cycle campaign: depth-{depth} protocol walks, {} scenarios",
+            scfi_faultsim::FaultTarget::scenario_count(&target)
+        );
+    }
     let report = match multi {
         Some(m) => run_multi_fault(&target, m, runs, &config),
         None => run_exhaustive(&target, &config),
@@ -358,18 +383,31 @@ fn cmd_suite(args: &[String], out: &mut String) -> Result<(), CliError> {
                     b.paper_module_ge
                 );
             }
-        }
-        Some(name) => match scfi_opentitan::by_name(&name) {
-            Some(b) => {
-                let _ = write!(out, "{}", b.fsm.to_dsl());
+            let _ = writeln!(out, "multi-cycle protocol workloads (not Table-1 rows):");
+            for fsm in scfi_opentitan::protocol_workloads() {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>3} states, {:>2} signals (try `scfi analyze - --protocol 4`)",
+                    fsm.name(),
+                    fsm.state_count(),
+                    fsm.signals().len()
+                );
             }
-            None => {
-                return Err(CliError {
+        }
+        Some(name) => {
+            let fsm = scfi_opentitan::by_name(&name)
+                .map(|b| b.fsm)
+                .or_else(|| {
+                    scfi_opentitan::protocol_workloads()
+                        .into_iter()
+                        .find(|f| f.name() == name)
+                })
+                .ok_or_else(|| CliError {
                     message: format!("no bundled FSM named `{name}` (try `scfi suite`)"),
                     code: 2,
-                })
-            }
-        },
+                })?;
+            let _ = write!(out, "{}", fsm.to_dsl());
+        }
     }
     Ok(())
 }
@@ -422,10 +460,14 @@ mod tests {
         let listing = run_ok(&["suite"]);
         assert!(listing.contains("adc_ctrl_fsm"));
         assert!(listing.contains("pwrmgr_fsm"));
+        assert!(listing.contains("secure_boot_fsm"));
         let dsl = run_ok(&["suite", "aes_control"]);
         assert!(dsl.starts_with("fsm aes_control {"));
         // The dump re-parses.
         assert!(parse_fsm(&dsl).is_ok());
+        let boot = run_ok(&["suite", "secure_boot_fsm"]);
+        assert!(boot.starts_with("fsm secure_boot_fsm {"));
+        assert!(parse_fsm(&boot).is_ok());
         let e = run_err(&["suite", "ghost"]);
         assert_eq!(e.code, 2);
     }
@@ -487,6 +529,31 @@ mod tests {
             "--rank",
         ]);
         assert!(out.contains("cells"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_protocol_runs_a_multicycle_campaign() {
+        let path = write_demo();
+        let out = run_ok(&[
+            "analyze",
+            path.to_str().expect("utf8"),
+            "--level",
+            "2",
+            "--protocol",
+            "3",
+        ]);
+        assert!(out.contains("depth-3 protocol walks"));
+        assert!(out.contains("injections"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_protocol_depth_is_rejected() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        assert_eq!(run_err(&["analyze", p, "--protocol", "0"]).code, 1);
+        assert_eq!(run_err(&["analyze", p, "--protocol", "x"]).code, 1);
         let _ = std::fs::remove_file(path);
     }
 

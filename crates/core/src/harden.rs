@@ -470,6 +470,38 @@ impl HardenedFsm {
         self.decode_state(&BitVec::from_bools(regs))
     }
 
+    /// Reads the `alert` and `in_error` detection lines from a sampled
+    /// output-port slice, by their port positions (the hardening pass
+    /// always emits them as the last two ports, after the encoded state
+    /// and the Moore outputs).
+    ///
+    /// Fault-analysis code must use this accessor instead of hand-indexing
+    /// `outputs[len - 2]`: the accessor anchors on the *module's* port
+    /// count, so a slice sampled from a different module fails the width
+    /// check loudly instead of silently reading an arbitrary output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module exposes fewer than two output ports (no
+    /// hardened module does — `alert` and `in_error` are unconditionally
+    /// emitted); `debug_assert`s that `outputs` matches the module's
+    /// output-port count.
+    pub fn alert_lines(&self, outputs: &[bool]) -> (bool, bool) {
+        let n_ports = self.module.outputs().len();
+        assert!(
+            n_ports >= 2,
+            "hardened module must expose the alert and in_error ports"
+        );
+        debug_assert_eq!(
+            outputs.len(),
+            n_ports,
+            "output slice width {} does not match the hardened module's {} ports",
+            outputs.len(),
+            n_ports
+        );
+        (outputs[n_ports - 2], outputs[n_ports - 1])
+    }
+
     /// The interface encoder the paper assumes in the driving modules:
     /// maps the behavioral situation `(state, raw control signals)` to the
     /// encoded control word `X_e` for this cycle.
@@ -766,5 +798,30 @@ mod tests {
         let text = h.report().to_string();
         assert!(text.contains("SCFI"));
         assert!(text.contains("edges"));
+    }
+
+    #[test]
+    fn alert_lines_map_to_the_named_ports() {
+        let h = harden(&lock(), &ScfiConfig::new(2)).unwrap();
+        let ports = h.module().outputs();
+        // The accessor's positional contract: `alert` then `in_error` are
+        // the final two output ports, in that order.
+        assert_eq!(ports[ports.len() - 2].0, "alert");
+        assert_eq!(ports[ports.len() - 1].0, "in_error");
+        // Reading through the accessor picks out exactly those two bits.
+        let mut outputs = vec![false; ports.len()];
+        outputs[ports.len() - 2] = true;
+        assert_eq!(h.alert_lines(&outputs), (true, false));
+        outputs[ports.len() - 2] = false;
+        outputs[ports.len() - 1] = true;
+        assert_eq!(h.alert_lines(&outputs), (false, true));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "width")]
+    fn alert_lines_reject_mismatched_slices() {
+        let h = harden(&lock(), &ScfiConfig::new(2)).unwrap();
+        let _ = h.alert_lines(&[true, false]); // not this module's port count
     }
 }

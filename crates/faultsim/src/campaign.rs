@@ -40,25 +40,44 @@ pub struct Fault {
     pub effect: FaultEffect,
 }
 
-/// Classification of one injection (§6.4 semantics).
+/// Classification of one injection (§6.4 semantics, generalized to
+/// N-cycle trajectories).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Outcome {
-    /// The FSM still performed the intended transition.
+    /// The FSM followed the intended transition (or, multi-cycle, the whole
+    /// intended walk) with no alert.
     Masked,
-    /// The fault was caught: terminal-error/invalid state or alert.
+    /// The fault was caught: terminal-error/invalid state or alert at some
+    /// cycle of the trajectory.
     Detected,
-    /// The FSM silently reached a valid-but-wrong state — a successful
-    /// control-flow hijack.
+    /// The FSM silently reached a valid-but-wrong state and was never
+    /// caught — a successful control-flow hijack.
     Hijack,
 }
 
-/// A recorded hijack: which fault, in which scenario.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+impl Outcome {
+    /// Folds per-cycle classifications into the trajectory verdict:
+    /// `Detected` dominates (a hijacked state that collapses to ERROR two
+    /// cycles later *was* caught — the paper's "invalid state reaches
+    /// ERROR on the next edge" argument), then `Hijack`, then `Masked`.
+    pub fn fold(self, later: Outcome) -> Outcome {
+        match (self, later) {
+            (Outcome::Detected, _) | (_, Outcome::Detected) => Outcome::Detected,
+            (Outcome::Hijack, _) | (_, Outcome::Hijack) => Outcome::Hijack,
+            (Outcome::Masked, Outcome::Masked) => Outcome::Masked,
+        }
+    }
+}
+
+/// A recorded hijack: which fault group, in which scenario.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FaultRecord {
-    /// Scenario (CFG edge) index.
+    /// Scenario index (a CFG edge for single-transition campaigns, a
+    /// protocol scenario otherwise).
     pub scenario: usize,
-    /// The injected fault.
-    pub fault: Fault,
+    /// The simultaneously injected fault group (one entry for single-fault
+    /// campaigns; possibly empty for degenerate multi-fault draws).
+    pub faults: Vec<Fault>,
 }
 
 /// Campaign parameters.
@@ -259,7 +278,8 @@ pub(crate) fn fault_list<T: FaultTarget>(target: &T, config: &CampaignConfig) ->
     faults
 }
 
-/// Arms one fault on a simulator.
+/// Arms one fault on a simulator: masks for net/pin faults, a direct state
+/// mutation for register flips.
 pub(crate) fn arm(sim: &mut Simulator<'_>, fault: Fault) {
     match (fault.site, fault.effect) {
         (FaultSite::CellOutput(c), FaultEffect::Flip) => sim.set_net_flip(c.net()),
@@ -270,6 +290,58 @@ pub(crate) fn arm(sim: &mut Simulator<'_>, fault: Fault) {
         (FaultSite::Pin(c, p), FaultEffect::Stuck1) => sim.set_pin_stuck(c, p as usize, true),
         (FaultSite::Register(c), _) => sim.flip_register(c),
     }
+}
+
+/// Runs one work item — a fault group through an N-cycle scenario — on a
+/// scalar simulator and returns the trajectory verdict. This is the scalar
+/// reference semantics the packed wave executor must reproduce:
+///
+/// * registers preloaded, then cycles stepped in schedule order;
+/// * net/pin faults armed while [`FaultTiming::armed_at`] holds (armed
+///   once for `Permanent`, armed on entry / cleared on exit of the window
+///   for `Transient`);
+/// * register flips applied once, just before [`FaultTiming::flip_cycle`];
+/// * per-cycle classifications folded with [`Outcome::fold`].
+pub(crate) fn run_item_scalar<T: FaultTarget>(
+    target: &T,
+    sim: &mut Simulator<'_>,
+    index: usize,
+    scenario: &crate::target::Scenario,
+    faults: &[Fault],
+    outputs: &mut Vec<bool>,
+) -> Outcome {
+    assert!(
+        scenario.cycles() >= 1,
+        "scenario {index} has no cycles" // same rejection as the wave executor
+    );
+    debug_assert!(
+        scenario.timing.flip_cycle() < scenario.cycles(),
+        "scenario {index}'s fault window lies past its schedule"
+    );
+    sim.clear_faults();
+    sim.reset_to(&scenario.regs);
+    let mut verdict = Outcome::Masked;
+    for (cycle, inputs) in scenario.inputs.iter().enumerate() {
+        match scenario.timing {
+            crate::target::FaultTiming::Permanent if cycle == 0 => {
+                for &f in faults {
+                    arm(sim, f);
+                }
+            }
+            crate::target::FaultTiming::Transient(c) if cycle == c => {
+                for &f in faults {
+                    arm(sim, f);
+                }
+            }
+            crate::target::FaultTiming::Transient(c) if cycle == c + 1 => {
+                sim.clear_faults();
+            }
+            _ => {}
+        }
+        sim.step_into(inputs, outputs);
+        verdict = verdict.fold(target.classify(index, cycle, sim.register_values(), outputs));
+    }
+    verdict
 }
 
 /// Folds per-item outcomes back into the aggregate report, recording the
@@ -287,7 +359,7 @@ fn aggregate(work: &WorkList, outcomes: &[Outcome]) -> CampaignReport {
                     let (scenario, faults) = work.item(i);
                     report.hijack_examples.push(FaultRecord {
                         scenario,
-                        fault: faults[0],
+                        faults: faults.to_vec(),
                     });
                 }
             }
@@ -361,13 +433,21 @@ fn multi_fault_work<T: FaultTarget>(
         rng ^= rng >> 27;
         rng.wrapping_mul(0x2545F4914F6CDD1D)
     };
+    // The draws reduce the full 64-bit stream value modulo the pool size
+    // (never through a `usize` cast, which silently truncates to 32 bits
+    // on 32-bit hosts and would shift every sampled campaign there). On
+    // 64-bit hosts this is bit-identical to the historical stream, keeping
+    // seeded conformance aggregates stable; the residual modulo bias is
+    // bounded by pool_size / 2^64 per draw — negligible against any
+    // realistic fault list.
+    let mut draw = move |pool: usize| (next() % pool as u64) as usize;
     let mut work = WorkList::with_capacity(runs);
     let mut armed = Vec::with_capacity(faults_per_run);
     for _ in 0..runs {
-        let scenario = (next() as usize) % target.scenario_count();
+        let scenario = draw(target.scenario_count());
         armed.clear();
         for _ in 0..faults_per_run {
-            armed.push(faults[(next() as usize) % faults.len()]);
+            armed.push(faults[draw(faults.len())]);
         }
         work.push(scenario, &armed);
     }
@@ -411,17 +491,15 @@ pub fn run_multi_fault_scalar<T: FaultTarget>(
     let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
     let mut sim = Simulator::new(target.module());
     let mut outputs = Vec::with_capacity(target.module().outputs().len());
+    let mut cached: Option<(usize, crate::target::Scenario)> = None;
     let mut report = CampaignReport::empty();
     for i in 0..work.len() {
         let (scenario, armed) = work.item(i);
-        let (regs, inputs) = target.scenario(scenario);
-        sim.clear_faults();
-        sim.reset_to(&regs);
-        for &f in armed {
-            arm(&mut sim, f);
+        if cached.as_ref().map(|c| c.0) != Some(scenario) {
+            cached = Some((scenario, target.scenario(scenario)));
         }
-        sim.step_into(&inputs, &mut outputs);
-        let outcome = target.classify(scenario, sim.register_values(), &outputs);
+        let (_, sc) = cached.as_ref().expect("cached scenario");
+        let outcome = run_item_scalar(target, &mut sim, scenario, sc, armed, &mut outputs);
         report.injections += 1;
         match outcome {
             Outcome::Masked => report.masked += 1,
@@ -431,7 +509,7 @@ pub fn run_multi_fault_scalar<T: FaultTarget>(
                 if report.hijack_examples.len() < 64 {
                     report.hijack_examples.push(FaultRecord {
                         scenario,
-                        fault: armed[0],
+                        faults: armed.to_vec(),
                     });
                 }
             }
@@ -442,8 +520,8 @@ pub fn run_multi_fault_scalar<T: FaultTarget>(
 
 /// Executes a prepared work list on the scalar engine, optionally across
 /// threads. Each worker owns one reusable simulator and output buffer and
-/// caches the last scenario's preload, so the per-injection cost is one
-/// register reset plus one simulated cycle — no allocation, no
+/// caches the last scenario, so the per-injection cost is one register
+/// reset plus the scenario's simulated cycles — no allocation, no
 /// `Simulator::new`.
 fn run_work_scalar<T: FaultTarget>(
     target: &T,
@@ -453,19 +531,21 @@ fn run_work_scalar<T: FaultTarget>(
     let run_slice = |slice: &[(usize, Fault)]| {
         let mut sim = Simulator::new(target.module());
         let mut outputs = Vec::with_capacity(target.module().outputs().len());
-        let mut cached: Option<(usize, Vec<bool>, Vec<bool>)> = None;
+        let mut cached: Option<(usize, crate::target::Scenario)> = None;
         let mut report = CampaignReport::empty();
         for &(scenario, fault) in slice {
             if cached.as_ref().map(|c| c.0) != Some(scenario) {
-                let (regs, inputs) = target.scenario(scenario);
-                cached = Some((scenario, regs, inputs));
+                cached = Some((scenario, target.scenario(scenario)));
             }
-            let (_, regs, inputs) = cached.as_ref().expect("cached scenario");
-            sim.clear_faults();
-            sim.reset_to(regs);
-            arm(&mut sim, fault);
-            sim.step_into(inputs, &mut outputs);
-            let outcome = target.classify(scenario, sim.register_values(), &outputs);
+            let (_, sc) = cached.as_ref().expect("cached scenario");
+            let outcome = run_item_scalar(
+                target,
+                &mut sim,
+                scenario,
+                sc,
+                std::slice::from_ref(&fault),
+                &mut outputs,
+            );
             report.injections += 1;
             match outcome {
                 Outcome::Masked => report.masked += 1,
@@ -473,7 +553,10 @@ fn run_work_scalar<T: FaultTarget>(
                 Outcome::Hijack => {
                     report.hijacked += 1;
                     if report.hijack_examples.len() < 64 {
-                        report.hijack_examples.push(FaultRecord { scenario, fault });
+                        report.hijack_examples.push(FaultRecord {
+                            scenario,
+                            faults: vec![fault],
+                        });
                     }
                 }
             }
@@ -790,5 +873,117 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("200 injections"));
         assert!(s.contains("escape rate"));
+    }
+
+    /// An empty report (zero injections) must print finite rates — the
+    /// guarded `hijack_rate`/`coverage` keep 0/0 out of the formatter.
+    #[test]
+    fn empty_report_displays_without_nan() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        // An empty fault list produces the canonical empty report.
+        let report = run_multi_fault(&t, 1, 100, &CampaignConfig::new().effects(vec![]));
+        assert_eq!(report.injections, 0);
+        assert_eq!(report.hijack_rate(), 0.0);
+        assert_eq!(report.coverage(), 1.0);
+        let text = report.to_string();
+        assert!(!text.contains("NaN"), "formatter leaked a NaN: {text}");
+        assert!(text.contains("0 injections"));
+        assert!(text.contains("0.00 % escape rate"));
+    }
+
+    /// `faults_per_run = 0` builds work items with empty fault groups;
+    /// they must run (fault-free, hence masked) without panicking.
+    #[test]
+    fn zero_faults_per_run_is_graceful() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let config = CampaignConfig::new().seed(7);
+        let packed = run_multi_fault(&t, 0, 50, &config);
+        assert_eq!(packed.injections, 50);
+        assert_eq!(packed.masked, 50);
+        assert_eq!(packed, run_multi_fault_scalar(&t, 0, 50, &config));
+    }
+
+    /// Direct regression for the historical `faults[0]` panic: a hijack
+    /// outcome on a work item whose fault group is empty must be recorded
+    /// gracefully (whole group, here empty), not indexed out of bounds.
+    #[test]
+    fn aggregate_records_empty_fault_groups_without_panicking() {
+        let mut work = WorkList::with_capacity(2);
+        work.push(3, &[]);
+        work.push(
+            1,
+            &[
+                Fault {
+                    site: FaultSite::Register(CellId(0)),
+                    effect: FaultEffect::Flip,
+                },
+                Fault {
+                    site: FaultSite::CellOutput(CellId(2)),
+                    effect: FaultEffect::Stuck1,
+                },
+            ],
+        );
+        let report = aggregate(&work, &[Outcome::Hijack, Outcome::Hijack]);
+        assert_eq!(report.hijacked, 2);
+        assert_eq!(report.hijack_examples.len(), 2);
+        assert_eq!(report.hijack_examples[0].scenario, 3);
+        assert!(report.hijack_examples[0].faults.is_empty());
+        assert_eq!(report.hijack_examples[1].faults.len(), 2);
+    }
+
+    #[test]
+    fn trajectory_fold_lets_detection_dominate() {
+        use Outcome::*;
+        assert_eq!(Masked.fold(Masked), Masked);
+        assert_eq!(Masked.fold(Hijack), Hijack);
+        assert_eq!(Hijack.fold(Masked), Hijack);
+        // The §6.4 argument: a hijacked state that later collapses to
+        // ERROR was caught — detection wins regardless of order.
+        assert_eq!(Hijack.fold(Detected), Detected);
+        assert_eq!(Detected.fold(Hijack), Detected);
+        assert_eq!(Detected.fold(Masked), Detected);
+    }
+
+    #[test]
+    fn protocol_campaign_agrees_across_engines() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        for depth in [2, 4] {
+            let t = ScfiTarget::with_protocol(&h, depth, 0xB007);
+            let config = CampaignConfig::new().with_register_flips();
+            let packed = run_exhaustive(&t, &config);
+            let scalar = run_exhaustive_scalar(&t, &config);
+            assert_eq!(packed, scalar, "depth {depth}");
+            assert!(packed.injections > 0);
+            // Multi-fault sampling over the protocol space too.
+            let pm = run_multi_fault(&t, 2, 300, &config);
+            let sm = run_multi_fault_scalar(&t, 2, 300, &config);
+            assert_eq!(pm, sm, "multi-fault depth {depth}");
+        }
+    }
+
+    #[test]
+    fn protocol_register_faults_never_complete_the_walk_undetected() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::with_protocol(&h, 3, 1);
+        let regs = h.module().registers();
+        let report = run_exhaustive(
+            &t,
+            &CampaignConfig::new()
+                .effects(vec![])
+                .region(regs[0].0..regs[regs.len() - 1].0 + 1)
+                .with_register_flips(),
+        );
+        assert!(report.injections > 0);
+        assert_eq!(report.hijacked, 0, "{report}");
+        assert_eq!(
+            report.masked, 0,
+            "register flips are never masked: {report}"
+        );
     }
 }

@@ -6,18 +6,27 @@
 //! one. This crate implements the same campaign semantics by cycle-accurate
 //! co-simulation:
 //!
-//! 1. Pick a *scenario* — one CFG edge: the FSM sits in the edge's source
-//!    state and receives the edge's condition codeword.
+//! 1. Pick a *scenario* — an N-cycle [`Scenario`]: a register preload, a
+//!    per-cycle input schedule, and a [`FaultTiming`] window. The paper's
+//!    §6.4 experiment is the N = 1 case (the FSM sits in one CFG edge's
+//!    source state and receives the edge's condition codeword); protocol
+//!    campaigns walk multi-step transition sequences
+//!    ([`protocol_scenarios`], `with_protocol` on the targets) with the
+//!    fault glitching one chosen step.
 //! 2. Pick a *fault* — an [`FaultEffect`] at a [`FaultSite`] (a gate output,
 //!    an individual cell input pin, or a stored register bit), matching the
 //!    paper's fault model of transient bit-flips and stuck-at effects on
 //!    wires, combinational and sequential elements (§3).
-//! 3. Run the transition cycle with the fault armed and classify the result
-//!    against the fault-free expectation:
-//!    [`Outcome::Masked`] (state still correct), [`Outcome::Detected`]
-//!    (terminal-error/invalid state or an alert), or [`Outcome::Hijack`] —
-//!    the FSM silently reached a *valid but wrong* state, the event the
-//!    paper counts as a successful attack (32 / 7644 = 0.42 % in §6.4).
+//! 3. Run the scheduled cycles with the fault armed during its window and
+//!    classify every cycle of the trajectory against the fault-free
+//!    expectation, folding with [`Outcome::fold`]:
+//!    [`Outcome::Masked`] (the whole walk stayed correct),
+//!    [`Outcome::Detected`] (terminal-error/invalid state or an alert at
+//!    any cycle — a hijacked state that collapses to ERROR later in the
+//!    walk counts as detected), or [`Outcome::Hijack`] — the FSM silently
+//!    reached a *valid but wrong* state and was never caught, the event
+//!    the paper counts as a successful attack (32 / 7644 = 0.42 % in
+//!    §6.4).
 //!
 //! Campaigns run exhaustively over every (edge × site × effect) triple
 //! ([`run_exhaustive`]) or as seeded random multi-fault samples
@@ -64,7 +73,10 @@ pub use campaign::{
     run_exhaustive, run_exhaustive_scalar, run_multi_fault, run_multi_fault_scalar, CampaignConfig,
     CampaignReport, Fault, FaultEffect, FaultRecord, FaultSite, Outcome,
 };
-pub use target::{FaultTarget, RedundancyTarget, ScfiTarget, UnprotectedTarget};
+pub use target::{
+    protocol_scenarios, FaultTarget, FaultTiming, ProtocolScenario, RedundancyTarget, Scenario,
+    ScfiTarget, UnprotectedTarget,
+};
 pub use vulnerability::{SiteStats, VulnerabilityMap};
 
 use scfi_core::HardenedFsm;

@@ -1,43 +1,281 @@
 //! Fault-campaign targets: the three §6.1 configurations behind one trait.
+//!
+//! Since the multi-cycle generalization, a *scenario* is no longer one CFG
+//! edge but an N-cycle [`Scenario`]: a register preload, a per-cycle input
+//! schedule, and a [`FaultTiming`] window saying when during the schedule
+//! the injected faults are armed. The paper's §6.4 single-transition
+//! experiment is the trivial `N = 1` case ([`Scenario::single`]); protocol
+//! campaigns attack [`ProtocolScenario`] walks — multi-step transition
+//! sequences such as a secure-boot handshake — with a fault glitching one
+//! step and the classification judging the *whole trajectory*.
 
 use scfi_core::{HardenedFsm, RedundantFsm, StateDecode};
-use scfi_fsm::{Fsm, LoweredFsm};
+use scfi_fsm::{Cfg, Fsm, LoweredFsm, StateId};
 use scfi_netlist::Module;
 
 use crate::campaign::Outcome;
 
+/// When during a scenario's cycle schedule the injected faults are armed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultTiming {
+    /// Armed for the whole trajectory: stuck-ats model a permanently broken
+    /// wire, flips a persistently glitched net. Register flips are applied
+    /// once, before the first cycle (FT1).
+    Permanent,
+    /// Armed only during cycle `c` (0-based) and cleared afterwards — the
+    /// paper's transient attacker glitching one step of a protocol.
+    /// Register flips are applied just before cycle `c`.
+    Transient(usize),
+}
+
+impl FaultTiming {
+    /// Whether net/pin fault masks are active during `cycle`.
+    pub fn armed_at(&self, cycle: usize) -> bool {
+        match *self {
+            FaultTiming::Permanent => true,
+            FaultTiming::Transient(c) => cycle == c,
+        }
+    }
+
+    /// The cycle just before which register-bit flips are applied (the
+    /// start of the fault window).
+    pub fn flip_cycle(&self) -> usize {
+        match *self {
+            FaultTiming::Permanent => 0,
+            FaultTiming::Transient(c) => c,
+        }
+    }
+}
+
+/// One N-cycle attack scenario: where the registers start, what drives the
+/// inputs on every cycle, and when the faults under test are live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Register preload, in `Module::registers()` order.
+    pub regs: Vec<bool>,
+    /// Input-port vector per cycle; `inputs.len()` is the trajectory length
+    /// N ≥ 1.
+    pub inputs: Vec<Vec<bool>>,
+    /// The fault window within the schedule.
+    pub timing: FaultTiming,
+}
+
+impl Scenario {
+    /// The single-transition scenario of the paper's §6.4 experiment: one
+    /// cycle, faults armed throughout.
+    pub fn single(regs: Vec<bool>, inputs: Vec<bool>) -> Self {
+        Scenario {
+            regs,
+            inputs: vec![inputs],
+            timing: FaultTiming::Permanent,
+        }
+    }
+
+    /// Trajectory length in cycles.
+    pub fn cycles(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// A multi-cycle protocol scenario over a CFG: a connected walk of edge
+/// indices (each edge's target is the next edge's source) plus the fault
+/// window. [`protocol_scenarios`] generates the standard campaign set;
+/// hand-written schedules can be passed to the targets' `with_scenarios`
+/// constructors directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolScenario {
+    /// Indices into [`Cfg::edges`], connected head to tail.
+    pub edges: Vec<usize>,
+    /// When during the walk the faults are armed.
+    pub timing: FaultTiming,
+}
+
+/// The standard multi-cycle campaign scenario set: seeded random CFG walks
+/// of `depth` edges (one walk per starting edge, via
+/// [`Cfg::random_walks`]), each expanded into `depth` scenarios — one per
+/// injection cycle, with [`FaultTiming::Transient`] arming the faults
+/// during exactly that step of the protocol.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn protocol_scenarios(cfg: &Cfg, depth: usize, seed: u64) -> Vec<ProtocolScenario> {
+    expand_walks(cfg.random_walks(depth, seed))
+}
+
+/// Expands walks into per-injection-cycle [`ProtocolScenario`]s.
+fn expand_walks(walks: Vec<Vec<usize>>) -> Vec<ProtocolScenario> {
+    let mut scenarios = Vec::new();
+    for walk in walks {
+        for cycle in 0..walk.len() {
+            scenarios.push(ProtocolScenario {
+                edges: walk.clone(),
+                timing: FaultTiming::Transient(cycle),
+            });
+        }
+    }
+    scenarios
+}
+
 /// A circuit (plus its oracle) a fault campaign can attack.
 ///
-/// A target defines the scenario space — one scenario per CFG edge — and
-/// classifies post-transition register/output values against the fault-free
-/// expectation.
+/// A target defines the scenario space and classifies the simulated
+/// trajectory cycle by cycle against the fault-free expectation. The
+/// executors fold the per-cycle outcomes with [`Outcome::fold`], so a
+/// hijacked state that collapses to ERROR later in the walk counts as
+/// [`Outcome::Detected`] — the paper's "invalid state reaches ERROR on the
+/// next edge" argument applied along the whole protocol.
 pub trait FaultTarget: Sync {
     /// The netlist under attack.
     fn module(&self) -> &Module;
 
-    /// Number of scenarios (CFG edges).
+    /// Number of scenarios.
     fn scenario_count(&self) -> usize;
 
-    /// Register preload and input vector for a scenario.
-    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>);
+    /// The N-cycle scenario at `index`.
+    fn scenario(&self, index: usize) -> Scenario;
 
-    /// Classifies the post-step registers and outputs.
-    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome;
+    /// Classifies the post-step registers and outputs after cycle `cycle`
+    /// of scenario `index` (0-based, one call per cycle of the
+    /// trajectory).
+    fn classify(&self, index: usize, cycle: usize, regs: &[bool], outputs: &[bool]) -> Outcome;
+}
+
+/// Shared scenario-space bookkeeping behind the three targets: either the
+/// single-transition space (scenario `i` = one CFG edge) or a validated
+/// protocol space of multi-cycle walks. Centralizes the index → edge
+/// resolution and the [`Scenario`] assembly, so the targets differ only
+/// in how they encode register preloads and per-edge input vectors — and
+/// a future timing extension lands in one place, not three.
+#[derive(Clone, Debug)]
+struct ScenarioSpace {
+    /// `None` = the single-transition §6.4 space.
+    protocol: Option<Vec<ProtocolScenario>>,
+}
+
+impl ScenarioSpace {
+    fn single_transition() -> Self {
+        ScenarioSpace { protocol: None }
+    }
+
+    /// A protocol space; panics if a walk is empty, disconnected, or times
+    /// its fault window past the walk's end.
+    fn protocol(cfg: &Cfg, scenarios: Vec<ProtocolScenario>) -> Self {
+        for (i, s) in scenarios.iter().enumerate() {
+            assert!(!s.edges.is_empty(), "protocol scenario {i} has no edges");
+            for pair in s.edges.windows(2) {
+                assert_eq!(
+                    cfg.edges()[pair[0]].to,
+                    cfg.edges()[pair[1]].from,
+                    "protocol scenario {i} is not a connected walk"
+                );
+            }
+            if let FaultTiming::Transient(c) = s.timing {
+                assert!(
+                    c < s.edges.len(),
+                    "protocol scenario {i} arms its fault at cycle {c}, past the {}-cycle walk",
+                    s.edges.len()
+                );
+            }
+        }
+        ScenarioSpace {
+            protocol: Some(scenarios),
+        }
+    }
+
+    /// Scenario count; `single_count` is the size of the
+    /// single-transition space.
+    fn count(&self, single_count: usize) -> usize {
+        self.protocol.as_ref().map_or(single_count, Vec::len)
+    }
+
+    /// The CFG edge index driven at `cycle` of scenario `index`;
+    /// `single_edge` maps a single-transition scenario index to its edge.
+    fn edge_at(
+        &self,
+        index: usize,
+        cycle: usize,
+        single_edge: impl FnOnce(usize) -> usize,
+    ) -> usize {
+        match &self.protocol {
+            Some(scenarios) => scenarios[index].edges[cycle],
+            None => {
+                debug_assert_eq!(cycle, 0, "single-transition scenarios have one cycle");
+                single_edge(index)
+            }
+        }
+    }
+
+    /// Assembles the [`Scenario`] at `index`: registers preloaded with the
+    /// first edge's source state, one input vector per walk edge.
+    fn scenario(
+        &self,
+        index: usize,
+        cfg: &Cfg,
+        single_edge: impl Fn(usize) -> usize,
+        regs_of: impl Fn(StateId) -> Vec<bool>,
+        inputs_of: impl Fn(usize) -> Vec<bool>,
+    ) -> Scenario {
+        match &self.protocol {
+            None => {
+                let ei = single_edge(index);
+                Scenario::single(regs_of(cfg.edges()[ei].from), inputs_of(ei))
+            }
+            Some(scenarios) => {
+                let p = &scenarios[index];
+                Scenario {
+                    regs: regs_of(cfg.edges()[p.edges[0]].from),
+                    inputs: p.edges.iter().map(|&ei| inputs_of(ei)).collect(),
+                    timing: p.timing,
+                }
+            }
+        }
+    }
 }
 
 /// Campaign target for an SCFI-hardened FSM.
 ///
 /// Detection = terminal ERROR, an invalid (non-codeword) register state
-/// (which collapses to ERROR on the next edge), or an asserted alert.
-#[derive(Clone, Copy, Debug)]
+/// (which collapses to ERROR on the next edge), or an asserted alert — at
+/// *any* cycle of the trajectory.
+#[derive(Clone, Debug)]
 pub struct ScfiTarget<'a> {
     hardened: &'a HardenedFsm,
+    space: ScenarioSpace,
 }
 
 impl<'a> ScfiTarget<'a> {
-    /// Wraps a hardened FSM.
+    /// Wraps a hardened FSM with the single-transition scenario space (one
+    /// scenario per CFG edge).
     pub fn new(hardened: &'a HardenedFsm) -> Self {
-        ScfiTarget { hardened }
+        ScfiTarget {
+            hardened,
+            space: ScenarioSpace::single_transition(),
+        }
+    }
+
+    /// Multi-cycle protocol target: seeded random CFG walks of `depth`
+    /// transitions, one transient injection scenario per walk step (see
+    /// [`protocol_scenarios`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_protocol(hardened: &'a HardenedFsm, depth: usize, seed: u64) -> Self {
+        Self::with_scenarios(hardened, protocol_scenarios(hardened.cfg(), depth, seed))
+    }
+
+    /// Multi-cycle target over hand-picked protocol scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a walk is empty, disconnected, or times its fault window
+    /// past the walk's end.
+    pub fn with_scenarios(hardened: &'a HardenedFsm, scenarios: Vec<ProtocolScenario>) -> Self {
+        ScfiTarget {
+            hardened,
+            space: ScenarioSpace::protocol(hardened.cfg(), scenarios),
+        }
     }
 
     /// The underlying hardened FSM.
@@ -52,24 +290,31 @@ impl FaultTarget for ScfiTarget<'_> {
     }
 
     fn scenario_count(&self) -> usize {
-        self.hardened.cfg().edges().len()
+        self.space.count(self.hardened.cfg().edges().len())
     }
 
-    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
-        let edge = &self.hardened.cfg().edges()[index];
-        let regs = self.hardened.encode_state(edge.from).iter().collect();
-        let class = edge.local_index(self.hardened.fsm());
-        let xe = self.hardened.condition_word(class).iter().collect();
-        (regs, xe)
+    fn scenario(&self, index: usize) -> Scenario {
+        let h = self.hardened;
+        self.space.scenario(
+            index,
+            h.cfg(),
+            |i| i,
+            |s| h.encode_state(s).iter().collect(),
+            |ei| {
+                let edge = &h.cfg().edges()[ei];
+                h.condition_word(edge.local_index(h.fsm())).iter().collect()
+            },
+        )
     }
 
-    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
-        let edge = &self.hardened.cfg().edges()[index];
-        let n = outputs.len();
-        let alert = outputs[n - 2] || outputs[n - 1];
+    fn classify(&self, index: usize, cycle: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
+        let ei = self.space.edge_at(index, cycle, |i| i);
+        let to = self.hardened.cfg().edges()[ei].to;
+        let (alert_line, in_error) = self.hardened.alert_lines(outputs);
+        let alert = alert_line || in_error;
         match self.hardened.decode_registers(regs) {
-            StateDecode::State(s) if s == edge.to && !alert => Outcome::Masked,
-            StateDecode::State(s) if s == edge.to => Outcome::Detected,
+            StateDecode::State(s) if s == to && !alert => Outcome::Masked,
+            StateDecode::State(s) if s == to => Outcome::Detected,
             StateDecode::Error | StateDecode::Invalid => Outcome::Detected,
             StateDecode::State(_) if alert => Outcome::Detected,
             StateDecode::State(_) => Outcome::Hijack,
@@ -80,17 +325,48 @@ impl FaultTarget for ScfiTarget<'_> {
 /// Campaign target for the redundancy baseline.
 ///
 /// Detection = the register-mismatch alert. An undetected landing in any
-/// state other than the edge target — including out-of-range binary codes —
-/// is a hijack.
-#[derive(Clone, Copy, Debug)]
+/// state other than the cycle's expected state — including out-of-range
+/// binary codes — is a hijack.
+#[derive(Clone, Debug)]
 pub struct RedundancyTarget<'a> {
     redundant: &'a RedundantFsm,
+    space: ScenarioSpace,
 }
 
 impl<'a> RedundancyTarget<'a> {
-    /// Wraps a redundancy-protected FSM.
+    /// Wraps a redundancy-protected FSM (single-transition scenarios).
     pub fn new(redundant: &'a RedundantFsm) -> Self {
-        RedundancyTarget { redundant }
+        RedundancyTarget {
+            redundant,
+            space: ScenarioSpace::single_transition(),
+        }
+    }
+
+    /// Multi-cycle protocol target (see [`ScfiTarget::with_protocol`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_protocol(redundant: &'a RedundantFsm, depth: usize, seed: u64) -> Self {
+        RedundancyTarget {
+            redundant,
+            space: ScenarioSpace::protocol(
+                redundant.cfg(),
+                protocol_scenarios(redundant.cfg(), depth, seed),
+            ),
+        }
+    }
+
+    /// The preload for a replica-bank register file holding `state`.
+    fn preload(&self, state: StateId) -> Vec<bool> {
+        let code = scfi_gf2::BitVec::from_u64(state.0 as u64, self.redundant.state_bits());
+        let n_regs = self.redundant.module().registers().len();
+        let replicas = n_regs / self.redundant.state_bits();
+        let mut regs = Vec::with_capacity(n_regs);
+        for _ in 0..replicas {
+            regs.extend(code.iter());
+        }
+        regs
     }
 }
 
@@ -100,31 +376,29 @@ impl FaultTarget for RedundancyTarget<'_> {
     }
 
     fn scenario_count(&self) -> usize {
-        self.redundant.cfg().edges().len()
+        self.space.count(self.redundant.cfg().edges().len())
     }
 
-    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
-        let fsm = self.redundant.fsm();
-        let edge = &self.redundant.cfg().edges()[index];
-        // Every replica bank holds the same source-state code.
-        let code = scfi_gf2::BitVec::from_u64(edge.from.0 as u64, self.redundant.state_bits());
-        let n_regs = self.redundant.module().registers().len();
-        let replicas = n_regs / self.redundant.state_bits();
-        let mut regs = Vec::with_capacity(n_regs);
-        for _ in 0..replicas {
-            regs.extend(code.iter());
-        }
-        let xe = self
-            .redundant
-            .cond_code()
-            .word(edge.local_index(fsm))
-            .iter()
-            .collect();
-        (regs, xe)
+    fn scenario(&self, index: usize) -> Scenario {
+        let r = self.redundant;
+        self.space.scenario(
+            index,
+            r.cfg(),
+            |i| i,
+            |s| self.preload(s),
+            |ei| {
+                let edge = &r.cfg().edges()[ei];
+                r.cond_code()
+                    .word(edge.local_index(r.fsm()))
+                    .iter()
+                    .collect()
+            },
+        )
     }
 
-    fn classify(&self, index: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
-        let edge = &self.redundant.cfg().edges()[index];
+    fn classify(&self, index: usize, cycle: usize, regs: &[bool], outputs: &[bool]) -> Outcome {
+        let ei = self.space.edge_at(index, cycle, |i| i);
+        let to = self.redundant.cfg().edges()[ei].to;
         // The mismatch comparator is combinational on the register banks,
         // so a corruption committed on this edge raises the alert in the
         // *next* cycle — evaluate it on the post-step banks directly.
@@ -132,7 +406,7 @@ impl FaultTarget for RedundancyTarget<'_> {
         let mismatch = regs.chunks(sb).skip(1).any(|bank| bank != &regs[..sb]);
         let alert = outputs[outputs.len() - 1] || mismatch;
         match self.redundant.decode_registers(regs) {
-            Some(s) if s == edge.to && !alert => Outcome::Masked,
+            Some(s) if s == to && !alert => Outcome::Masked,
             _ if alert => Outcome::Detected,
             _ => Outcome::Hijack,
         }
@@ -146,8 +420,13 @@ pub struct UnprotectedTarget<'a> {
     fsm: &'a Fsm,
     lowered: &'a LoweredFsm,
     cfg: scfi_fsm::Cfg,
-    /// One `(edge index, raw inputs)` representative per CFG edge.
-    scenarios: Vec<(usize, Vec<bool>)>,
+    /// Representative raw inputs per CFG edge; `None` for edges no input
+    /// valuation can drive.
+    representatives: Vec<Option<Vec<bool>>>,
+    /// Drivable edges in ascending order — the single-transition scenario
+    /// space.
+    drivable: Vec<usize>,
+    space: ScenarioSpace,
 }
 
 impl<'a> UnprotectedTarget<'a> {
@@ -162,30 +441,55 @@ impl<'a> UnprotectedTarget<'a> {
         let n = fsm.signals().len();
         assert!(n <= 20, "too many signals to enumerate scenarios");
         let cfg = fsm.cfg();
-        let mut scenarios = Vec::new();
-        let mut covered = vec![false; cfg.edges().len()];
+        let mut representatives = vec![None; cfg.edges().len()];
         for bits in 0..(1u64 << n) {
             let inputs: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
             for s in fsm.states() {
                 let ei = cfg.matched_edge(s, &inputs);
-                if !covered[ei] {
-                    covered[ei] = true;
-                    scenarios.push((ei, inputs.clone()));
+                if representatives[ei].is_none() {
+                    representatives[ei] = Some(inputs.clone());
                 }
             }
         }
-        scenarios.sort_by_key(|&(ei, _)| ei);
+        let drivable = (0..cfg.edges().len())
+            .filter(|&ei| representatives[ei].is_some())
+            .collect();
         UnprotectedTarget {
             fsm,
             lowered,
             cfg,
-            scenarios,
+            representatives,
+            drivable,
+            space: ScenarioSpace::single_transition(),
         }
+    }
+
+    /// Multi-cycle protocol target: seeded random walks over the *drivable*
+    /// edges only (an edge no input valuation can take cannot appear in a
+    /// concrete input schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (and inherits [`UnprotectedTarget::new`]'s
+    /// signal-count guard).
+    pub fn with_protocol(fsm: &'a Fsm, lowered: &'a LoweredFsm, depth: usize, seed: u64) -> Self {
+        let mut target = Self::new(fsm, lowered);
+        let walks = target
+            .cfg
+            .random_walks_where(depth, seed, |ei| target.representatives[ei].is_some());
+        target.space = ScenarioSpace::protocol(&target.cfg, expand_walks(walks));
+        target
     }
 
     /// The source FSM.
     pub fn fsm(&self) -> &'a Fsm {
         self.fsm
+    }
+
+    fn raw_inputs(&self, ei: usize) -> Vec<bool> {
+        self.representatives[ei]
+            .clone()
+            .expect("scenario edges are drivable by construction")
     }
 }
 
@@ -195,21 +499,23 @@ impl FaultTarget for UnprotectedTarget<'_> {
     }
 
     fn scenario_count(&self) -> usize {
-        self.scenarios.len()
+        self.space.count(self.drivable.len())
     }
 
-    fn scenario(&self, index: usize) -> (Vec<bool>, Vec<bool>) {
-        let (ei, ref inputs) = self.scenarios[index];
-        let edge = &self.cfg.edges()[ei];
-        let regs = self.lowered.encoding(edge.from).iter().collect();
-        (regs, inputs.clone())
+    fn scenario(&self, index: usize) -> Scenario {
+        self.space.scenario(
+            index,
+            &self.cfg,
+            |i| self.drivable[i],
+            |s| self.lowered.encoding(s).iter().collect(),
+            |ei| self.raw_inputs(ei),
+        )
     }
 
-    fn classify(&self, index: usize, regs: &[bool], _outputs: &[bool]) -> Outcome {
-        let (ei, _) = self.scenarios[index];
-        let edge = &self.cfg.edges()[ei];
+    fn classify(&self, index: usize, cycle: usize, regs: &[bool], _outputs: &[bool]) -> Outcome {
+        let ei = self.space.edge_at(index, cycle, |i| self.drivable[i]);
         match self.lowered.decode_registers(regs) {
-            Some(s) if s == edge.to => Outcome::Masked,
+            Some(s) if s == self.cfg.edges()[ei].to => Outcome::Masked,
             _ => Outcome::Hijack,
         }
     }
@@ -238,9 +544,11 @@ mod tests {
         let t = ScfiTarget::new(&h);
         assert_eq!(t.scenario_count(), h.cfg().edges().len());
         for i in 0..t.scenario_count() {
-            let (regs, xe) = t.scenario(i);
-            assert_eq!(regs.len(), h.state_code().width());
-            assert_eq!(xe.len(), h.cond_code().width());
+            let sc = t.scenario(i);
+            assert_eq!(sc.cycles(), 1);
+            assert_eq!(sc.timing, FaultTiming::Permanent);
+            assert_eq!(sc.regs.len(), h.state_code().width());
+            assert_eq!(sc.inputs[0].len(), h.cond_code().width());
         }
     }
 
@@ -249,8 +557,8 @@ mod tests {
         let f = fsm();
         let r = redundancy(&f, 3).unwrap();
         let t = RedundancyTarget::new(&r);
-        let (regs, _) = t.scenario(0);
-        assert_eq!(regs.len(), r.module().registers().len());
+        let sc = t.scenario(0);
+        assert_eq!(sc.regs.len(), r.module().registers().len());
     }
 
     #[test]
@@ -268,15 +576,120 @@ mod tests {
         let h = harden(&f, &ScfiConfig::new(2)).unwrap();
         let t = ScfiTarget::new(&h);
         for i in 0..t.scenario_count() {
-            let (regs, xe) = t.scenario(i);
+            let sc = t.scenario(i);
             let mut sim = scfi_netlist::Simulator::new(t.module());
-            sim.set_register_values(&regs);
-            let out = sim.step(&xe);
+            sim.set_register_values(&sc.regs);
+            let out = sim.step(&sc.inputs[0]);
             assert_eq!(
-                t.classify(i, sim.register_values(), &out),
+                t.classify(i, 0, sim.register_values(), &out),
                 Outcome::Masked,
                 "scenario {i}"
             );
         }
+    }
+
+    /// Walks every protocol scenario of every target fault-free and checks
+    /// each cycle classifies as Masked — the N-cycle generalization of the
+    /// fault-free sanity check.
+    #[test]
+    fn fault_free_protocol_walks_classify_as_masked_every_cycle() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::with_protocol(&h, 4, 11);
+        assert!(t.scenario_count() > 0);
+        for i in 0..t.scenario_count() {
+            let sc = t.scenario(i);
+            assert_eq!(sc.cycles(), 4);
+            let mut sim = scfi_netlist::Simulator::new(t.module());
+            sim.set_register_values(&sc.regs);
+            for (c, inputs) in sc.inputs.iter().enumerate() {
+                let out = sim.step(inputs);
+                assert_eq!(
+                    t.classify(i, c, sim.register_values(), &out),
+                    Outcome::Masked,
+                    "scenario {i} cycle {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_scenarios_expand_one_injection_cycle_per_step() {
+        let f = fsm();
+        let cfg = f.cfg();
+        let depth = 3;
+        let scenarios = protocol_scenarios(&cfg, depth, 99);
+        assert_eq!(scenarios.len(), cfg.edges().len() * depth);
+        for s in &scenarios {
+            assert_eq!(s.edges.len(), depth);
+            match s.timing {
+                FaultTiming::Transient(c) => assert!(c < depth),
+                FaultTiming::Permanent => panic!("generator emits transient windows"),
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_protocol_walks_stay_drivable() {
+        let f = fsm();
+        let lowered = lower_unprotected(&f).unwrap();
+        let t = UnprotectedTarget::with_protocol(&f, &lowered, 3, 5);
+        for i in 0..t.scenario_count() {
+            let sc = t.scenario(i);
+            // Replaying the schedule on the behavioral FSM must follow the
+            // walk exactly (each representative input drives its edge).
+            let mut state = t.cfg.edges()[t.space.protocol.as_ref().unwrap()[i].edges[0]].from;
+            for (c, raw) in sc.inputs.iter().enumerate() {
+                let ei = t.cfg.matched_edge(state, raw);
+                assert_eq!(ei, t.space.protocol.as_ref().unwrap()[i].edges[c]);
+                state = t.cfg.edges()[ei].to;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a connected walk")]
+    fn disconnected_walks_are_rejected() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let cfg = h.cfg();
+        // Find two edges that do not chain.
+        let e0 = 0;
+        let e1 = (0..cfg.edges().len())
+            .find(|&e| cfg.edges()[e0].to != cfg.edges()[e].from)
+            .expect("some disconnected pair");
+        let _ = ScfiTarget::with_scenarios(
+            &h,
+            vec![ProtocolScenario {
+                edges: vec![e0, e1],
+                timing: FaultTiming::Permanent,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn late_fault_windows_are_rejected() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let _ = ScfiTarget::with_scenarios(
+            &h,
+            vec![ProtocolScenario {
+                edges: vec![0],
+                timing: FaultTiming::Transient(1),
+            }],
+        );
+    }
+
+    #[test]
+    fn fault_timing_windows() {
+        assert!(FaultTiming::Permanent.armed_at(0));
+        assert!(FaultTiming::Permanent.armed_at(7));
+        assert_eq!(FaultTiming::Permanent.flip_cycle(), 0);
+        let t = FaultTiming::Transient(2);
+        assert!(!t.armed_at(1));
+        assert!(t.armed_at(2));
+        assert!(!t.armed_at(3));
+        assert_eq!(t.flip_cycle(), 2);
     }
 }

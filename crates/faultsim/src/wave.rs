@@ -5,11 +5,14 @@
 //! [`run_multi_fault`](crate::run_multi_fault) and
 //! [`VulnerabilityMap`](crate::VulnerabilityMap): the `(scenario, faults)`
 //! work list is chunked into waves of up to [`LANES`] injections, each wave
-//! runs as one pass of a [`PackedSimulator`] (per-lane register preloads,
-//! per-lane fault masks, one shared clock edge), and lanes are classified
-//! by extracting each lane's registers and outputs. Simulator scratch —
-//! the compiled netlist, value arrays, preload/output words and extraction
-//! buffers — is reused across every wave of a worker.
+//! runs as one multi-cycle pass of a [`PackedSimulator`] (per-lane register
+//! preloads, per-lane per-cycle input words, per-lane fault masks re-armed
+//! between `step_into` calls so each lane's [`FaultTiming`] window opens
+//! and closes on its own schedule), and lanes are classified cycle by
+//! cycle with the per-cycle outcomes folded into a trajectory verdict per
+//! lane. Simulator scratch — the compiled netlist, value arrays,
+//! preload/output words and extraction buffers — is reused across every
+//! wave of a worker.
 //!
 //! Waves are sharded across threads in contiguous blocks. The outcome of
 //! item `i` is written to slot `i` regardless of which thread or lane
@@ -19,7 +22,7 @@
 use scfi_netlist::{extract_lane, PackedNetlist, PackedSimulator, LANES};
 
 use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
-use crate::target::FaultTarget;
+use crate::target::{FaultTarget, Scenario};
 
 /// A flat `(scenario, faults)` work list: item `i` injects the fault group
 /// `faults(i)` into scenario `scenario(i)`. Single-fault campaigns store
@@ -44,10 +47,23 @@ impl WorkList {
     }
 
     /// Appends one item injecting `faults` simultaneously into `scenario`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the limit if the scenario index or the
+    /// accumulated fault count exceeds the packed `u32` representation
+    /// (about 4.29 billion entries) — a campaign that large must be split
+    /// into sub-campaigns rather than silently wrap and attribute
+    /// outcomes to the wrong scenarios.
     pub(crate) fn push(&mut self, scenario: usize, faults: &[Fault]) {
-        self.scenarios.push(scenario as u32);
+        let scenario = u32::try_from(scenario)
+            .expect("scenario index exceeds the work list's u32 range; split the campaign");
+        self.scenarios.push(scenario);
         self.faults.extend_from_slice(faults);
-        self.offsets.push(self.faults.len() as u32);
+        let end = u32::try_from(self.faults.len()).expect(
+            "accumulated fault count exceeds the work list's u32 range; split the campaign",
+        );
+        self.offsets.push(end);
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -109,7 +125,18 @@ pub(crate) fn execute<T: FaultTarget>(target: &T, work: &WorkList, threads: usiz
 }
 
 /// Runs the items `base..base + out.len()` of the work list, one wave of
-/// up to [`LANES`] injections at a time, writing outcomes into `out`.
+/// up to [`LANES`] injections at a time, writing trajectory verdicts into
+/// `out`.
+///
+/// Each wave simulates `max(lane cycles)` clock edges. Before every edge
+/// the fault masks are rebuilt from scratch ([`PackedSimulator`]'s
+/// `clear_faults` is O(armed faults)), arming each lane's net/pin faults
+/// only while its [`FaultTiming`] window is open and applying register
+/// flips once, at the window's first cycle — exactly the scalar reference
+/// semantics of [`run_item_scalar`](crate::campaign::run_item_scalar).
+/// Lanes whose scenario is shorter than the wave's longest keep stepping
+/// (their inputs hold the last scheduled vector) but are neither faulted
+/// nor classified past their own length.
 fn run_waves<T: FaultTarget>(
     target: &T,
     compiled: &PackedNetlist,
@@ -123,60 +150,103 @@ fn run_waves<T: FaultTarget>(
     let mut out_words: Vec<u64> = Vec::with_capacity(compiled.output_count());
     let mut reg_bits: Vec<bool> = Vec::with_capacity(compiled.register_count());
     let mut out_bits: Vec<bool> = Vec::with_capacity(compiled.output_count());
-    // Work lists are scenario-major, so caching the last scenario's preload
-    // makes the per-lane setup a pure bit-scatter for almost every wave.
-    let mut cached: Option<(usize, Vec<bool>, Vec<bool>)> = None;
+    // Work lists are scenario-major, so a wave references very few distinct
+    // scenarios; they are materialized once per wave, with the last one
+    // carried over so a scenario spanning a wave boundary is not rebuilt.
+    let mut scens: Vec<(usize, Scenario)> = Vec::new();
+    let mut lane_scen = [0usize; LANES];
 
     let mut done = 0usize;
     while done < out.len() {
         let lanes = LANES.min(out.len() - done);
-        sim.clear_faults();
         reg_words.fill(0);
-        input_words.fill(0);
-        for lane in 0..lanes {
+        let mut wave_cycles = 0usize;
+        for (lane, slot_out) in lane_scen.iter_mut().enumerate().take(lanes) {
             let (scenario, _) = work.item(base + done + lane);
-            if cached.as_ref().map(|c| c.0) != Some(scenario) {
-                let (regs, inputs) = target.scenario(scenario);
-                assert_eq!(
-                    regs.len(),
-                    reg_words.len(),
-                    "scenario register preload width mismatch"
-                );
-                assert_eq!(
-                    inputs.len(),
-                    input_words.len(),
-                    "scenario input width mismatch"
-                );
-                cached = Some((scenario, regs, inputs));
-            }
-            let (_, regs, inputs) = cached.as_ref().expect("cached scenario");
+            let slot = match scens.iter().position(|s| s.0 == scenario) {
+                Some(i) => i,
+                None => {
+                    let sc = target.scenario(scenario);
+                    assert!(sc.cycles() >= 1, "scenario {scenario} has no cycles");
+                    assert_eq!(
+                        sc.regs.len(),
+                        reg_words.len(),
+                        "scenario register preload width mismatch"
+                    );
+                    for inputs in &sc.inputs {
+                        assert_eq!(
+                            inputs.len(),
+                            input_words.len(),
+                            "scenario input width mismatch"
+                        );
+                    }
+                    scens.push((scenario, sc));
+                    scens.len() - 1
+                }
+            };
+            *slot_out = slot;
+            let sc = &scens[slot].1;
+            wave_cycles = wave_cycles.max(sc.cycles());
             let bit = 1u64 << lane;
-            for (j, &v) in regs.iter().enumerate() {
+            for (j, &v) in sc.regs.iter().enumerate() {
                 if v {
                     reg_words[j] |= bit;
                 }
             }
-            for (j, &v) in inputs.iter().enumerate() {
-                if v {
-                    input_words[j] |= bit;
+        }
+        sim.set_register_words(&reg_words);
+        let mut verdicts = [Outcome::Masked; LANES];
+        for cycle in 0..wave_cycles {
+            // Rebuild this cycle's fault masks: clear, then re-arm every
+            // lane whose window is open. Register preloads landed before
+            // any flip (flips mutate stored state, as in the scalar
+            // engine); each lane's flips fire once, at its window start.
+            sim.clear_faults();
+            input_words.fill(0);
+            for lane in 0..lanes {
+                let sc = &scens[lane_scen[lane]].1;
+                let bit = 1u64 << lane;
+                let inputs = &sc.inputs[cycle.min(sc.cycles() - 1)];
+                for (j, &v) in inputs.iter().enumerate() {
+                    if v {
+                        input_words[j] |= bit;
+                    }
+                }
+                if cycle >= sc.cycles() {
+                    continue; // past this lane's trajectory: no faults
+                }
+                let (_, faults) = work.item(base + done + lane);
+                let armed = sc.timing.armed_at(cycle);
+                let flips = sc.timing.flip_cycle() == cycle;
+                for &f in faults {
+                    if matches!(f.site, FaultSite::Register(_)) {
+                        if flips {
+                            arm_lanes(&mut sim, f, bit);
+                        }
+                    } else if armed {
+                        arm_lanes(&mut sim, f, bit);
+                    }
                 }
             }
-        }
-        // Register preloads must land before register-flip faults arm:
-        // flips mutate the stored state, as in the scalar engine.
-        sim.set_register_words(&reg_words);
-        for lane in 0..lanes {
-            let (_, faults) = work.item(base + done + lane);
-            for &f in faults {
-                arm_lanes(&mut sim, f, 1u64 << lane);
+            sim.step_into(&input_words, &mut out_words);
+            for lane in 0..lanes {
+                let (scenario, _) = work.item(base + done + lane);
+                let sc = &scens[lane_scen[lane]].1;
+                if cycle >= sc.cycles() {
+                    continue;
+                }
+                extract_lane(sim.register_words(), lane, &mut reg_bits);
+                extract_lane(&out_words, lane, &mut out_bits);
+                verdicts[lane] =
+                    verdicts[lane].fold(target.classify(scenario, cycle, &reg_bits, &out_bits));
             }
         }
-        sim.step_into(&input_words, &mut out_words);
-        for lane in 0..lanes {
-            let (scenario, _) = work.item(base + done + lane);
-            extract_lane(sim.register_words(), lane, &mut reg_bits);
-            extract_lane(&out_words, lane, &mut out_bits);
-            out[done + lane] = target.classify(scenario, &reg_bits, &out_bits);
+        out[done..done + lanes].copy_from_slice(&verdicts[..lanes]);
+        // Keep only the most recent scenario for the next wave.
+        if scens.len() > 1 {
+            let last = scens.pop().expect("nonempty");
+            scens.clear();
+            scens.push(last);
         }
         done += lanes;
     }
@@ -231,5 +301,53 @@ mod tests {
         let four = execute(&t, &work, 4);
         assert_eq!(one, four);
         assert_eq!(one.len(), work.len());
+    }
+
+    /// Lanes of *different* trajectory lengths inside the same wave: mix
+    /// 1-cycle, 2-cycle and 4-cycle scenarios in one interleaved work list
+    /// and check the wave verdicts item-for-item against independent
+    /// scalar runs. Short lanes must neither be classified nor faulted
+    /// past their own length while longer lanes keep stepping.
+    #[test]
+    fn mixed_length_lanes_in_one_wave_match_scalar() {
+        use crate::campaign::run_item_scalar;
+        use crate::target::{FaultTiming, ProtocolScenario};
+
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let cfg = h.cfg();
+        let mut scenarios = Vec::new();
+        for len in [1usize, 2, 4] {
+            let mut edges = vec![0];
+            while edges.len() < len {
+                let at = cfg.edges()[*edges.last().unwrap()].to;
+                edges.push(cfg.out_edge_indices(at)[0]);
+            }
+            for window in 0..len {
+                scenarios.push(ProtocolScenario {
+                    edges: edges.clone(),
+                    timing: FaultTiming::Transient(window),
+                });
+            }
+        }
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let faults = fault_list(&t, &CampaignConfig::new().with_register_flips());
+        // Interleave scenarios (fault-major) so one wave holds every
+        // trajectory length — the opposite of the scenario-major layout.
+        let mut work = WorkList::with_capacity(faults.len() * t.scenario_count());
+        for fault in &faults {
+            for s in 0..t.scenario_count() {
+                work.push(s, std::slice::from_ref(fault));
+            }
+        }
+        let packed = execute(&t, &work, 1);
+        let mut sim = scfi_netlist::Simulator::new(t.module());
+        let mut outputs = Vec::new();
+        for (i, &verdict) in packed.iter().enumerate() {
+            let (s, group) = work.item(i);
+            let sc = t.scenario(s);
+            let scalar = run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs);
+            assert_eq!(verdict, scalar, "item {i} (scenario {s})");
+        }
     }
 }

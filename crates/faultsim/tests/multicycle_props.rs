@@ -1,0 +1,128 @@
+//! Differential property tests for multi-cycle campaign scenarios: the
+//! packed wave engine against the scalar reference over random protocol
+//! depths, walk seeds, fault models and transient fault windows, on all
+//! three §6.1 target configurations. The scalar engine is the oracle; any
+//! divergence in any aggregate (including the recorded hijack-example
+//! groups) fails the case.
+
+use proptest::prelude::*;
+use scfi_core::{harden, redundancy, ScfiConfig};
+use scfi_faultsim::{
+    run_exhaustive, run_exhaustive_scalar, run_multi_fault, run_multi_fault_scalar, CampaignConfig,
+    FaultEffect, FaultTiming, ProtocolScenario, RedundancyTarget, ScfiTarget, UnprotectedTarget,
+};
+use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
+
+fn fsm() -> Fsm {
+    parse_fsm(
+        "fsm walkable { inputs go, halt;
+           state A { if go -> B; if halt -> D; }
+           state B { if go -> C; }
+           state C { if halt -> D; goto A; }
+           state D { goto A; } }",
+    )
+    .expect("valid DSL")
+}
+
+/// Campaign config drawn from the case: effect set pick, pin faults,
+/// register flips, thread count, seed.
+fn config(effects_pick: u8, pins: bool, regs: bool, threads: usize, seed: u64) -> CampaignConfig {
+    let effects = match effects_pick % 3 {
+        0 => vec![FaultEffect::Flip],
+        1 => vec![FaultEffect::Stuck0, FaultEffect::Stuck1],
+        _ => vec![FaultEffect::Flip, FaultEffect::Stuck0, FaultEffect::Stuck1],
+    };
+    let mut c = CampaignConfig::new()
+        .effects(effects)
+        .threads(1 + threads % 3)
+        .seed(seed);
+    if pins {
+        c = c.with_pin_faults();
+    }
+    if regs {
+        c = c.with_register_flips();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exhaustive protocol campaigns agree packed-vs-scalar on every
+    /// target configuration, for random depths and walk seeds.
+    #[test]
+    fn packed_matches_scalar_on_random_protocol_campaigns(
+        depth in 1usize..5,
+        walk_seed in any::<u64>(),
+        effects_pick in any::<u8>(),
+        pins in any::<bool>(),
+        regs in any::<bool>(),
+        threads in any::<usize>(),
+    ) {
+        let f = fsm();
+        let cfg = config(effects_pick, pins, regs, threads, 1);
+        let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
+        let t = ScfiTarget::with_protocol(&h, depth, walk_seed);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+
+        let r = redundancy(&f, 2).expect("redundancy");
+        let t = RedundancyTarget::with_protocol(&r, depth, walk_seed);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+
+        let lowered = lower_unprotected(&f).expect("lowering");
+        let t = UnprotectedTarget::with_protocol(&f, &lowered, depth, walk_seed);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+    }
+
+    /// Seeded multi-fault sampling over the protocol scenario space agrees
+    /// packed-vs-scalar, fault draw for fault draw.
+    #[test]
+    fn packed_matches_scalar_on_random_multi_fault_protocols(
+        depth in 1usize..4,
+        walk_seed in any::<u64>(),
+        draw_seed in any::<u64>(),
+        faults_per_run in 0usize..4,
+        runs in 1usize..200,
+    ) {
+        let f = fsm();
+        let cfg = config(0, false, true, 0, draw_seed);
+        let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
+        let t = ScfiTarget::with_protocol(&h, depth, walk_seed);
+        prop_assert_eq!(
+            run_multi_fault(&t, faults_per_run, runs, &cfg),
+            run_multi_fault_scalar(&t, faults_per_run, runs, &cfg)
+        );
+    }
+
+    /// Hand-built walks with every fault-window placement (including
+    /// `Permanent` over a multi-cycle walk) agree across engines.
+    #[test]
+    fn packed_matches_scalar_on_explicit_fault_windows(
+        len in 1usize..4,
+        permanent in any::<bool>(),
+        window in any::<usize>(),
+        effects_pick in any::<u8>(),
+    ) {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
+        let cfg_edges = h.cfg().edges().len();
+        // One connected walk per starting edge, stepped greedily.
+        let mut scenarios = Vec::new();
+        for start in 0..cfg_edges {
+            let mut edges = vec![start];
+            while edges.len() < len {
+                let at = h.cfg().edges()[*edges.last().unwrap()].to;
+                edges.push(h.cfg().out_edge_indices(at)[0]);
+            }
+            let timing = if permanent {
+                FaultTiming::Permanent
+            } else {
+                FaultTiming::Transient(window % len)
+            };
+            scenarios.push(ProtocolScenario { edges, timing });
+        }
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let cfg = config(effects_pick, false, true, 1, 1);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+    }
+}

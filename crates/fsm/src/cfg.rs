@@ -163,6 +163,73 @@ impl Cfg {
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
+
+    /// Seeded random protocol walks: for every edge, one connected walk of
+    /// `depth` edges starting with that edge (successors drawn uniformly
+    /// from the target state's outgoing edges via xorshift64*).
+    ///
+    /// Walks are the scenario substrate for multi-cycle fault campaigns: a
+    /// walk models a `depth`-step protocol (e.g. a secure-boot handshake)
+    /// whose individual transitions an attacker may glitch.
+    ///
+    /// Each returned walk is a sequence of indices into [`Cfg::edges`] with
+    /// `edges[w[i]].to == edges[w[i + 1]].from`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn random_walks(&self, depth: usize, seed: u64) -> Vec<Vec<usize>> {
+        self.random_walks_where(depth, seed, |_| true)
+    }
+
+    /// [`Cfg::random_walks`] restricted to edges satisfying `allowed`:
+    /// walks start at every allowed edge and successors are drawn from the
+    /// allowed outgoing edges only. A state whose outgoing edges are all
+    /// filtered out truncates the walk there (every state keeps at least
+    /// its terminal edge under the filters used in practice, so full-depth
+    /// walks are the norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn random_walks_where(
+        &self,
+        depth: usize,
+        seed: u64,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Vec<Vec<usize>> {
+        assert!(depth > 0, "protocol walks need at least one edge");
+        let mut rng = seed.max(1); // xorshift state must be non-zero
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut walks = Vec::new();
+        for start in 0..self.edges.len() {
+            if !allowed(start) {
+                continue;
+            }
+            let mut walk = Vec::with_capacity(depth);
+            walk.push(start);
+            let mut at = self.edges[start].to;
+            while walk.len() < depth {
+                let choices: Vec<usize> = self.by_state[at.0]
+                    .iter()
+                    .copied()
+                    .filter(|&e| allowed(e))
+                    .collect();
+                let Some(&e) = choices.get((next() % choices.len().max(1) as u64) as usize) else {
+                    break;
+                };
+                walk.push(e);
+                at = self.edges[e].to;
+            }
+            walks.push(walk);
+        }
+        walks
+    }
 }
 
 impl fmt::Display for Cfg {
@@ -278,5 +345,53 @@ mod tests {
         let text = f.cfg().to_string();
         assert!(text.contains("S0 -> S1"));
         assert!(text.contains("stay"));
+    }
+
+    #[test]
+    fn random_walks_are_connected_and_cover_every_edge() {
+        let f = fig2();
+        let cfg = f.cfg();
+        for depth in [1, 3, 7] {
+            let walks = cfg.random_walks(depth, 0x5EED);
+            assert_eq!(walks.len(), cfg.len(), "one walk per starting edge");
+            for (start, walk) in walks.iter().enumerate() {
+                assert_eq!(walk[0], start);
+                assert_eq!(walk.len(), depth);
+                for pair in walk.windows(2) {
+                    assert_eq!(
+                        cfg.edges()[pair[0]].to,
+                        cfg.edges()[pair[1]].from,
+                        "walk must be connected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_walks_are_deterministic_per_seed() {
+        let cfg = fig2().cfg();
+        assert_eq!(cfg.random_walks(5, 42), cfg.random_walks(5, 42));
+        assert_ne!(cfg.random_walks(5, 42), cfg.random_walks(5, 43));
+    }
+
+    #[test]
+    fn filtered_walks_avoid_disallowed_edges() {
+        let cfg = fig2().cfg();
+        // Forbid edge 0; walks must neither start at nor traverse it.
+        let walks = cfg.random_walks_where(4, 7, |e| e != 0);
+        assert_eq!(walks.len(), cfg.len() - 1);
+        for walk in &walks {
+            assert!(!walk.contains(&0));
+            for pair in walk.windows(2) {
+                assert_eq!(cfg.edges()[pair[0]].to, cfg.edges()[pair[1]].from);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn zero_depth_walks_panic() {
+        let _ = fig2().cfg().random_walks(0, 1);
     }
 }

@@ -686,4 +686,46 @@ mod tests {
         let mut sim = PackedSimulator::new(&compiled);
         sim.eval_comb(&[0, 0]);
     }
+
+    /// Multi-cycle fault sequencing: arming a fault for exactly one middle
+    /// cycle of a multi-step run (clear + re-arm between `step_into`
+    /// calls, as the campaign wave executor does for transient windows)
+    /// must match a scalar simulator driven with the same arm/clear
+    /// schedule — including the state corruption persisting after the
+    /// window closes.
+    #[test]
+    fn transient_window_re_arming_matches_scalar_across_cycles() {
+        let m = counter();
+        let compiled = PackedNetlist::compile(&m);
+        let mut packed = PackedSimulator::new(&compiled);
+        let mut scalar = Simulator::new(&m);
+        let q0 = m.registers()[0].net();
+        let fault_cycle = 1;
+        let mut out_words = Vec::new();
+        let mut out_bits = Vec::new();
+        for cycle in 0..4 {
+            packed.clear_faults();
+            scalar.clear_faults();
+            if cycle == fault_cycle {
+                packed.set_net_flip(q0, 1 << 3); // lane 3 only
+                scalar.set_net_flip(q0);
+            }
+            packed.step_into(&[!0u64], &mut out_words);
+            let expect = scalar.step(&[true]);
+            // Faulted lane 3 tracks the faulted scalar run...
+            extract_lane(&out_words, 3, &mut out_bits);
+            assert_eq!(out_bits, expect, "cycle {cycle}, faulted lane");
+            extract_lane(packed.register_words(), 3, &mut out_bits);
+            assert_eq!(out_bits, scalar.register_values(), "cycle {cycle} state");
+        }
+        // ...while lane 0 never saw the glitch: it followed the fault-free
+        // count and diverges from the corrupted trajectory.
+        let mut clean = Simulator::new(&m);
+        for _ in 0..4 {
+            clean.step(&[true]);
+        }
+        extract_lane(packed.register_words(), 0, &mut out_bits);
+        assert_eq!(out_bits, clean.register_values());
+        assert_ne!(out_bits, scalar.register_values());
+    }
 }

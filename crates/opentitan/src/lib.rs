@@ -187,6 +187,30 @@ fsm pwrmgr_fsm {
   state PREP_SLEEP    { out pwr_clamp; if wakeup -> ENABLE_CLOCKS; goto LOW_POWER; }
 }";
 
+/// Secure-boot flow controller (8 states), modeled on OpenTitan's ROM/
+/// ROM_EXT boot stages — the multi-step protocol the SCFI introduction's
+/// fault attacks (BADFET, voltage glitching) target. Not a Table-1 row:
+/// this FSM exists for *multi-cycle* campaigns, where the attacker
+/// glitches one step of the measure→verify→unlock→boot handshake and the
+/// analysis must judge the whole walk (see `scfi_faultsim`'s protocol
+/// scenarios). The happy path is a strict 6-transition chain ending in
+/// `DONE`, so corrupting any intermediate state derails every later step.
+const SECURE_BOOT: &str = "
+fsm secure_boot_fsm {
+  inputs rom_digest_done, sig_valid, key_locked, ext_digest_done,
+         ext_sig_valid, unlock_token, watchdog;
+  outputs flash_exec_en, boot_done, boot_fail;
+  reset ROM_MEASURE;
+  state ROM_MEASURE   { if rom_digest_done -> ROM_VERIFY; if watchdog -> FAIL; }
+  state ROM_VERIFY    { if sig_valid && key_locked -> EXT_MEASURE; if watchdog -> FAIL; }
+  state EXT_MEASURE   { if ext_digest_done -> EXT_VERIFY; if watchdog -> FAIL; }
+  state EXT_VERIFY    { if ext_sig_valid -> UNLOCK_FLASH; if watchdog -> FAIL; }
+  state UNLOCK_FLASH  { if unlock_token -> EXEC; if watchdog -> FAIL; }
+  state EXEC          { out flash_exec_en; goto DONE; }
+  state DONE          { out flash_exec_en, boot_done; if watchdog -> FAIL; }
+  state FAIL          { out boot_fail; goto FAIL; }
+}";
+
 /// All seven Table-1 benchmark FSMs, in the paper's row order.
 pub fn all() -> Vec<BenchFsm> {
     vec![
@@ -220,6 +244,24 @@ fn entry(name: &'static str, paper_module_ge: f64, dsl: &str) -> BenchFsm {
 /// FSM, whose CFG has exactly 14 edges (explicit + implicit stays).
 pub fn synfi_formal_fsm() -> Fsm {
     by_name("aes_control").expect("suite entry").fsm
+}
+
+/// The secure-boot protocol FSM for multi-cycle campaigns (not a Table-1
+/// row; see the `SECURE_BOOT` docs). Its happy path
+/// `ROM_MEASURE → … → UNLOCK_FLASH → EXEC → DONE` is the walk the
+/// `campaign_multicycle` bench and the mid-protocol conformance tests
+/// attack.
+pub fn secure_boot_fsm() -> Fsm {
+    parse_fsm(SECURE_BOOT).expect("built-in secure-boot FSM parses")
+}
+
+/// The bundled multi-cycle protocol workloads — benchmark FSMs that are
+/// *not* Table-1 rows but exist for protocol campaigns (currently just
+/// [`secure_boot_fsm`]). Front ends should list and resolve these
+/// generically rather than naming individual workloads, so additions here
+/// surface everywhere at once.
+pub fn protocol_workloads() -> Vec<Fsm> {
+    vec![secure_boot_fsm()]
 }
 
 #[cfg(test)]
@@ -328,6 +370,63 @@ mod tests {
     #[test]
     fn by_name_unknown_is_none() {
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn secure_boot_happy_path_reaches_done() {
+        let f = secure_boot_fsm();
+        assert_eq!(f.state_count(), 8);
+        let mut sim = FsmSimulator::new(&f);
+        let sig = |name: &str| f.signals().iter().position(|s| s == name).expect("signal");
+        let steps = [
+            ("rom_digest_done", "ROM_VERIFY"),
+            ("sig_valid", "EXT_MEASURE"), // key_locked asserted below
+            ("ext_digest_done", "EXT_VERIFY"),
+            ("ext_sig_valid", "UNLOCK_FLASH"),
+            ("unlock_token", "EXEC"),
+            ("rom_digest_done", "DONE"), // EXEC is unconditional
+        ];
+        for (signal, expect) in steps {
+            let mut inputs = vec![false; f.signals().len()];
+            inputs[sig(signal)] = true;
+            inputs[sig("key_locked")] = true;
+            sim.step(&inputs);
+            assert_eq!(f.state_name(sim.state()), expect);
+        }
+    }
+
+    #[test]
+    fn secure_boot_fail_is_terminal_and_watchdog_guarded() {
+        let f = secure_boot_fsm();
+        let fail = f.state_by_name("FAIL").unwrap();
+        let n = f.signals().len();
+        for bits in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(f.next_state(fail, &inputs), fail, "FAIL must be terminal");
+        }
+        let wd = f.signals().iter().position(|s| s == "watchdog").unwrap();
+        let mut inputs = vec![false; n];
+        inputs[wd] = true;
+        for name in [
+            "ROM_MEASURE",
+            "ROM_VERIFY",
+            "EXT_MEASURE",
+            "EXT_VERIFY",
+            "UNLOCK_FLASH",
+        ] {
+            let s = f.state_by_name(name).unwrap();
+            assert_eq!(
+                f.next_state(s, &inputs),
+                fail,
+                "{name} must honor the watchdog"
+            );
+        }
+    }
+
+    #[test]
+    fn secure_boot_is_not_a_table1_row() {
+        assert!(by_name("secure_boot_fsm").is_none());
+        assert_eq!(all().len(), 7);
     }
 
     #[test]

@@ -247,6 +247,75 @@ fn packed_campaign_engine_matches_scalar_on_every_table1_fsm() {
     }
 }
 
+/// Multi-cycle security claim, over the paper's full FSM suite: a
+/// single-bit state-register fault injected *mid-protocol* — transiently,
+/// during one step of a multi-transition CFG walk — must never let the
+/// walk complete undetected under SCFI. Every injection lands in Detected:
+/// the corrupted word is non-codeword, so by the trajectory-fold semantics
+/// the walk either alerts immediately or collapses to ERROR on a later
+/// edge (never re-synchronizing silently), and a register flip is never
+/// masked.
+#[test]
+fn mid_protocol_register_faults_never_complete_the_walk_undetected() {
+    for b in scfi_opentitan::all() {
+        let h = harden(&b.fsm, &ScfiConfig::new(2)).expect("harden");
+        let regs = h.module().registers();
+        let lo = regs.iter().map(|r| r.0).min().expect("registers");
+        let hi = regs.iter().map(|r| r.0).max().expect("registers");
+        let target = ScfiTarget::with_protocol(&h, 3, 0x90_07 + lo as u64);
+        let config = CampaignConfig::new()
+            .effects(vec![])
+            .with_register_flips()
+            .region(lo..hi + 1);
+        let report = run_exhaustive(&target, &config);
+        assert!(report.injections > 0, "{}: empty protocol campaign", b.name);
+        assert_eq!(
+            report.hijacked, 0,
+            "{}: a mid-protocol register fault hijacked the walk: {report}",
+            b.name
+        );
+        assert_eq!(
+            report.detected, report.injections,
+            "{}: every mid-protocol register fault must be detected: {report}",
+            b.name
+        );
+    }
+}
+
+/// The acceptance scenario of the multi-cycle generalization: a protocol
+/// campaign on the secure-boot-style FSM (the boot handshake the paper's
+/// introduction motivates), run on the packed engine, with packed/scalar
+/// differential agreement across all three §6.1 configurations.
+#[test]
+fn secure_boot_multicycle_campaign_agrees_across_engines() {
+    let fsm = scfi_opentitan::secure_boot_fsm();
+    let config = CampaignConfig::new().with_register_flips();
+    let depth = 4;
+    let seed = 0xB007_5EED;
+
+    let lowered = lower_unprotected(&fsm).expect("lowering");
+    let unprot = UnprotectedTarget::with_protocol(&fsm, &lowered, depth, seed);
+    let unprot_report = run_exhaustive(&unprot, &config);
+    assert_engines_agree(&unprot, &config, "secure_boot unprotected protocol");
+    assert!(
+        unprot_report.hijack_rate() > 0.05,
+        "an unprotected boot flow must be glitchable: {unprot_report}"
+    );
+
+    let r = redundancy(&fsm, 2).expect("redundancy");
+    let red = RedundancyTarget::with_protocol(&r, depth, seed);
+    assert_engines_agree(&red, &config, "secure_boot redundancy protocol");
+
+    let h = harden(&fsm, &ScfiConfig::new(2)).expect("harden");
+    let scfi = ScfiTarget::with_protocol(&h, depth, seed);
+    let scfi_report = run_exhaustive(&scfi, &config);
+    assert_engines_agree(&scfi, &config, "secure_boot SCFI protocol");
+    assert!(
+        scfi_report.hijack_rate() < unprot_report.hijack_rate() / 2.0,
+        "SCFI must shrink the boot-glitch escape rate: SCFI {scfi_report} vs unprotected {unprot_report}"
+    );
+}
+
 /// Whole-module single-fault campaign on the smallest Table-1 FSM: the
 /// accounting must balance and the escape rate must stay in the sub-percent
 /// regime the paper reports (0.42 % in §6.4).
