@@ -1,14 +1,18 @@
-//! Multi-cycle campaign throughput: the packed wave engine vs the scalar
-//! reference on the secure-boot protocol workload — depth-4 CFG walks over
-//! `secure_boot_fsm` (SCFI, protection level 2), every walk step glitched
-//! transiently, exhaustive over gate-output flips plus register flips.
+//! Multi-cycle campaign throughput: the packed wave engine at every lane
+//! width (64/128/256 lanes) vs the scalar reference on the secure-boot
+//! protocol workload — depth-4 CFG walks over `secure_boot_fsm` (SCFI,
+//! protection level 2), every walk step glitched transiently, exhaustive
+//! over gate-output flips plus register flips.
 //!
 //! Reported as injections/second (one injection = one fault group run
-//! through one whole walk, i.e. four simulated cycles). Both engines run
-//! the identical work list single-threaded, so the ratio is pure engine
-//! speedup. CI runs this bench with `--test` (one iteration per payload,
-//! no measurement loop), which also asserts the two engines agree on the
-//! multi-cycle workload.
+//! through one whole walk, i.e. up to four simulated cycles — the wave
+//! executor's cycle skipping stops a wave early once every lane's verdict
+//! is terminal, which is most of them on this detection-dominated
+//! workload). All engines run the identical work list single-threaded, so
+//! the ratios are pure engine speedup. CI runs this bench with `--test`
+//! (one iteration per payload, no measurement loop), which also asserts
+//! that every width reproduces the scalar report on the multi-cycle
+//! workload.
 
 use std::time::{Duration, Instant};
 
@@ -23,6 +27,9 @@ use scfi_faultsim::{
 /// corrupted state across multiple edges.
 const DEPTH: usize = 4;
 const WALK_SEED: u64 = 0xB007_5EED;
+
+/// The packed wave widths under measurement, as lane words.
+const LANE_WORDS: [usize; 3] = [1, 2, 4];
 
 fn hardened_boot() -> HardenedFsm {
     harden(&scfi_opentitan::secure_boot_fsm(), &ScfiConfig::new(2)).expect("harden")
@@ -41,28 +48,35 @@ fn print_throughput() {
         let report = f();
         (report, start.elapsed())
     };
-    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
-    let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
-    assert_eq!(
-        scalar_report, packed_report,
-        "engines disagree on the multi-cycle workload"
-    );
     let rate = |r: &CampaignReport, t: Duration| r.injections as f64 / t.as_secs_f64();
+    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
     let scalar_rate = rate(&scalar_report, scalar_t);
-    let packed_rate = rate(&packed_report, packed_t);
     println!(
         "\n=== multi-cycle campaign throughput (secure_boot_fsm, N=2, depth-{DEPTH} walks, 1 thread) ==="
     );
     println!(
         "protocol space: {} scenarios x faults = {} injections ({} cycles each)",
         target.scenario_count(),
-        packed_report.injections,
+        scalar_report.injections,
         DEPTH
     );
-    println!("result: {packed_report}");
-    println!("scalar engine: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
-    println!("packed engine: {packed_rate:>12.0} injections/s  ({packed_t:.2?})");
-    println!("speedup:       {:>12.1}x\n", packed_rate / scalar_rate);
+    println!("result: {scalar_report}");
+    println!("scalar reference: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
+    for w in LANE_WORDS {
+        let config = config.clone().lane_words(w);
+        let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
+        assert_eq!(
+            packed_report, scalar_report,
+            "engines disagree at W={w} on the multi-cycle workload"
+        );
+        let packed_rate = rate(&packed_report, packed_t);
+        println!(
+            "packed {:>3}-lane:  {packed_rate:>12.0} injections/s  ({packed_t:.2?})  {:>6.1}x scalar",
+            64 * w,
+            packed_rate / scalar_rate
+        );
+    }
+    println!();
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -73,9 +87,12 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("scalar_protocol_exhaustive", |b| {
         b.iter(|| run_exhaustive_scalar(&target, &config))
     });
-    group.bench_function("packed_protocol_exhaustive", |b| {
-        b.iter(|| run_exhaustive(&target, &config))
-    });
+    for w in LANE_WORDS {
+        let config = config.clone().lane_words(w);
+        group.bench_function(format!("packed_protocol_exhaustive_{}lanes", 64 * w), |b| {
+            b.iter(|| run_exhaustive(&target, &config))
+        });
+    }
     group.finish();
 }
 

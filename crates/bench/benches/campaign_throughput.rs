@@ -1,11 +1,13 @@
-//! Campaign-engine throughput: scalar reference vs 64-lane packed engine
-//! on the `adc_ctrl_fsm` exhaustive gate-output-flip campaign (protection
-//! level 2), reported as injections/second.
+//! Campaign-engine throughput: scalar reference vs the packed wave engine
+//! at every lane width (64/128/256 lanes) on the `adc_ctrl_fsm`
+//! exhaustive gate-output-flip campaign (protection level 2), reported as
+//! injections/second.
 //!
-//! Both engines run the identical work list single-threaded, so the ratio
-//! is pure engine speedup — no parallelism in the numerator. CI runs this
-//! bench with `--test` (one iteration per payload, no measurement loop) so
-//! the target cannot rot; the README records the measured speedup.
+//! All engines run the identical work list single-threaded, so the ratios
+//! are pure engine speedup — no parallelism in the numerator. CI runs
+//! this bench with `--test` (one iteration per payload, no measurement
+//! loop), which also asserts that every width reproduces the scalar
+//! report; the README records the measured speedups.
 
 use std::time::{Duration, Instant};
 
@@ -14,6 +16,9 @@ use scfi_core::{harden, HardenedFsm, ScfiConfig};
 use scfi_faultsim::{
     run_exhaustive, run_exhaustive_scalar, CampaignConfig, CampaignReport, ScfiTarget,
 };
+
+/// The packed wave widths under measurement, as lane words.
+const LANE_WORDS: [usize; 3] = [1, 2, 4];
 
 fn hardened_adc() -> HardenedFsm {
     let bench = scfi_opentitan::by_name("adc_ctrl_fsm").expect("suite entry");
@@ -33,26 +38,9 @@ fn print_throughput() {
         let report = f();
         (report, start.elapsed())
     };
-    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
-    let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
-    assert_eq!(
-        (
-            scalar_report.injections,
-            scalar_report.masked,
-            scalar_report.detected,
-            scalar_report.hijacked
-        ),
-        (
-            packed_report.injections,
-            packed_report.masked,
-            packed_report.detected,
-            packed_report.hijacked
-        ),
-        "engines disagree"
-    );
     let rate = |r: &CampaignReport, t: Duration| r.injections as f64 / t.as_secs_f64();
+    let (scalar_report, scalar_t) = time(&|| run_exhaustive_scalar(&target, &config));
     let scalar_rate = rate(&scalar_report, scalar_t);
-    let packed_rate = rate(&packed_report, packed_t);
     println!(
         "\n=== campaign engine throughput (adc_ctrl_fsm, N=2, exhaustive flips, 1 thread) ==="
     );
@@ -61,9 +49,22 @@ fn print_throughput() {
         scalar_report.injections,
         hardened.module().len()
     );
-    println!("scalar engine: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
-    println!("packed engine: {packed_rate:>12.0} injections/s  ({packed_t:.2?})");
-    println!("speedup:       {:>12.1}x\n", packed_rate / scalar_rate);
+    println!("scalar reference: {scalar_rate:>12.0} injections/s  ({scalar_t:.2?})");
+    for w in LANE_WORDS {
+        let config = config.clone().lane_words(w);
+        let (packed_report, packed_t) = time(&|| run_exhaustive(&target, &config));
+        assert_eq!(
+            packed_report, scalar_report,
+            "engines disagree at W={w}: the packed report must be byte-identical"
+        );
+        let packed_rate = rate(&packed_report, packed_t);
+        println!(
+            "packed {:>3}-lane:  {packed_rate:>12.0} injections/s  ({packed_t:.2?})  {:>6.1}x scalar",
+            64 * w,
+            packed_rate / scalar_rate
+        );
+    }
+    println!();
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -74,9 +75,12 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("scalar_exhaustive", |b| {
         b.iter(|| run_exhaustive_scalar(&target, &config))
     });
-    group.bench_function("packed_exhaustive", |b| {
-        b.iter(|| run_exhaustive(&target, &config))
-    });
+    for w in LANE_WORDS {
+        let config = config.clone().lane_words(w);
+        group.bench_function(format!("packed_exhaustive_{}lanes", 64 * w), |b| {
+            b.iter(|| run_exhaustive(&target, &config))
+        });
+    }
     group.finish();
 }
 

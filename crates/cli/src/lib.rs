@@ -10,7 +10,7 @@
 //!             [--emit verilog|dot|report]
 //! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
 //!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-//!              [--protocol K]
+//!              [--protocol K] [--lanes 64|128|256]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! ```
@@ -53,14 +53,16 @@ pub const USAGE: &str = "usage:
               [--emit verilog|dot|report]
   scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-               [--protocol K]
+               [--protocol K] [--lanes 64|128|256]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
 
 `-` reads the FSM DSL from standard input. `scfi suite` lists the bundled
 OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.
 `--protocol K` runs a multi-cycle campaign over depth-K CFG walks, each
-step glitched transiently, instead of the single-transition experiment.";
+step glitched transiently, instead of the single-transition experiment.
+`--lanes` picks the packed engine's wave width (default 256); the report
+is identical at every width, only throughput changes.";
 
 /// Runs the CLI on an argument vector (without the program name), writing
 /// the result into `out`.
@@ -267,6 +269,12 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
                 .ok_or_else(|| usage_err("--protocol must be a positive walk depth"))
         })
         .transpose()?;
+    let lane_words: usize = match flags.value("--lanes")? {
+        Some("64") => 1,
+        Some("128") => 2,
+        Some("256") | None => 4,
+        Some(_) => return Err(usage_err("--lanes must be 64, 128 or 256")),
+    };
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
 
@@ -275,7 +283,10 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         effects.push(FaultEffect::Stuck0);
         effects.push(FaultEffect::Stuck1);
     }
-    let mut config = CampaignConfig::new().effects(effects).threads(2);
+    let mut config = CampaignConfig::new()
+        .effects(effects)
+        .threads(2)
+        .lane_words(lane_words);
     let regions = hardened.regions();
     config = match region.as_str() {
         "all" => config,
@@ -554,6 +565,19 @@ mod tests {
         let p = path.to_str().expect("utf8");
         assert_eq!(run_err(&["analyze", p, "--protocol", "0"]).code, 1);
         assert_eq!(run_err(&["analyze", p, "--protocol", "x"]).code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn lanes_flag_changes_width_not_results() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let wide = run_ok(&["analyze", p, "--level", "2", "--lanes", "256"]);
+        let narrow = run_ok(&["analyze", p, "--level", "2", "--lanes", "64"]);
+        let default = run_ok(&["analyze", p, "--level", "2"]);
+        assert_eq!(wide, narrow, "wave width must not change the report");
+        assert_eq!(wide, default);
+        assert_eq!(run_err(&["analyze", p, "--lanes", "96"]).code, 1);
         let _ = std::fs::remove_file(path);
     }
 

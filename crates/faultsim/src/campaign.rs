@@ -88,12 +88,14 @@ pub struct CampaignConfig {
     include_register_flips: bool,
     include_pin_faults: bool,
     threads: usize,
+    lane_words: usize,
     seed: u64,
 }
 
 impl CampaignConfig {
     /// Defaults: transient flips on every gate output, no pin faults, no
-    /// register flips, one worker thread per available CPU.
+    /// register flips, one worker thread per available CPU, 4-word
+    /// (256-lane) waves.
     pub fn new() -> Self {
         CampaignConfig {
             effects: vec![FaultEffect::Flip],
@@ -101,6 +103,7 @@ impl CampaignConfig {
             include_register_flips: false,
             include_pin_faults: false,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            lane_words: 4,
             seed: 0xFA17,
         }
     }
@@ -136,10 +139,30 @@ impl CampaignConfig {
     ///
     /// Campaign results are deterministic regardless of this setting: the
     /// wave executor writes each injection's outcome to its work-list slot,
-    /// so reports are independent of thread count, wave boundaries and
-    /// lane order.
+    /// so reports are independent of thread count, lane-word width, wave
+    /// boundaries and lane order.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Lane words per wave of the packed engine: `W` ∈ {1, 2, 4}, giving
+    /// 64-, 128- or 256-lane waves (default: 4).
+    ///
+    /// This is a pure throughput knob — campaign reports are byte-identical
+    /// at every width (the differential suites assert it). Wider waves
+    /// amortize the netlist sweep over more injections but multiply the
+    /// per-net working set; see the README's "choosing W" note.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 1, 2 or 4.
+    pub fn lane_words(mut self, w: usize) -> Self {
+        assert!(
+            matches!(w, 1 | 2 | 4),
+            "lane_words must be 1, 2 or 4 (got {w})"
+        );
+        self.lane_words = w;
         self
     }
 
@@ -152,6 +175,11 @@ impl CampaignConfig {
     /// Configured worker thread count.
     pub(crate) fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// Configured lane words per wave.
+    pub(crate) fn lane_word_count(&self) -> usize {
+        self.lane_words
     }
 }
 
@@ -385,15 +413,36 @@ pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> W
 /// every configured effect — the §6.4 experiment.
 ///
 /// Runs on the bit-parallel [`PackedSimulator`](scfi_netlist::PackedSimulator)
-/// wave engine, 64 injections per netlist pass, sharded across
-/// [`CampaignConfig::threads`] workers. Produces injection-for-injection
-/// the same report as the scalar reference engine
+/// wave engine, up to 256 injections per netlist pass
+/// ([`CampaignConfig::lane_words`]), sharded across
+/// [`CampaignConfig::threads`] workers with early exit for waves whose
+/// lanes have all folded to terminal verdicts. Produces
+/// injection-for-injection the same report as the scalar reference engine
 /// ([`run_exhaustive_scalar`]); the workspace conformance suite pins the
-/// two against each other on every Table-1 FSM.
+/// two against each other on every Table-1 FSM at every wave width.
+///
+/// # Example
+///
+/// ```
+/// use scfi_core::{harden, ScfiConfig};
+/// use scfi_faultsim::{run_exhaustive, CampaignConfig, ScfiTarget};
+/// use scfi_fsm::parse_fsm;
+///
+/// let fsm = parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }")?;
+/// let hardened = harden(&fsm, &ScfiConfig::new(2))?;
+/// let target = ScfiTarget::new(&hardened);
+/// let report = run_exhaustive(&target, &CampaignConfig::new());
+/// // Every injection lands in exactly one §6.4 bucket…
+/// assert_eq!(report.injections, report.masked + report.detected + report.hijacked);
+/// // …and the wave width never changes the report, only the throughput.
+/// let narrow = run_exhaustive(&target, &CampaignConfig::new().lane_words(1));
+/// assert_eq!(report, narrow);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn run_exhaustive<T: FaultTarget>(target: &T, config: &CampaignConfig) -> CampaignReport {
     let faults = fault_list(target, config);
     let work = exhaustive_work(target, &faults);
-    let outcomes = wave::execute(target, &work, config.threads);
+    let outcomes = wave::execute(target, &work, config.threads, config.lane_words);
     aggregate(&work, &outcomes)
 }
 
@@ -472,7 +521,7 @@ pub fn run_multi_fault<T: FaultTarget>(
         return CampaignReport::empty();
     }
     let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
-    let outcomes = wave::execute(target, &work, config.threads);
+    let outcomes = wave::execute(target, &work, config.threads, config.lane_words);
     aggregate(&work, &outcomes)
 }
 

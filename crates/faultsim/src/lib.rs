@@ -64,6 +64,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod campaign;
 mod target;
 mod vulnerability;

@@ -1,11 +1,14 @@
-//! Batched 64-lane campaign execution over the packed simulator.
+//! Batched multi-word wave execution of campaigns over the packed
+//! simulator.
 //!
 //! The wave executor is the throughput core behind
 //! [`run_exhaustive`](crate::run_exhaustive),
 //! [`run_multi_fault`](crate::run_multi_fault) and
 //! [`VulnerabilityMap`](crate::VulnerabilityMap): the `(scenario, faults)`
-//! work list is chunked into waves of up to [`LANES`] injections, each wave
-//! runs as one multi-cycle pass of a [`PackedSimulator`] (per-lane register
+//! work list is chunked into waves of up to `64 · W` injections
+//! (`W` = [`CampaignConfig::lane_words`](crate::CampaignConfig::lane_words)
+//! lane words, i.e. 64, 128 or 256 lanes), each wave runs as one
+//! multi-cycle pass of a [`PackedSimulator`]`<W>` (per-lane register
 //! preloads, per-lane per-cycle input words, per-lane fault masks re-armed
 //! between `step_into` calls so each lane's [`FaultTiming`] window opens
 //! and closes on its own schedule), and lanes are classified cycle by
@@ -14,12 +17,32 @@
 //! preload/output words and extraction buffers — is reused across every
 //! wave of a worker.
 //!
+//! # Wave-level cycle skipping
+//!
+//! [`Outcome::fold`] makes `Detected` *terminal*: once a lane's trajectory
+//! has folded to `Detected`, no later cycle can change its verdict. The
+//! executor exploits this twice:
+//!
+//! * a lane that is past its scenario length or already `Detected` is
+//!   *dead* — it is no longer driven, faulted, extracted or classified
+//!   (extraction + oracle classification are the per-lane serial cost, so
+//!   on detection-dominated campaigns this is most of the win);
+//! * when every lane of a wave is dead, the remaining cycles of the wave
+//!   are skipped outright — on long protocol scenarios whose faults are
+//!   caught early, the wave stops stepping as soon as the last live lane
+//!   folds.
+//!
+//! Both cuts are verdict-preserving by construction (dead lanes' folds are
+//! already fixed points), so reports stay byte-identical to the scalar
+//! reference — the differential suites assert this at every width.
+//!
 //! Waves are sharded across threads in contiguous blocks. The outcome of
-//! item `i` is written to slot `i` regardless of which thread or lane
-//! computed it, so results are deterministic: independent of the thread
-//! count, the wave boundaries and the lane order.
+//! item `i` is written to slot `i` regardless of which thread, wave or
+//! lane computed it, so results are deterministic: independent of the
+//! thread count, the lane-word width, the wave boundaries and the lane
+//! order.
 
-use scfi_netlist::{extract_lane, PackedNetlist, PackedSimulator, LANES};
+use scfi_netlist::{extract_lane, lane_mask, PackedNetlist, PackedSimulator, LANES};
 
 use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
 use crate::target::{FaultTarget, Scenario};
@@ -80,7 +103,7 @@ impl WorkList {
 
 /// Arms one fault in the selected lanes of a packed simulator. Mirrors the
 /// scalar [`arm`](crate::campaign::arm) mapping exactly.
-fn arm_lanes(sim: &mut PackedSimulator<'_>, fault: Fault, lanes: u64) {
+fn arm_lanes<const W: usize>(sim: &mut PackedSimulator<'_, W>, fault: Fault, lanes: [u64; W]) {
     match (fault.site, fault.effect) {
         (FaultSite::CellOutput(c), FaultEffect::Flip) => sim.set_net_flip(c.net(), lanes),
         (FaultSite::CellOutput(c), FaultEffect::Stuck0) => sim.set_net_stuck(c.net(), false, lanes),
@@ -98,68 +121,120 @@ fn arm_lanes(sim: &mut PackedSimulator<'_>, fault: Fault, lanes: u64) {
 
 /// Executes the work list on the packed engine and returns one outcome per
 /// item, in item order. `threads` worker threads share the compiled
-/// netlist; each owns its simulator and scratch.
-pub(crate) fn execute<T: FaultTarget>(target: &T, work: &WorkList, threads: usize) -> Vec<Outcome> {
+/// netlist; each owns its simulator and scratch. `lane_words` selects the
+/// wave width (`W` ∈ {1, 2, 4} — 64, 128 or 256 lanes per wave); the
+/// outcome vector is identical for every width.
+///
+/// # Panics
+///
+/// Panics if `lane_words` is not 1, 2 or 4.
+pub(crate) fn execute<T: FaultTarget>(
+    target: &T,
+    work: &WorkList,
+    threads: usize,
+    lane_words: usize,
+) -> Vec<Outcome> {
+    execute_counting(target, work, threads, lane_words).0
+}
+
+/// [`execute`], additionally returning the number of wave clock edges
+/// actually stepped — the observable for wave-level cycle skipping (a
+/// campaign whose faults are all caught on their first classified cycle
+/// steps one edge per wave, however long its scenarios are).
+pub(crate) fn execute_counting<T: FaultTarget>(
+    target: &T,
+    work: &WorkList,
+    threads: usize,
+    lane_words: usize,
+) -> (Vec<Outcome>, u64) {
+    match lane_words {
+        1 => execute_waves::<T, 1>(target, work, threads),
+        2 => execute_waves::<T, 2>(target, work, threads),
+        4 => execute_waves::<T, 4>(target, work, threads),
+        other => panic!("unsupported lane_words {other}: the packed engine runs W in {{1, 2, 4}}"),
+    }
+}
+
+/// Monomorphized executor body for one wave width.
+fn execute_waves<T: FaultTarget, const W: usize>(
+    target: &T,
+    work: &WorkList,
+    threads: usize,
+) -> (Vec<Outcome>, u64) {
     let n = work.len();
     let mut outcomes = vec![Outcome::Masked; n];
     if n == 0 {
-        return outcomes;
+        return (outcomes, 0);
     }
     let compiled = PackedNetlist::compile(target.module());
-    let waves = n.div_ceil(LANES);
+    let wave_lanes = LANES * W;
+    let waves = n.div_ceil(wave_lanes);
     let threads = threads.max(1).min(waves);
-    if threads <= 1 {
-        run_waves(target, &compiled, work, 0, &mut outcomes);
+    let stepped = if threads <= 1 {
+        run_waves::<T, W>(target, &compiled, work, 0, &mut outcomes)
     } else {
         // Contiguous blocks of whole waves per worker; each worker writes
         // its own disjoint outcome slice.
-        let per = waves.div_ceil(threads) * LANES;
+        let per = waves.div_ceil(threads) * wave_lanes;
+        let total = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| {
             for (t, chunk) in outcomes.chunks_mut(per).enumerate() {
-                let compiled = &compiled;
-                scope.spawn(move || run_waves(target, compiled, work, t * per, chunk));
+                let (compiled, total) = (&compiled, &total);
+                scope.spawn(move || {
+                    let edges = run_waves::<T, W>(target, compiled, work, t * per, chunk);
+                    total.fetch_add(edges, std::sync::atomic::Ordering::Relaxed);
+                });
             }
         });
-    }
-    outcomes
+        total.into_inner()
+    };
+    (outcomes, stepped)
 }
 
 /// Runs the items `base..base + out.len()` of the work list, one wave of
-/// up to [`LANES`] injections at a time, writing trajectory verdicts into
+/// up to `64 · W` injections at a time, writing trajectory verdicts into
 /// `out`.
 ///
-/// Each wave simulates `max(lane cycles)` clock edges. Before every edge
-/// the fault masks are rebuilt from scratch ([`PackedSimulator`]'s
-/// `clear_faults` is O(armed faults)), arming each lane's net/pin faults
-/// only while its [`FaultTiming`] window is open and applying register
-/// flips once, at the window's first cycle — exactly the scalar reference
-/// semantics of [`run_item_scalar`](crate::campaign::run_item_scalar).
-/// Lanes whose scenario is shorter than the wave's longest keep stepping
-/// (their inputs hold the last scheduled vector) but are neither faulted
-/// nor classified past their own length.
-fn run_waves<T: FaultTarget>(
+/// Each wave simulates at most `max(lane cycles)` clock edges. Before
+/// every edge the fault masks are rebuilt from scratch
+/// ([`PackedSimulator`]'s `clear_faults` is O(armed faults)), arming each
+/// *live* lane's net/pin faults only while its [`FaultTiming`] window is
+/// open and applying register flips once, at the window's first cycle —
+/// exactly the scalar reference semantics of
+/// [`run_item_scalar`](crate::campaign::run_item_scalar). A lane is live
+/// while the cycle is within its scenario and its folded verdict is not
+/// yet terminal ([`Outcome::Detected`] absorbs every later fold); dead
+/// lanes keep stepping with the wave but are neither driven, faulted nor
+/// classified, and once every lane of the wave is dead the remaining
+/// cycles are skipped entirely.
+///
+/// Returns the number of clock edges actually stepped across all waves.
+fn run_waves<T: FaultTarget, const W: usize>(
     target: &T,
     compiled: &PackedNetlist,
     work: &WorkList,
     base: usize,
     out: &mut [Outcome],
-) {
-    let mut sim = PackedSimulator::new(compiled);
-    let mut reg_words = vec![0u64; compiled.register_count()];
-    let mut input_words = vec![0u64; compiled.input_count()];
-    let mut out_words: Vec<u64> = Vec::with_capacity(compiled.output_count());
+) -> u64 {
+    let wave_lanes = LANES * W;
+    let mut sim = PackedSimulator::<W>::new(compiled);
+    let mut reg_words = vec![[0u64; W]; compiled.register_count()];
+    let mut input_words = vec![[0u64; W]; compiled.input_count()];
+    let mut out_words: Vec<[u64; W]> = Vec::with_capacity(compiled.output_count());
     let mut reg_bits: Vec<bool> = Vec::with_capacity(compiled.register_count());
     let mut out_bits: Vec<bool> = Vec::with_capacity(compiled.output_count());
     // Work lists are scenario-major, so a wave references very few distinct
     // scenarios; they are materialized once per wave, with the last one
     // carried over so a scenario spanning a wave boundary is not rebuilt.
     let mut scens: Vec<(usize, Scenario)> = Vec::new();
-    let mut lane_scen = [0usize; LANES];
+    let mut lane_scen = vec![0usize; wave_lanes];
+    let mut verdicts = vec![Outcome::Masked; wave_lanes];
+    let mut stepped = 0u64;
 
     let mut done = 0usize;
     while done < out.len() {
-        let lanes = LANES.min(out.len() - done);
-        reg_words.fill(0);
+        let lanes = wave_lanes.min(out.len() - done);
+        reg_words.fill([0; W]);
         let mut wave_cycles = 0usize;
         for (lane, slot_out) in lane_scen.iter_mut().enumerate().take(lanes) {
             let (scenario, _) = work.item(base + done + lane);
@@ -187,33 +262,40 @@ fn run_waves<T: FaultTarget>(
             *slot_out = slot;
             let sc = &scens[slot].1;
             wave_cycles = wave_cycles.max(sc.cycles());
-            let bit = 1u64 << lane;
+            let bit = lane_mask::<W>(lane);
             for (j, &v) in sc.regs.iter().enumerate() {
                 if v {
-                    reg_words[j] |= bit;
+                    for k in 0..W {
+                        reg_words[j][k] |= bit[k];
+                    }
                 }
             }
         }
         sim.set_register_words(&reg_words);
-        let mut verdicts = [Outcome::Masked; LANES];
+        verdicts[..lanes].fill(Outcome::Masked);
         for cycle in 0..wave_cycles {
             // Rebuild this cycle's fault masks: clear, then re-arm every
-            // lane whose window is open. Register preloads landed before
-            // any flip (flips mutate stored state, as in the scalar
+            // live lane whose window is open. Register preloads landed
+            // before any flip (flips mutate stored state, as in the scalar
             // engine); each lane's flips fire once, at its window start.
             sim.clear_faults();
-            input_words.fill(0);
+            input_words.fill([0; W]);
+            let mut live = 0usize;
             for lane in 0..lanes {
                 let sc = &scens[lane_scen[lane]].1;
-                let bit = 1u64 << lane;
-                let inputs = &sc.inputs[cycle.min(sc.cycles() - 1)];
-                for (j, &v) in inputs.iter().enumerate() {
-                    if v {
-                        input_words[j] |= bit;
-                    }
+                if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
+                    // Dead lane: past its trajectory, or its verdict is
+                    // already terminal — skip driving and faulting it.
+                    continue;
                 }
-                if cycle >= sc.cycles() {
-                    continue; // past this lane's trajectory: no faults
+                live += 1;
+                let bit = lane_mask::<W>(lane);
+                for (j, &v) in sc.inputs[cycle].iter().enumerate() {
+                    if v {
+                        for k in 0..W {
+                            input_words[j][k] |= bit[k];
+                        }
+                    }
                 }
                 let (_, faults) = work.item(base + done + lane);
                 let armed = sc.timing.armed_at(cycle);
@@ -228,11 +310,17 @@ fn run_waves<T: FaultTarget>(
                     }
                 }
             }
+            if live == 0 {
+                // Every lane's verdict is settled: skip the wave's
+                // remaining cycles outright.
+                break;
+            }
             sim.step_into(&input_words, &mut out_words);
+            stepped += 1;
             for lane in 0..lanes {
                 let (scenario, _) = work.item(base + done + lane);
                 let sc = &scens[lane_scen[lane]].1;
-                if cycle >= sc.cycles() {
+                if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
                     continue;
                 }
                 extract_lane(sim.register_words(), lane, &mut reg_bits);
@@ -250,6 +338,7 @@ fn run_waves<T: FaultTarget>(
         }
         done += lanes;
     }
+    stepped
 }
 
 #[cfg(test)]
@@ -291,23 +380,38 @@ mod tests {
     }
 
     #[test]
-    fn outcomes_are_independent_of_thread_count() {
+    fn outcomes_are_independent_of_thread_count_and_width() {
         let f = target_fsm();
         let h = harden(&f, &ScfiConfig::new(2)).unwrap();
         let t = ScfiTarget::new(&h);
         let faults = fault_list(&t, &CampaignConfig::new().with_register_flips());
         let work = crate::campaign::exhaustive_work(&t, &faults);
-        let one = execute(&t, &work, 1);
-        let four = execute(&t, &work, 4);
-        assert_eq!(one, four);
+        let one = execute(&t, &work, 1, 1);
         assert_eq!(one.len(), work.len());
+        for threads in [1, 4] {
+            for lane_words in [1, 2, 4] {
+                let got = execute(&t, &work, threads, lane_words);
+                assert_eq!(one, got, "threads {threads}, lane_words {lane_words}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane_words")]
+    fn unsupported_widths_are_rejected() {
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        let work = WorkList::with_capacity(0);
+        let _ = execute(&t, &work, 1, 3);
     }
 
     /// Lanes of *different* trajectory lengths inside the same wave: mix
     /// 1-cycle, 2-cycle and 4-cycle scenarios in one interleaved work list
     /// and check the wave verdicts item-for-item against independent
-    /// scalar runs. Short lanes must neither be classified nor faulted
-    /// past their own length while longer lanes keep stepping.
+    /// scalar runs, at every wave width. Short lanes must neither be
+    /// classified nor faulted past their own length while longer lanes
+    /// keep stepping.
     #[test]
     fn mixed_length_lanes_in_one_wave_match_scalar() {
         use crate::campaign::run_item_scalar;
@@ -340,14 +444,136 @@ mod tests {
                 work.push(s, std::slice::from_ref(fault));
             }
         }
-        let packed = execute(&t, &work, 1);
         let mut sim = scfi_netlist::Simulator::new(t.module());
         let mut outputs = Vec::new();
-        for (i, &verdict) in packed.iter().enumerate() {
+        let scalar: Vec<Outcome> = (0..work.len())
+            .map(|i| {
+                let (s, group) = work.item(i);
+                let sc = t.scenario(s);
+                run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs)
+            })
+            .collect();
+        for lane_words in [1, 2, 4] {
+            let packed = execute(&t, &work, 1, lane_words);
+            assert_eq!(packed, scalar, "lane_words {lane_words}");
+        }
+    }
+
+    /// Builds a work list of register-flip faults over depth-4 walks whose
+    /// fault window is chosen per item by `window`.
+    fn walk_work(
+        h: &scfi_core::HardenedFsm,
+        window: impl Fn(usize) -> usize,
+        items_per_walk: usize,
+    ) -> (Vec<crate::target::ProtocolScenario>, Vec<Fault>) {
+        use crate::target::{FaultTiming, ProtocolScenario};
+        let cfg = h.cfg();
+        let walks = cfg.random_walks(4, 0xC1C1E);
+        let mut scenarios = Vec::new();
+        for walk in &walks {
+            for _ in 0..items_per_walk {
+                scenarios.push(ProtocolScenario {
+                    edges: walk.clone(),
+                    timing: FaultTiming::Transient(window(scenarios.len()) % 4),
+                });
+            }
+        }
+        let faults: Vec<Fault> = h
+            .module()
+            .registers()
+            .iter()
+            .map(|&r| Fault {
+                site: FaultSite::Register(r),
+                effect: FaultEffect::Flip,
+            })
+            .collect();
+        (scenarios, faults)
+    }
+
+    /// All lanes of every wave fold to `Detected` on their very first
+    /// classified cycle (SCFI detects single register flips immediately:
+    /// the corrupted codeword is invalid, so the next state is ERROR).
+    /// With the fault window at cycle 0 the executor must early-exit each
+    /// wave after one stepped edge — a 4× cycle cut on depth-4 walks —
+    /// while the verdicts stay identical to the scalar reference that
+    /// steps every scheduled cycle.
+    #[test]
+    fn waves_detecting_on_cycle_zero_early_exit() {
+        use crate::campaign::run_item_scalar;
+
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let (scenarios, faults) = walk_work(&h, |_| 0, 1);
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let mut work = WorkList::with_capacity(t.scenario_count() * faults.len());
+        for s in 0..t.scenario_count() {
+            for fault in &faults {
+                work.push(s, std::slice::from_ref(fault));
+            }
+        }
+        let mut sim = scfi_netlist::Simulator::new(t.module());
+        let mut outputs = Vec::new();
+        for lane_words in [1usize, 2, 4] {
+            let (outcomes, stepped) = execute_counting(&t, &work, 1, lane_words);
+            let waves = work.len().div_ceil(LANES * lane_words) as u64;
+            assert_eq!(
+                stepped, waves,
+                "lane_words {lane_words}: every wave must stop after one edge"
+            );
+            for (i, &verdict) in outcomes.iter().enumerate() {
+                let (s, group) = work.item(i);
+                let sc = t.scenario(s);
+                assert_eq!(verdict, Outcome::Detected, "item {i}");
+                assert_eq!(
+                    verdict,
+                    run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs),
+                    "item {i}"
+                );
+            }
+        }
+    }
+
+    /// A W = 4 wave whose four *words* carry four different transient
+    /// windows: item `i` glitches cycle `(i / 64) % 4` of the same depth-4
+    /// walk, so lanes in word 0 arm at cycle 0 while lanes in word 3 arm
+    /// at cycle 3. The per-word fault re-arm schedule must keep them
+    /// independent and match the scalar reference item for item; the
+    /// stepped-edge count must still undercut the naive 4-cycles-per-wave
+    /// schedule (no lane can fold before its window opens, so each wave
+    /// runs exactly as long as its latest window).
+    #[test]
+    fn w4_wave_with_independent_windows_per_word_matches_scalar() {
+        use crate::campaign::run_item_scalar;
+
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let n_regs = h.module().registers().len();
+        // 64 / n_regs scenarios per window step give each word one window.
+        let (scenarios, faults) = walk_work(&h, |i| i / (64 / n_regs).max(1), 64 / n_regs);
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let mut work = WorkList::with_capacity(t.scenario_count() * faults.len());
+        for s in 0..t.scenario_count() {
+            for fault in &faults {
+                work.push(s, std::slice::from_ref(fault));
+            }
+        }
+        let (outcomes, stepped) = execute_counting(&t, &work, 1, 4);
+        let waves = work.len().div_ceil(LANES * 4) as u64;
+        assert!(
+            stepped < 4 * waves,
+            "mixed windows must still skip trailing cycles: {stepped} vs naive {}",
+            4 * waves
+        );
+        let mut sim = scfi_netlist::Simulator::new(t.module());
+        let mut outputs = Vec::new();
+        for (i, &verdict) in outcomes.iter().enumerate() {
             let (s, group) = work.item(i);
             let sc = t.scenario(s);
-            let scalar = run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs);
-            assert_eq!(verdict, scalar, "item {i} (scenario {s})");
+            assert_eq!(
+                verdict,
+                run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs),
+                "item {i}"
+            );
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Differential property tests for multi-cycle campaign scenarios: the
 //! packed wave engine against the scalar reference over random protocol
-//! depths, walk seeds, fault models and transient fault windows, on all
-//! three §6.1 target configurations. The scalar engine is the oracle; any
-//! divergence in any aggregate (including the recorded hijack-example
-//! groups) fails the case.
+//! depths, walk seeds, fault models, transient fault windows and wave
+//! widths (64/128/256 lanes), on all three §6.1 target configurations.
+//! The scalar engine is the oracle; any divergence in any aggregate
+//! (including the recorded hijack-example groups) fails the case.
 
 use proptest::prelude::*;
 use scfi_core::{harden, redundancy, ScfiConfig};
@@ -25,8 +25,15 @@ fn fsm() -> Fsm {
 }
 
 /// Campaign config drawn from the case: effect set pick, pin faults,
-/// register flips, thread count, seed.
-fn config(effects_pick: u8, pins: bool, regs: bool, threads: usize, seed: u64) -> CampaignConfig {
+/// register flips, thread count, wave-width pick, seed.
+fn config(
+    effects_pick: u8,
+    pins: bool,
+    regs: bool,
+    threads: usize,
+    width_pick: u8,
+    seed: u64,
+) -> CampaignConfig {
     let effects = match effects_pick % 3 {
         0 => vec![FaultEffect::Flip],
         1 => vec![FaultEffect::Stuck0, FaultEffect::Stuck1],
@@ -35,6 +42,7 @@ fn config(effects_pick: u8, pins: bool, regs: bool, threads: usize, seed: u64) -
     let mut c = CampaignConfig::new()
         .effects(effects)
         .threads(1 + threads % 3)
+        .lane_words(1 << (width_pick % 3)) // 1, 2 or 4 words per wave
         .seed(seed);
     if pins {
         c = c.with_pin_faults();
@@ -58,9 +66,10 @@ proptest! {
         pins in any::<bool>(),
         regs in any::<bool>(),
         threads in any::<usize>(),
+        width_pick in any::<u8>(),
     ) {
         let f = fsm();
-        let cfg = config(effects_pick, pins, regs, threads, 1);
+        let cfg = config(effects_pick, pins, regs, threads, width_pick, 1);
         let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
         let t = ScfiTarget::with_protocol(&h, depth, walk_seed);
         prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
@@ -83,9 +92,10 @@ proptest! {
         draw_seed in any::<u64>(),
         faults_per_run in 0usize..4,
         runs in 1usize..200,
+        width_pick in any::<u8>(),
     ) {
         let f = fsm();
-        let cfg = config(0, false, true, 0, draw_seed);
+        let cfg = config(0, false, true, 0, width_pick, draw_seed);
         let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
         let t = ScfiTarget::with_protocol(&h, depth, walk_seed);
         prop_assert_eq!(
@@ -102,6 +112,7 @@ proptest! {
         permanent in any::<bool>(),
         window in any::<usize>(),
         effects_pick in any::<u8>(),
+        width_pick in any::<u8>(),
     ) {
         let f = fsm();
         let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
@@ -122,7 +133,7 @@ proptest! {
             scenarios.push(ProtocolScenario { edges, timing });
         }
         let t = ScfiTarget::with_scenarios(&h, scenarios);
-        let cfg = config(effects_pick, false, true, 1, 1);
+        let cfg = config(effects_pick, false, true, 1, width_pick, 1);
         prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
     }
 }

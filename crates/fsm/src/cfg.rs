@@ -175,6 +175,28 @@ impl Cfg {
     /// Each returned walk is a sequence of indices into [`Cfg::edges`] with
     /// `edges[w[i]].to == edges[w[i + 1]].from`. Deterministic in `seed`.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use scfi_fsm::parse_fsm;
+    ///
+    /// let fsm = parse_fsm(
+    ///     "fsm m { inputs go; state A { if go -> B; } state B { goto A; } }",
+    /// )?;
+    /// let cfg = fsm.cfg();
+    /// let walks = cfg.random_walks(3, 0x5EED);
+    /// assert_eq!(walks.len(), cfg.len()); // one walk per starting edge
+    /// for (start, walk) in walks.iter().enumerate() {
+    ///     assert_eq!(walk[0], start);
+    ///     assert_eq!(walk.len(), 3);
+    ///     for pair in walk.windows(2) {
+    ///         // Connected head to tail: each edge ends where the next begins.
+    ///         assert_eq!(cfg.edges()[pair[0]].to, cfg.edges()[pair[1]].from);
+    ///     }
+    /// }
+    /// # Ok::<(), scfi_fsm::FsmError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `depth` is zero.

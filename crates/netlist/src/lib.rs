@@ -13,11 +13,12 @@
 //!   hooks the SYNFI-style analysis needs: transient bit-flips and stuck-at
 //!   faults on any net or any individual cell input pin, and direct register
 //!   manipulation,
-//! * [`PackedNetlist`] / [`PackedSimulator`] — the word-level, bit-parallel
-//!   campaign engine: the module compiled once into a levelized
-//!   struct-of-arrays program, evaluated over `u64` nets where each bit is
-//!   an independent simulation lane (64 fault injections per gate
-//!   operation, faults as precompiled AND/OR/XOR masks),
+//! * [`PackedNetlist`] / [`PackedSimulator`]`<W>` — the word-level,
+//!   bit-parallel campaign engine: the module compiled once into a
+//!   levelized struct-of-arrays program, evaluated over `[u64; W]` net
+//!   waves where each bit is an independent simulation lane (64, 128 or
+//!   256 fault injections per gate operation for `W` ∈ {1, 2, 4}, faults
+//!   as precompiled AND/OR/XOR masks),
 //! * [`ModuleStats`] — cell histograms and logic depth,
 //! * DOT and structural-Verilog export.
 //!
@@ -42,6 +43,8 @@
 //! assert_eq!(sim.step(&[false]), vec![false]); // toggled again, then holds
 //! ```
 
+#![deny(missing_docs)]
+
 mod builder;
 mod export;
 mod ir;
@@ -52,7 +55,7 @@ mod vcd;
 
 pub use builder::ModuleBuilder;
 pub use ir::{Cell, CellId, CellKind, Module, NetId, ValidateError};
-pub use packed::{extract_lane, PackedNetlist, PackedSimulator, LANES};
+pub use packed::{extract_lane, lane_mask, PackedNetlist, PackedSimulator, LANES, MAX_LANE_WORDS};
 pub use sim::Simulator;
 pub use stats::ModuleStats;
 pub use vcd::VcdRecorder;

@@ -1,5 +1,5 @@
-//! Word-level, bit-parallel simulation: 64 independent fault lanes per
-//! pass.
+//! Word-level, bit-parallel simulation: up to 256 independent fault lanes
+//! per pass.
 //!
 //! The scalar [`Simulator`](crate::Simulator) walks the cell graph pointer
 //! by pointer and consults hash maps for fault state on every pin read —
@@ -11,30 +11,36 @@
 //!   struct-of-arrays program: one `(opcode, out, a, b, c)` record per
 //!   combinational cell in topological order, plus flat index arrays for
 //!   inputs, constants, registers and outputs. No `Vec<NetId>` chasing, no
-//!   per-cell `match` on [`CellKind`] in the hot loop.
-//! * [`PackedSimulator`] evaluates that program over `u64` net values
-//!   where bit `l` is lane `l`'s Boolean — 64 independent simulations per
-//!   gate operation.
-//! * Faults are *precompiled masks*, applied with AND/OR/XOR: every net
-//!   write is `((raw & keep) | force) ^ flip`, so a lane's stuck-at or
-//!   transient flip costs the same three bitwise ops whether zero or all
-//!   64 lanes are faulted. Pin faults (which scope a fault to one fanout
-//!   branch) are sparse per-operation fixups consumed by a cursor during
-//!   the topological sweep — nothing in the loop hashes anything.
+//!   per-cell `match` on [`CellKind`] in the hot loop. The compiled program
+//!   is width-agnostic: one compilation serves simulators of every lane
+//!   width.
+//! * [`PackedSimulator`]`<W>` evaluates that program over `[u64; W]` net
+//!   values — a *wave* of `W` lane words, where bit `l` of word `w` is
+//!   lane `64·w + l`'s Boolean. `W` is a compile-time constant in
+//!   `{1, 2, 4}` ([`LANES`]` · W` = 64, 128 or 256 independent simulations
+//!   per gate operation); the per-word inner loops are fully unrolled and
+//!   autovectorize to 128-/256-bit SIMD where the target supports it.
+//! * Faults are *precompiled masks*, applied per word with AND/OR/XOR:
+//!   every net write is `((raw & keep) | force) ^ flip`, so a lane's
+//!   stuck-at or transient flip costs the same three bitwise ops per word
+//!   whether zero or all lanes are faulted. Pin faults (which scope a
+//!   fault to one fanout branch) are sparse per-operation fixups consumed
+//!   by a cursor during the topological sweep — nothing in the loop hashes
+//!   anything.
 //!
 //! Fault semantics are bit-for-bit those of the scalar engine (stuck-at
 //! applied before flip, faults visible on source nets, register flips
-//! mutating stored state); the differential property tests in
-//! `tests/packed_props.rs` pin the two engines against each other
-//! lane-by-lane.
+//! mutating stored state), independently in every lane of every word; the
+//! differential property tests in `tests/packed_props.rs` pin the engines
+//! against each other lane-by-lane at every width.
 //!
 //! # Example
 //!
 //! Two lanes of a toggle flip-flop, with lane 1 holding the enable stuck
-//! at 0:
+//! at 0 (single-word wave, `W = 1`):
 //!
 //! ```
-//! use scfi_netlist::{ModuleBuilder, PackedNetlist, PackedSimulator};
+//! use scfi_netlist::{lane_mask, ModuleBuilder, PackedNetlist, PackedSimulator};
 //!
 //! let mut b = ModuleBuilder::new("toggle");
 //! let en = b.input("en");
@@ -45,19 +51,26 @@
 //! let module = b.finish().expect("valid netlist");
 //!
 //! let compiled = PackedNetlist::compile(&module);
-//! let mut sim = PackedSimulator::new(&compiled);
-//! sim.set_net_stuck(en, false, 1 << 1); // lane 1: enable stuck-at-0
+//! let mut sim = PackedSimulator::<1>::new(&compiled);
+//! sim.set_net_stuck(en, false, lane_mask(1)); // lane 1: enable stuck-at-0
 //! let mut out = Vec::new();
-//! sim.step_into(&[!0u64], &mut out); // enable high in every lane
-//! assert_eq!(out[0] & 0b11, 0b00); // q sampled before the edge
-//! sim.step_into(&[!0u64], &mut out);
-//! assert_eq!(out[0] & 0b11, 0b01); // lane 0 toggled, lane 1 froze
+//! sim.step_into(&[[!0u64]], &mut out); // enable high in every lane
+//! assert_eq!(out[0][0] & 0b11, 0b00); // q sampled before the edge
+//! sim.step_into(&[[!0u64]], &mut out);
+//! assert_eq!(out[0][0] & 0b11, 0b01); // lane 0 toggled, lane 1 froze
 //! ```
 
 use crate::ir::{CellId, CellKind, Module, NetId};
 
-/// Number of independent simulation lanes per [`PackedSimulator`] pass.
+/// Number of independent simulation lanes per lane *word*. A
+/// [`PackedSimulator`]`<W>` carries [`LANES`]` · W` lanes per pass (see
+/// [`PackedSimulator::LANES`]).
 pub const LANES: usize = 64;
+
+/// The largest supported lane-word count `W` (256 lanes per wave). Widths
+/// beyond four words stop paying: the per-net working set outgrows L1/L2
+/// while the per-wave occupancy win flattens out.
+pub const MAX_LANE_WORDS: usize = 4;
 
 const OP_BUF: u8 = 0;
 const OP_NOT: u8 = 1;
@@ -82,8 +95,8 @@ struct Op {
 }
 
 /// A [`Module`] compiled into the flat program [`PackedSimulator`]
-/// executes. Compile once, then share across any number of simulators
-/// (e.g. one per worker thread).
+/// executes. Compile once, then share across any number of simulators of
+/// any lane width (e.g. one per worker thread).
 #[derive(Clone, Debug)]
 pub struct PackedNetlist {
     n_nets: usize,
@@ -201,97 +214,176 @@ impl PackedNetlist {
     }
 }
 
-/// Spreads one lane of a packed word vector into Booleans: `out[i] = bit
-/// `lane` of `words[i]``. The scratch vector is cleared first, so it can
-/// be reused across extractions without reallocating.
+/// The lane-selection mask with exactly lane `lane` set: word `lane / 64`,
+/// bit `lane % 64`. The building block for arming per-lane faults on a
+/// [`PackedSimulator`]`<W>`.
 ///
 /// # Panics
 ///
-/// Panics if `lane >= LANES`.
-pub fn extract_lane(words: &[u64], lane: usize, out: &mut Vec<bool>) {
-    assert!(lane < LANES, "lane {lane} out of range");
+/// Panics if `lane >= 64 · W`.
+#[inline]
+pub fn lane_mask<const W: usize>(lane: usize) -> [u64; W] {
+    assert!(lane < LANES * W, "lane {lane} out of range for {W} words");
+    let mut mask = [0u64; W];
+    mask[lane / LANES] = 1u64 << (lane % LANES);
+    mask
+}
+
+/// Spreads one lane of a packed wave vector into Booleans: `out[i]` = bit
+/// `lane % 64` of word `lane / 64` of `words[i]`. The scratch vector is
+/// cleared first, so it can be reused across extractions without
+/// reallocating.
+///
+/// # Panics
+///
+/// Panics if `lane >= 64 · W`.
+pub fn extract_lane<const W: usize>(words: &[[u64; W]], lane: usize, out: &mut Vec<bool>) {
+    assert!(lane < LANES * W, "lane {lane} out of range for {W} words");
+    let (word, bit) = (lane / LANES, lane % LANES);
     out.clear();
-    out.extend(words.iter().map(|&w| (w >> lane) & 1 == 1));
+    out.extend(words.iter().map(|w| (w[word] >> bit) & 1 == 1));
+}
+
+/// Broadcasts one word value to every word of a wave.
+#[inline]
+fn splat<const W: usize>(v: u64) -> [u64; W] {
+    [v; W]
 }
 
 /// Stuck/flip masks for one faulted cell input pin.
 #[derive(Clone, Copy, Debug)]
-struct PinMasks {
-    keep: u64,
-    force: u64,
-    flip: u64,
+struct PinMasks<const W: usize> {
+    keep: [u64; W],
+    force: [u64; W],
+    flip: [u64; W],
 }
 
-impl Default for PinMasks {
+impl<const W: usize> Default for PinMasks<W> {
     fn default() -> Self {
         PinMasks {
-            keep: !0,
-            force: 0,
-            flip: 0,
+            keep: [!0; W],
+            force: [0; W],
+            flip: [0; W],
         }
     }
 }
 
-impl PinMasks {
+impl<const W: usize> PinMasks<W> {
     #[inline]
-    fn apply(&self, v: u64) -> u64 {
-        ((v & self.keep) | self.force) ^ self.flip
+    fn apply(&self, v: [u64; W]) -> [u64; W] {
+        let mut out = [0u64; W];
+        for k in 0..W {
+            out[k] = ((v[k] & self.keep[k]) | self.force[k]) ^ self.flip[k];
+        }
+        out
     }
 
-    fn stuck(&mut self, value: bool, lanes: u64) {
-        self.keep &= !lanes;
-        self.force = (self.force & !lanes) | if value { lanes } else { 0 };
+    fn stuck(&mut self, value: bool, lanes: [u64; W]) {
+        for (k, &l) in lanes.iter().enumerate() {
+            self.keep[k] &= !l;
+            self.force[k] = (self.force[k] & !l) | if value { l } else { 0 };
+        }
+    }
+
+    fn flip(&mut self, lanes: [u64; W]) {
+        for (k, &l) in lanes.iter().enumerate() {
+            self.flip[k] |= l;
+        }
     }
 }
 
-/// 64-lane simulator over a [`PackedNetlist`].
+/// Multi-word wave simulator over a [`PackedNetlist`]: `64 · W`
+/// independent lanes per pass.
 ///
 /// Each lane is one independent simulation of the same module: lanes share
 /// the clock and the netlist but have their own register state, inputs and
-/// faults. All fault-arming methods take a `lanes` bit-mask selecting which
-/// lanes the fault applies to (`1 << lane`, or `!0` for all).
+/// faults. Net values are `[u64; W]` waves; lane `l` lives in bit `l % 64`
+/// of word `l / 64` (see [`lane_mask`] / [`extract_lane`]). All
+/// fault-arming methods take a `lanes` wave mask selecting which lanes the
+/// fault applies to ([`lane_mask`]`(l)` for one lane, `[!0; W]` for all).
+///
+/// `W` must be in `{1, 2, 4}` — widths are compile-time so the per-word
+/// loops unroll; see [`MAX_LANE_WORDS`] for why wider waves stop paying.
 ///
 /// The two-phase cycle semantics match the scalar
 /// [`Simulator`](crate::Simulator) exactly: inputs applied, combinational
 /// settle in topological order, outputs sampled, registers committed.
 /// Stuck-at faults are applied before transient flips on every net and pin,
 /// as in the scalar engine.
+///
+/// # Example
+///
+/// A 128-lane (`W = 2`) round trip: preload per-lane register state, step
+/// once, and read one lane back out of the wave — here lane 100, which
+/// lives in word 1:
+///
+/// ```
+/// use scfi_netlist::{extract_lane, lane_mask, ModuleBuilder, PackedNetlist, PackedSimulator};
+///
+/// let mut b = ModuleBuilder::new("toggle");
+/// let en = b.input("en");
+/// let q = b.dff_uninit(false);
+/// let next = b.xor2(q, en);
+/// b.set_dff_input(q, next);
+/// b.output("q", q);
+/// let module = b.finish().expect("valid netlist");
+///
+/// let compiled = PackedNetlist::compile(&module);
+/// let mut sim = PackedSimulator::<2>::new(&compiled);
+/// sim.set_register_words(&[lane_mask(100)]); // q starts high in lane 100 only
+/// let mut out = Vec::new();
+/// sim.step_into(&[[!0u64; 2]], &mut out); // enable high everywhere
+/// let mut bits = Vec::new();
+/// extract_lane(&out, 100, &mut bits);
+/// assert_eq!(bits, [true]); // lane 100 sampled its preloaded high...
+/// extract_lane(sim.register_words(), 100, &mut bits);
+/// assert_eq!(bits, [false]); // ...then toggled low at the clock edge
+/// extract_lane(sim.register_words(), 0, &mut bits);
+/// assert_eq!(bits, [true]); // lane 0 toggled the other way
+/// ```
 #[derive(Debug)]
-pub struct PackedSimulator<'p> {
+pub struct PackedSimulator<'p, const W: usize = 1> {
     net: &'p PackedNetlist,
-    /// Per-net lane values, rewritten every cycle.
-    values: Vec<u64>,
+    /// Per-net lane waves, rewritten every cycle.
+    values: Vec<[u64; W]>,
     /// Stored state per register, parallel to `PackedNetlist::reg_nets`.
-    reg_state: Vec<u64>,
-    /// Per-net stuck-at keep mask (`!0` = no stuck lanes).
-    keep: Vec<u64>,
+    reg_state: Vec<[u64; W]>,
+    /// Per-net stuck-at keep mask (`[!0; W]` = no stuck lanes).
+    keep: Vec<[u64; W]>,
     /// Per-net stuck-at force mask.
-    force: Vec<u64>,
+    force: Vec<[u64; W]>,
     /// Per-net transient flip mask.
-    flip: Vec<u64>,
+    flip: Vec<[u64; W]>,
     /// Nets whose masks deviate from the defaults — lets
     /// [`PackedSimulator::clear_faults`] reset in O(faults), not O(nets).
     dirty: Vec<u32>,
     /// Faulted combinational input pins, sorted by op position before
     /// evaluation and consumed by a cursor during the sweep.
-    op_faults: Vec<(u32, u8, PinMasks)>,
+    op_faults: Vec<(u32, u8, PinMasks<W>)>,
     op_faults_sorted: bool,
     /// Faulted register data pins, keyed by register position.
-    reg_faults: Vec<(u32, PinMasks)>,
+    reg_faults: Vec<(u32, PinMasks<W>)>,
     cycle: u64,
 }
 
-impl<'p> PackedSimulator<'p> {
+impl<'p, const W: usize> PackedSimulator<'p, W> {
+    /// Total independent lanes per pass: `64 · W`.
+    pub const LANES: usize = LANES * W;
+
     /// Creates a simulator with every lane's registers at their reset
     /// values.
     pub fn new(net: &'p PackedNetlist) -> Self {
+        assert!(
+            matches!(W, 1 | 2 | 4),
+            "lane-word count {W} outside the supported {{1, 2, 4}}"
+        );
         PackedSimulator {
             net,
-            values: vec![0; net.n_nets],
-            reg_state: net.reg_init.clone(),
-            keep: vec![!0; net.n_nets],
-            force: vec![0; net.n_nets],
-            flip: vec![0; net.n_nets],
+            values: vec![[0; W]; net.n_nets],
+            reg_state: net.reg_init.iter().map(|&v| splat(v)).collect(),
+            keep: vec![[!0; W]; net.n_nets],
+            force: vec![[0; W]; net.n_nets],
+            flip: vec![[0; W]; net.n_nets],
             dirty: Vec::new(),
             op_faults: Vec::new(),
             op_faults_sorted: true,
@@ -314,23 +406,25 @@ impl<'p> PackedSimulator<'p> {
     /// the cycle counter. Fault state is preserved (clear it separately
     /// with [`PackedSimulator::clear_faults`]).
     pub fn reset(&mut self) {
-        self.reg_state.copy_from_slice(&self.net.reg_init);
+        for (w, &init) in self.reg_state.iter_mut().zip(&self.net.reg_init) {
+            *w = splat(init);
+        }
         self.cycle = 0;
     }
 
-    /// Stored register words, in `Module::registers()` order; bit `l` of
-    /// word `i` is lane `l`'s register `i`.
-    pub fn register_words(&self) -> &[u64] {
+    /// Stored register waves, in `Module::registers()` order; lane `l` of
+    /// wave `i` is lane `l`'s register `i`.
+    pub fn register_words(&self) -> &[[u64; W]] {
         &self.reg_state
     }
 
-    /// Overwrites all register state with per-lane words and restarts the
+    /// Overwrites all register state with per-lane waves and restarts the
     /// cycle counter.
     ///
     /// # Panics
     ///
     /// Panics on width mismatch.
-    pub fn set_register_words(&mut self, words: &[u64]) {
+    pub fn set_register_words(&mut self, words: &[[u64; W]]) {
         assert_eq!(words.len(), self.reg_state.len(), "register count mismatch");
         self.reg_state.copy_from_slice(words);
         self.cycle = 0;
@@ -348,7 +442,7 @@ impl<'p> PackedSimulator<'p> {
             "register count mismatch"
         );
         for (w, &v) in self.reg_state.iter_mut().zip(values) {
-            *w = if v { !0 } else { 0 };
+            *w = splat(if v { !0 } else { 0 });
         }
         self.cycle = 0;
     }
@@ -361,15 +455,18 @@ impl<'p> PackedSimulator<'p> {
     /// # Panics
     ///
     /// Panics if `reg` is not a flip-flop of this module.
-    pub fn flip_register(&mut self, reg: CellId, lanes: u64) {
+    pub fn flip_register(&mut self, reg: CellId, lanes: [u64; W]) {
         let pos = self.net.reg_pos[reg.index()];
         assert!(pos != u32::MAX, "{reg:?} is not a register");
-        self.reg_state[pos as usize] ^= lanes;
+        let w = &mut self.reg_state[pos as usize];
+        for k in 0..W {
+            w[k] ^= lanes[k];
+        }
     }
 
-    /// Reads the settled lane values of an arbitrary net (valid after a
+    /// Reads the settled lane wave of an arbitrary net (valid after a
     /// step or an explicit [`PackedSimulator::eval_comb`]).
-    pub fn peek(&self, net: NetId) -> u64 {
+    pub fn peek(&self, net: NetId) -> [u64; W] {
         self.values[net.index()]
     }
 
@@ -377,7 +474,7 @@ impl<'p> PackedSimulator<'p> {
 
     fn touch(&mut self, net: u32) {
         let n = net as usize;
-        if self.keep[n] == !0 && self.force[n] == 0 && self.flip[n] == 0 {
+        if self.keep[n] == [!0; W] && self.force[n] == [0; W] && self.flip[n] == [0; W] {
             self.dirty.push(net);
         }
     }
@@ -385,25 +482,30 @@ impl<'p> PackedSimulator<'p> {
     /// Arms a transient bit-flip on a net in the selected lanes; active
     /// every cycle until cleared. Re-arming the same lanes is idempotent,
     /// like the scalar engine's fault set.
-    pub fn set_net_flip(&mut self, net: NetId, lanes: u64) {
+    pub fn set_net_flip(&mut self, net: NetId, lanes: [u64; W]) {
         self.touch(net.0);
-        self.flip[net.index()] |= lanes;
+        let f = &mut self.flip[net.index()];
+        for k in 0..W {
+            f[k] |= lanes[k];
+        }
     }
 
     /// Forces a net to a constant value in the selected lanes (stuck-at
     /// fault). A later stuck on overlapping lanes wins, like the scalar
     /// engine's map insert.
-    pub fn set_net_stuck(&mut self, net: NetId, value: bool, lanes: u64) {
+    pub fn set_net_stuck(&mut self, net: NetId, value: bool, lanes: [u64; W]) {
         self.touch(net.0);
         let n = net.index();
-        self.keep[n] &= !lanes;
-        self.force[n] = (self.force[n] & !lanes) | if value { lanes } else { 0 };
+        for (k, &l) in lanes.iter().enumerate() {
+            self.keep[n][k] &= !l;
+            self.force[n][k] = (self.force[n][k] & !l) | if value { l } else { 0 };
+        }
     }
 
     /// Finds or creates the pin-mask entry backing `(cell, pin)`, or
     /// `None` when the pin does not exist on this cell — in which case the
     /// fault has no observable effect, matching the scalar engine.
-    fn pin_entry(&mut self, cell: CellId, pin: usize) -> Option<&mut PinMasks> {
+    fn pin_entry(&mut self, cell: CellId, pin: usize) -> Option<&mut PinMasks<W>> {
         let reg = self.net.reg_pos[cell.index()];
         if reg != u32::MAX {
             if pin != 0 {
@@ -434,15 +536,15 @@ impl<'p> PackedSimulator<'p> {
 
     /// Arms a transient bit-flip on one input pin of one cell in the
     /// selected lanes.
-    pub fn set_pin_flip(&mut self, cell: CellId, pin: usize, lanes: u64) {
+    pub fn set_pin_flip(&mut self, cell: CellId, pin: usize, lanes: [u64; W]) {
         if let Some(e) = self.pin_entry(cell, pin) {
-            e.flip |= lanes;
+            e.flip(lanes);
         }
     }
 
     /// Forces one input pin of one cell to a constant value in the
     /// selected lanes.
-    pub fn set_pin_stuck(&mut self, cell: CellId, pin: usize, value: bool, lanes: u64) {
+    pub fn set_pin_stuck(&mut self, cell: CellId, pin: usize, value: bool, lanes: [u64; W]) {
         if let Some(e) = self.pin_entry(cell, pin) {
             e.stuck(value, lanes);
         }
@@ -454,9 +556,9 @@ impl<'p> PackedSimulator<'p> {
     pub fn clear_faults(&mut self) {
         for &n in &self.dirty {
             let n = n as usize;
-            self.keep[n] = !0;
-            self.force[n] = 0;
-            self.flip[n] = 0;
+            self.keep[n] = [!0; W];
+            self.force[n] = [0; W];
+            self.flip[n] = [0; W];
         }
         self.dirty.clear();
         self.op_faults.clear();
@@ -472,18 +574,23 @@ impl<'p> PackedSimulator<'p> {
     // ----- evaluation ----------------------------------------------------
 
     #[inline]
-    fn apply_net(&self, net: usize, raw: u64) -> u64 {
-        ((raw & self.keep[net]) | self.force[net]) ^ self.flip[net]
+    fn apply_net(&self, net: usize, raw: [u64; W]) -> [u64; W] {
+        let (keep, force, flip) = (&self.keep[net], &self.force[net], &self.flip[net]);
+        let mut out = [0u64; W];
+        for k in 0..W {
+            out[k] = ((raw[k] & keep[k]) | force[k]) ^ flip[k];
+        }
+        out
     }
 
     /// Evaluates the combinational network for the current cycle without
-    /// committing registers. `inputs[i]` carries the 64 lane values of
-    /// input port `i`.
+    /// committing registers. `inputs[i]` carries the lane wave of input
+    /// port `i`.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the module's input count.
-    pub fn eval_comb(&mut self, inputs: &[u64]) {
+    pub fn eval_comb(&mut self, inputs: &[[u64; W]]) {
         assert_eq!(
             inputs.len(),
             self.net.inputs.len(),
@@ -502,14 +609,15 @@ impl<'p> PackedSimulator<'p> {
         }
         for &(n, w) in &self.net.consts {
             let n = n as usize;
-            self.values[n] = self.apply_net(n, w);
+            self.values[n] = self.apply_net(n, splat(w));
         }
         for (ri, &n) in self.net.reg_nets.iter().enumerate() {
             let n = n as usize;
             self.values[n] = self.apply_net(n, self.reg_state[ri]);
         }
-        // Phase 1: combinational settle. One bitwise op per gate, with the
-        // sparse pin-fault list consumed by a cursor as positions pass.
+        // Phase 1: combinational settle. One bitwise op per gate and word,
+        // with the sparse pin-fault list consumed by a cursor as positions
+        // pass. The `0..W` loops unroll (W is a compile-time constant).
         let mut cursor = 0usize;
         for (i, op) in self.net.ops.iter().enumerate() {
             let mut a = self.values[op.a as usize];
@@ -524,25 +632,30 @@ impl<'p> PackedSimulator<'p> {
                 }
                 cursor += 1;
             }
-            let raw = match op.kind {
-                OP_BUF => a,
-                OP_NOT => !a,
-                OP_AND => a & b,
-                OP_OR => a | b,
-                OP_XOR => a ^ b,
-                OP_NAND => !(a & b),
-                OP_NOR => !(a | b),
-                OP_XNOR => !(a ^ b),
-                _ => (a & c) | (!a & b), // mux: a = sel, b = on_false, c = on_true
-            };
+            // `op.kind` is loop-invariant, so the unrolled per-word loop
+            // keeps a single opcode dispatch per gate.
+            let mut raw = [0u64; W];
+            for k in 0..W {
+                raw[k] = match op.kind {
+                    OP_BUF => a[k],
+                    OP_NOT => !a[k],
+                    OP_AND => a[k] & b[k],
+                    OP_OR => a[k] | b[k],
+                    OP_XOR => a[k] ^ b[k],
+                    OP_NAND => !(a[k] & b[k]),
+                    OP_NOR => !(a[k] | b[k]),
+                    OP_XNOR => !(a[k] ^ b[k]),
+                    _ => (a[k] & c[k]) | (!a[k] & b[k]), // mux: a = sel, b = on_false, c = on_true
+                };
+            }
             let n = op.out as usize;
             self.values[n] = self.apply_net(n, raw);
         }
     }
 
     /// Samples the output ports into `out` (cleared first); `out[i]`
-    /// carries the 64 lane values of output port `i`.
-    pub fn sample_outputs_into(&self, out: &mut Vec<u64>) {
+    /// carries the lane wave of output port `i`.
+    pub fn sample_outputs_into(&self, out: &mut Vec<[u64; W]>) {
         out.clear();
         out.extend(self.net.outputs.iter().map(|&n| self.values[n as usize]));
     }
@@ -566,7 +679,7 @@ impl<'p> PackedSimulator<'p> {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the module's input count.
-    pub fn step_into(&mut self, inputs: &[u64], outputs: &mut Vec<u64>) {
+    pub fn step_into(&mut self, inputs: &[[u64; W]], outputs: &mut Vec<[u64; W]>) {
         self.eval_comb(inputs);
         self.sample_outputs_into(outputs);
         self.commit_registers();
@@ -599,17 +712,17 @@ mod tests {
     fn lanes_run_independent_input_streams() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut sim = PackedSimulator::new(&compiled);
+        let mut sim = PackedSimulator::<1>::new(&compiled);
         let mut out = Vec::new();
         // Lane 0 counts every cycle, lane 1 never, lane 2 every other.
         let streams: [u64; 4] = [0b101, 0b001, 0b101, 0b001];
         let mut scalar: Vec<(Simulator<'_>, u64)> =
             (0..3).map(|l| (Simulator::new(&m), l)).collect();
         for &w in &streams {
-            sim.step_into(&[w], &mut out);
+            sim.step_into(&[[w]], &mut out);
             for (s, lane) in scalar.iter_mut() {
                 let expect = s.step(&[(w >> *lane) & 1 == 1]);
-                let got: Vec<bool> = out.iter().map(|&o| (o >> *lane) & 1 == 1).collect();
+                let got: Vec<bool> = out.iter().map(|&o| (o[0] >> *lane) & 1 == 1).collect();
                 assert_eq!(got, expect, "lane {lane}");
             }
         }
@@ -620,14 +733,14 @@ mod tests {
     fn lane_masked_faults_stay_in_their_lane() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut sim = PackedSimulator::new(&compiled);
+        let mut sim = PackedSimulator::<1>::new(&compiled);
         let q0 = m.registers()[0].net();
-        sim.set_net_stuck(q0, true, 1 << 5);
+        sim.set_net_stuck(q0, true, lane_mask(5));
         let mut out = Vec::new();
-        sim.step_into(&[!0], &mut out);
+        sim.step_into(&[[!0]], &mut out);
         // Lane 5 reads q0 stuck high immediately; lane 0 reads reset-low.
-        assert_eq!((out[0] >> 5) & 1, 1);
-        assert_eq!(out[0] & 1, 0);
+        assert_eq!((out[0][0] >> 5) & 1, 1);
+        assert_eq!(out[0][0] & 1, 0);
         assert!(sim.has_faults());
         sim.clear_faults();
         assert!(!sim.has_faults());
@@ -637,20 +750,39 @@ mod tests {
     fn register_flip_double_arm_cancels() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut sim = PackedSimulator::new(&compiled);
-        sim.flip_register(m.registers()[1], 0b11);
-        sim.flip_register(m.registers()[1], 0b10); // lane 1 flips back
-        assert_eq!(sim.register_words()[1], 0b01);
+        let mut sim = PackedSimulator::<1>::new(&compiled);
+        sim.flip_register(m.registers()[1], [0b11]);
+        sim.flip_register(m.registers()[1], [0b10]); // lane 1 flips back
+        assert_eq!(sim.register_words()[1], [0b01]);
     }
 
     #[test]
     fn extract_lane_round_trips() {
-        let words = vec![0b10u64, 0b01u64];
+        let words = vec![[0b10u64], [0b01u64]];
         let mut bits = Vec::new();
         extract_lane(&words, 0, &mut bits);
         assert_eq!(bits, vec![false, true]);
         extract_lane(&words, 1, &mut bits);
         assert_eq!(bits, vec![true, false]);
+    }
+
+    #[test]
+    fn lane_mask_addresses_every_word() {
+        assert_eq!(lane_mask::<1>(5), [1 << 5]);
+        assert_eq!(lane_mask::<2>(64), [0, 1]);
+        assert_eq!(lane_mask::<4>(200), [0, 0, 0, 1 << 8]);
+        let words = vec![lane_mask::<4>(130)];
+        let mut bits = Vec::new();
+        extract_lane(&words, 130, &mut bits);
+        assert_eq!(bits, vec![true]);
+        extract_lane(&words, 131, &mut bits);
+        assert_eq!(bits, vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_mask_rejects_out_of_range_lanes() {
+        let _ = lane_mask::<2>(128);
     }
 
     #[test]
@@ -668,14 +800,14 @@ mod tests {
     fn pin_fault_on_missing_pin_is_inert() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut sim = PackedSimulator::new(&compiled);
+        let mut sim = PackedSimulator::<1>::new(&compiled);
         let input_cell = m.inputs()[0].cell();
-        sim.set_pin_flip(input_cell, 0, !0); // inputs have no pins
-        sim.set_pin_stuck(m.registers()[0], 3, true, !0); // DFFs read pin 0 only
+        sim.set_pin_flip(input_cell, 0, [!0]); // inputs have no pins
+        sim.set_pin_stuck(m.registers()[0], 3, true, [!0]); // DFFs read pin 0 only
         let mut out = Vec::new();
-        sim.step_into(&[0], &mut out);
-        assert_eq!(out[0], 0);
-        assert_eq!(out[1], 0);
+        sim.step_into(&[[0]], &mut out);
+        assert_eq!(out[0], [0]);
+        assert_eq!(out[1], [0]);
     }
 
     #[test]
@@ -683,8 +815,8 @@ mod tests {
     fn wrong_input_count_panics() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut sim = PackedSimulator::new(&compiled);
-        sim.eval_comb(&[0, 0]);
+        let mut sim = PackedSimulator::<1>::new(&compiled);
+        sim.eval_comb(&[[0], [0]]);
     }
 
     /// Multi-cycle fault sequencing: arming a fault for exactly one middle
@@ -697,7 +829,7 @@ mod tests {
     fn transient_window_re_arming_matches_scalar_across_cycles() {
         let m = counter();
         let compiled = PackedNetlist::compile(&m);
-        let mut packed = PackedSimulator::new(&compiled);
+        let mut packed = PackedSimulator::<1>::new(&compiled);
         let mut scalar = Simulator::new(&m);
         let q0 = m.registers()[0].net();
         let fault_cycle = 1;
@@ -707,10 +839,10 @@ mod tests {
             packed.clear_faults();
             scalar.clear_faults();
             if cycle == fault_cycle {
-                packed.set_net_flip(q0, 1 << 3); // lane 3 only
+                packed.set_net_flip(q0, lane_mask(3)); // lane 3 only
                 scalar.set_net_flip(q0);
             }
-            packed.step_into(&[!0u64], &mut out_words);
+            packed.step_into(&[[!0u64]], &mut out_words);
             let expect = scalar.step(&[true]);
             // Faulted lane 3 tracks the faulted scalar run...
             extract_lane(&out_words, 3, &mut out_bits);
@@ -727,5 +859,42 @@ mod tests {
         extract_lane(packed.register_words(), 0, &mut out_bits);
         assert_eq!(out_bits, clean.register_values());
         assert_ne!(out_bits, scalar.register_values());
+    }
+
+    /// Lanes in different *words* of a W = 4 wave carry independent faults:
+    /// a stuck-at in word 0 and a register flip in word 2 must not leak
+    /// into each other's lanes, and both must match scalar oracles.
+    #[test]
+    fn faults_in_different_words_stay_independent() {
+        let m = counter();
+        let compiled = PackedNetlist::compile(&m);
+        let mut sim = PackedSimulator::<4>::new(&compiled);
+        let q0 = m.registers()[0].net();
+        let stuck_lane = 7; // word 0
+        let flip_lane = 150; // word 2
+        sim.set_net_stuck(q0, true, lane_mask(stuck_lane));
+        sim.flip_register(m.registers()[1], lane_mask(flip_lane));
+
+        let mut stuck_oracle = Simulator::new(&m);
+        stuck_oracle.set_net_stuck(q0, true);
+        let mut flip_oracle = Simulator::new(&m);
+        flip_oracle.flip_register(m.registers()[1]);
+        let mut clean_oracle = Simulator::new(&m);
+
+        let mut out = Vec::new();
+        let mut bits = Vec::new();
+        for cycle in 0..4 {
+            sim.step_into(&[[!0u64; 4]], &mut out);
+            let expect_stuck = stuck_oracle.step(&[true]);
+            let expect_flip = flip_oracle.step(&[true]);
+            let expect_clean = clean_oracle.step(&[true]);
+            extract_lane(&out, stuck_lane, &mut bits);
+            assert_eq!(bits, expect_stuck, "cycle {cycle}: stuck lane");
+            extract_lane(&out, flip_lane, &mut bits);
+            assert_eq!(bits, expect_flip, "cycle {cycle}: flipped lane");
+            // A fault-free lane in yet another word follows the clean run.
+            extract_lane(&out, 70, &mut bits);
+            assert_eq!(bits, expect_clean, "cycle {cycle}: clean lane");
+        }
     }
 }

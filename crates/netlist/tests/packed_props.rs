@@ -1,14 +1,15 @@
-//! Differential property tests: the 64-lane [`PackedSimulator`] against
-//! the scalar [`Simulator`], lane by lane, over randomized sequential
-//! netlists, per-lane register preloads, per-lane input streams and
-//! per-lane fault masks (net flips/stucks, pin flips/stucks, register
-//! flips). The scalar engine is the oracle; any divergence on any lane in
-//! any cycle fails the case.
+//! Differential property tests: the multi-word [`PackedSimulator`]
+//! against the scalar [`Simulator`], lane by lane, over randomized
+//! sequential netlists, per-lane register preloads, per-lane input
+//! streams and per-lane fault masks (net flips/stucks, pin flips/stucks,
+//! register flips), at every supported wave width `W` ∈ {1, 2, 4}. The
+//! scalar engine is the oracle; any divergence on any lane in any cycle
+//! fails the case.
 
 use proptest::prelude::*;
 use scfi_netlist::{
-    extract_lane, CellId, Module, ModuleBuilder, NetId, PackedNetlist, PackedSimulator, Simulator,
-    LANES,
+    extract_lane, lane_mask, CellId, Module, ModuleBuilder, NetId, PackedNetlist, PackedSimulator,
+    Simulator, LANES,
 };
 
 const N_INPUTS: usize = 4;
@@ -60,16 +61,16 @@ fn build(recipe: &[GateSpec], n_regs: usize, dff_srcs: &[usize]) -> Module {
 }
 
 /// Arms one decoded fault on both engines (packed in `lane` only).
-fn arm_both(
+fn arm_both<const W: usize>(
     module: &Module,
-    packed: &mut PackedSimulator<'_>,
+    packed: &mut PackedSimulator<'_, W>,
     scalar: &mut Simulator<'_>,
     lane: usize,
     spec: FaultSpec,
 ) {
     let (site, cell_pick, pin_pick, effect) = spec;
     let cell = CellId((cell_pick % module.len()) as u32);
-    let mask = 1u64 << lane;
+    let mask = lane_mask::<W>(lane);
     match site % 3 {
         0 => match effect % 3 {
             0 => {
@@ -114,17 +115,20 @@ fn arm_both(
 
 /// Steps the packed simulator once and every scalar lane once, asserting
 /// output and register equality on every armed lane.
-fn step_and_compare(
-    packed: &mut PackedSimulator<'_>,
+fn step_and_compare<const W: usize>(
+    packed: &mut PackedSimulator<'_, W>,
     scalars: &mut [Simulator<'_>],
-    input_words: &[u64],
+    input_words: &[[u64; W]],
     cycle: &str,
 ) -> Result<(), TestCaseError> {
     let mut out_words = Vec::new();
     packed.step_into(input_words, &mut out_words);
     let mut lane_bits = Vec::new();
     for (lane, scalar) in scalars.iter_mut().enumerate() {
-        let inputs: Vec<bool> = input_words.iter().map(|&w| (w >> lane) & 1 == 1).collect();
+        let inputs: Vec<bool> = input_words
+            .iter()
+            .map(|w| (w[lane / LANES] >> (lane % LANES)) & 1 == 1)
+            .collect();
         let expect_out = scalar.step(&inputs);
         extract_lane(&out_words, lane, &mut lane_bits);
         prop_assert_eq!(
@@ -146,74 +150,149 @@ fn step_and_compare(
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The differential case body, generic over the wave width: random
+/// sequential netlists under per-lane fault sets — the packed engine
+/// equals `lane_faults.len()` scalar simulations in lock-step, through
+/// fault arming, [`CYCLES`] faulted cycles, a `clear_faults` on both
+/// engines and one fault-free recovery cycle. Lane `l` of the wave maps
+/// to scalar oracle `l`, so word boundaries are crossed whenever more
+/// than 64 lanes are drawn.
+fn run_case<const W: usize>(
+    recipe: &[GateSpec],
+    n_regs: usize,
+    dff_srcs: &[usize],
+    init_word: u64,
+    input_streams: &[Vec<u64>],
+    lane_faults: &[Vec<FaultSpec>],
+) -> Result<(), TestCaseError> {
+    let module = build(recipe, n_regs, dff_srcs);
+    let compiled = PackedNetlist::compile(&module);
+    let mut packed = PackedSimulator::<W>::new(&compiled);
 
-    /// Random sequential netlists under per-lane fault sets: the packed
-    /// engine equals 64 scalar simulations in lock-step, through fault
-    /// arming, three faulted cycles, a `clear_faults` on both engines and
-    /// one fault-free recovery cycle.
+    // Per-lane register preloads: lane l gets the bits of `init_word`
+    // rotated by l, giving distinct but deterministic states per lane.
+    let lanes = lane_faults.len();
+    let n_regs = module.registers().len();
+    let mut reg_words = vec![[0u64; W]; n_regs];
+    for lane in 0..lanes {
+        let rot = init_word.rotate_left((lane % 64) as u32);
+        let mask = lane_mask::<W>(lane);
+        for (i, w) in reg_words.iter_mut().enumerate() {
+            if (rot >> (i % 64)) & 1 == 1 {
+                for k in 0..W {
+                    w[k] |= mask[k];
+                }
+            }
+        }
+    }
+    packed.set_register_words(&reg_words);
+
+    let mut scalars: Vec<Simulator<'_>> = (0..lanes)
+        .map(|lane| {
+            let mut s = Simulator::new(&module);
+            let rot = init_word.rotate_left((lane % 64) as u32);
+            let regs: Vec<bool> = (0..n_regs).map(|i| (rot >> (i % 64)) & 1 == 1).collect();
+            s.set_register_values(&regs);
+            s
+        })
+        .collect();
+
+    // Arm the per-lane fault sets on both engines (after the preload, so
+    // register flips mutate the loaded state on both sides).
+    for (lane, faults) in lane_faults.iter().enumerate() {
+        for &spec in faults {
+            arm_both(&module, &mut packed, &mut scalars[lane], lane, spec);
+        }
+    }
+
+    // Input waves: lane l's input stream is a lane-rotated view of the
+    // drawn words, so lanes in different words see different vectors.
+    let wave_inputs: Vec<Vec<[u64; W]>> = input_streams
+        .iter()
+        .map(|words| {
+            let mut wave = vec![[0u64; W]; words.len()];
+            for lane in 0..lanes {
+                let mask = lane_mask::<W>(lane);
+                for (j, &w) in words.iter().enumerate() {
+                    if (w.rotate_left((lane % 64) as u32)) & 1 == 1 {
+                        for k in 0..W {
+                            wave[j][k] |= mask[k];
+                        }
+                    }
+                }
+            }
+            wave
+        })
+        .collect();
+
+    for (cycle, words) in wave_inputs.iter().enumerate() {
+        step_and_compare(&mut packed, &mut scalars, words, &format!("cycle {cycle}"))?;
+    }
+
+    // Clearing faults must fully restore fault-free behavior (the packed
+    // engine resets its dirty masks sparsely — a stale mask would show up
+    // here).
+    packed.clear_faults();
+    for s in &mut scalars {
+        s.clear_faults();
+    }
+    step_and_compare(
+        &mut packed,
+        &mut scalars,
+        &wave_inputs[0],
+        "post-clear cycle",
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single-word waves (64 lanes): the historical differential check.
     #[test]
-    fn packed_matches_scalar_lane_by_lane(
+    fn packed_matches_scalar_lane_by_lane_w1(
         recipe in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..32),
         n_regs in 1usize..4,
         dff_srcs in proptest::collection::vec(any::<usize>(), 4),
         init_word in any::<u64>(),
-        input_words in proptest::collection::vec(
+        input_streams in proptest::collection::vec(
             proptest::collection::vec(any::<u64>(), N_INPUTS), CYCLES),
         lane_faults in proptest::collection::vec(
             proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u8>(), any::<u8>()), 0..3),
             1..=LANES),
     ) {
-        let module = build(&recipe, n_regs, &dff_srcs);
-        let compiled = PackedNetlist::compile(&module);
-        let mut packed = PackedSimulator::new(&compiled);
+        run_case::<1>(&recipe, n_regs, &dff_srcs, init_word, &input_streams, &lane_faults)?;
+    }
 
-        // Per-lane register preloads: lane l gets the bits of
-        // `init_word` rotated by l, giving distinct but deterministic
-        // states per lane.
-        let lanes = lane_faults.len();
-        let n_regs = module.registers().len();
-        let mut reg_words = vec![0u64; n_regs];
-        for (lane, _) in lane_faults.iter().enumerate() {
-            let rot = init_word.rotate_left(lane as u32);
-            for (i, w) in reg_words.iter_mut().enumerate() {
-                if (rot >> i) & 1 == 1 {
-                    *w |= 1 << lane;
-                }
-            }
-        }
-        packed.set_register_words(&reg_words);
+    /// Two-word waves (128 lanes): lane counts drawn past the first word
+    /// boundary so faults, preloads and inputs land in both words.
+    #[test]
+    fn packed_matches_scalar_lane_by_lane_w2(
+        recipe in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..24),
+        n_regs in 1usize..4,
+        dff_srcs in proptest::collection::vec(any::<usize>(), 4),
+        init_word in any::<u64>(),
+        input_streams in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), N_INPUTS), CYCLES),
+        lane_faults in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u8>(), any::<u8>()), 0..3),
+            (LANES + 1)..=(2 * LANES)),
+    ) {
+        run_case::<2>(&recipe, n_regs, &dff_srcs, init_word, &input_streams, &lane_faults)?;
+    }
 
-        let mut scalars: Vec<Simulator<'_>> = (0..lanes)
-            .map(|lane| {
-                let mut s = Simulator::new(&module);
-                let rot = init_word.rotate_left(lane as u32);
-                let regs: Vec<bool> = (0..n_regs).map(|i| (rot >> i) & 1 == 1).collect();
-                s.set_register_values(&regs);
-                s
-            })
-            .collect();
-
-        // Arm the per-lane fault sets on both engines (after the preload,
-        // so register flips mutate the loaded state on both sides).
-        for (lane, faults) in lane_faults.iter().enumerate() {
-            for &spec in faults {
-                arm_both(&module, &mut packed, &mut scalars[lane], lane, spec);
-            }
-        }
-
-        for (cycle, words) in input_words.iter().enumerate() {
-            step_and_compare(&mut packed, &mut scalars, words, &format!("cycle {cycle}"))?;
-        }
-
-        // Clearing faults must fully restore fault-free behavior (the
-        // packed engine resets its dirty masks sparsely — a stale mask
-        // would show up here).
-        packed.clear_faults();
-        for s in &mut scalars {
-            s.clear_faults();
-        }
-        step_and_compare(&mut packed, &mut scalars, &input_words[0], "post-clear cycle")?;
+    /// Four-word waves (256 lanes): lane counts spanning all four words.
+    #[test]
+    fn packed_matches_scalar_lane_by_lane_w4(
+        recipe in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..16),
+        n_regs in 1usize..4,
+        dff_srcs in proptest::collection::vec(any::<usize>(), 4),
+        init_word in any::<u64>(),
+        input_streams in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), N_INPUTS), CYCLES),
+        lane_faults in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u8>(), any::<u8>()), 0..3),
+            (3 * LANES + 1)..=(4 * LANES)),
+    ) {
+        run_case::<4>(&recipe, n_regs, &dff_srcs, init_word, &input_streams, &lane_faults)?;
     }
 }

@@ -4,7 +4,7 @@
 //! crates.io, so the real `proptest` cannot be vendored. This shim
 //! implements exactly the surface the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
 //! * strategies for integer ranges, tuples, `bool`, unsigned ints, and
 //!   [`sample::Index`],
 //! * [`collection::vec`] with `Range`/`RangeInclusive`/exact sizes,
@@ -96,7 +96,8 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinator/primitive strategies.
+/// The [`Strategy`](strategy::Strategy) trait and combinator/primitive
+/// strategies.
 pub mod strategy {
     use super::test_runner::TestRng;
     use std::marker::PhantomData;

@@ -18,8 +18,8 @@ mod common;
 
 use scfi_core::{harden, redundancy, ScfiConfig, ScfiError, StateDecode};
 use scfi_faultsim::{
-    run_exhaustive, run_exhaustive_scalar, CampaignConfig, CampaignReport, FaultTarget,
-    RedundancyTarget, ScfiTarget, UnprotectedTarget,
+    run_exhaustive, run_exhaustive_scalar, CampaignConfig, FaultTarget, RedundancyTarget,
+    ScfiTarget, UnprotectedTarget,
 };
 use scfi_fsm::lower_unprotected;
 use scfi_netlist::Simulator;
@@ -200,18 +200,19 @@ fn register_fault_campaign_detects_every_injection() {
     }
 }
 
-/// Asserts that the packed wave engine and the scalar reference engine
-/// produce byte-identical aggregate counts for the same campaign.
+/// Asserts that the packed wave engine — at every lane width W ∈ {1, 2, 4},
+/// i.e. 64-, 128- and 256-lane waves — and the scalar reference engine
+/// produce byte-identical `CampaignReport`s for the same campaign.
 fn assert_engines_agree<T: FaultTarget>(target: &T, config: &CampaignConfig, what: &str) {
-    let packed = run_exhaustive(target, config);
     let scalar = run_exhaustive_scalar(target, config);
-    let counts = |r: &CampaignReport| (r.injections, r.masked, r.detected, r.hijacked);
-    assert_eq!(
-        counts(&packed),
-        counts(&scalar),
-        "{what}: packed engine diverged from the scalar reference\n  packed: {packed}\n  scalar: {scalar}"
-    );
-    assert!(packed.injections > 0, "{what}: empty campaign");
+    assert!(scalar.injections > 0, "{what}: empty campaign");
+    for lane_words in [1, 2, 4] {
+        let packed = run_exhaustive(target, &config.clone().lane_words(lane_words));
+        assert_eq!(
+            packed, scalar,
+            "{what}: packed engine (W={lane_words}) diverged from the scalar reference\n  packed: {packed}\n  scalar: {scalar}"
+        );
+    }
 }
 
 /// Cross-engine campaign conformance over the paper's full evaluation
