@@ -1,0 +1,125 @@
+//! Scale sweep: campaign throughput and escape rate across the
+//! protection-level × FSM-size grid (the ROADMAP's "scale sweep
+//! workload").
+//!
+//! For every point of N ∈ {2, 3, 4} × {small, medium, large} Table-1
+//! FSMs, the exhaustive single-fault campaign (gate-output flips plus
+//! stored-bit register flips, every CFG edge) runs on the 256-lane
+//! packed engine and reports injections/second plus the §6.4 escape
+//! rate. The sweep shows how the guarantee and the engine scale
+//! together: injections grow with both axes (more edges × more cells),
+//! while the escape rate stays in the sub-percent regime at every level.
+//!
+//! CI runs this bench with `--test` (one iteration per payload): the
+//! sweep then also runs every point on the scalar reference engine and
+//! asserts byte-identical `CampaignReport`s — cross-engine equality over
+//! the whole grid, not just one workload.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use scfi_core::{harden, HardenedFsm, ScfiConfig};
+use scfi_faultsim::{run_exhaustive, run_exhaustive_scalar, CampaignConfig, ScfiTarget};
+
+/// Small / medium / large rows of Table 1 (7, 13 and 30 states).
+const FSMS: [&str; 3] = ["aes_control", "adc_ctrl_fsm", "i2c_fsm"];
+const LEVELS: [usize; 3] = [2, 3, 4];
+
+fn hardened(name: &str, n: usize) -> HardenedFsm {
+    let b = scfi_opentitan::by_name(name).expect("suite entry");
+    harden(&b.fsm, &ScfiConfig::new(n)).expect("harden")
+}
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::new().with_register_flips().threads(1)
+}
+
+/// `true` when the bench binary runs in CI's `--test` mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn print_sweep() {
+    let config = campaign_config();
+    let cross_check = test_mode();
+    println!(
+        "\n=== campaign scale sweep (exhaustive flips + register flips, 256 lanes, 1 thread) ==="
+    );
+    println!(
+        "{:<14} {:>2} {:>7} {:>7} {:>10} {:>14} {:>10}{}",
+        "fsm",
+        "N",
+        "states",
+        "cells",
+        "inject",
+        "inj/s (packed)",
+        "escape %",
+        if cross_check {
+            "  [scalar cross-check]"
+        } else {
+            ""
+        }
+    );
+    for name in FSMS {
+        for n in LEVELS {
+            let h = hardened(name, n);
+            let target = ScfiTarget::new(&h);
+            let start = Instant::now();
+            let report = run_exhaustive(&target, &config);
+            let elapsed = start.elapsed();
+            if cross_check {
+                let scalar = run_exhaustive_scalar(&target, &config);
+                assert_eq!(
+                    report, scalar,
+                    "{name} N={n}: packed and scalar engines disagree on the sweep grid"
+                );
+            }
+            assert_eq!(
+                report.injections,
+                report.masked + report.detected + report.hijacked,
+                "{name} N={n}: accounting must balance"
+            );
+            println!(
+                "{:<14} {:>2} {:>7} {:>7} {:>10} {:>14.0} {:>9.3}%",
+                name,
+                n,
+                h.fsm().state_count(),
+                h.module().len(),
+                report.injections,
+                report.injections as f64 / elapsed.as_secs_f64(),
+                100.0 * report.hijack_rate()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_sweep");
+    // One representative point per FSM size keeps the measured set small;
+    // the printed sweep above covers the full grid.
+    for name in FSMS {
+        let h = hardened(name, 3);
+        let target = ScfiTarget::new(&h);
+        let config = campaign_config();
+        group.bench_function(format!("packed_exhaustive_{name}_n3"), |b| {
+            b.iter(|| run_exhaustive(&target, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_sweep
+}
+
+fn main() {
+    print_sweep();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -10,7 +10,10 @@
 //!             [--emit verilog|dot|report]
 //! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
 //!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-//!              [--protocol K] [--lanes 64|128|256]
+//!              [--protocol K] [--lanes 64|128|256] [--format text|csv|json]
+//! scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
+//!              [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
+//!              [--expect-proof]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! ```
@@ -18,9 +21,12 @@
 use std::fmt::Write as _;
 
 use scfi_core::{harden, redundancy, PadPolicy, ScfiConfig};
-use scfi_faultsim::{run_exhaustive, run_multi_fault, CampaignConfig, FaultEffect, ScfiTarget};
+use scfi_faultsim::{
+    enumerate_faults, run_exhaustive, run_multi_fault, CampaignConfig, FaultEffect, ScfiTarget,
+};
 use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
 use scfi_stdcell::Library;
+use scfi_symbolic::{describe_fault, CertificationReport, Certifier, CertifyModel, Verdict};
 
 /// A CLI failure: message for stderr plus the process exit code.
 #[derive(Debug)]
@@ -53,7 +59,10 @@ pub const USAGE: &str = "usage:
               [--emit verilog|dot|report]
   scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-               [--protocol K] [--lanes 64|128|256]
+               [--protocol K] [--lanes 64|128|256] [--format text|csv|json]
+  scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
+               [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
+               [--expect-proof]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
 
@@ -61,8 +70,17 @@ pub const USAGE: &str = "usage:
 OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.
 `--protocol K` runs a multi-cycle campaign over depth-K CFG walks, each
 step glitched transiently, instead of the single-transition experiment.
-`--lanes` picks the packed engine's wave width (default 256); the report
-is identical at every width, only throughput changes.";
+`--lanes` picks the packed engine's wave width (default 256; accepted:
+64, 128, 256); the report is identical at every width, only throughput
+changes. `--format csv|json` streams the per-site vulnerability map
+instead of the text summary.
+
+`scfi analyze` *samples* the detection claim with simulation campaigns
+over concrete scenarios; `scfi certify` *proves* it, building BDDs of
+every fault's escape condition over all reachable states and all valid
+encoded input words (and refuting it with a replayed witness where no
+proof exists — e.g. the unprotected configuration). `--expect-proof`
+exits non-zero unless every certified site is proven.";
 
 /// Runs the CLI on an argument vector (without the program name), writing
 /// the result into `out`.
@@ -76,6 +94,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
     match args.next().map(String::as_str) {
         Some("harden") => cmd_harden(&args.cloned().collect::<Vec<_>>(), out),
         Some("analyze") => cmd_analyze(&args.cloned().collect::<Vec<_>>(), out),
+        Some("certify") => cmd_certify(&args.cloned().collect::<Vec<_>>(), out),
         Some("area") => cmd_area(&args.cloned().collect::<Vec<_>>(), out),
         Some("suite") => cmd_suite(&args.cloned().collect::<Vec<_>>(), out),
         Some("--help") | Some("-h") | Some("help") => {
@@ -273,8 +292,13 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         Some("64") => 1,
         Some("128") => 2,
         Some("256") | None => 4,
-        Some(_) => return Err(usage_err("--lanes must be 64, 128 or 256")),
+        Some(other) => {
+            return Err(usage_err(format!(
+                "--lanes must be 64, 128 or 256 (got `{other}`)"
+            )))
+        }
     };
+    let format = flags.value("--format")?.unwrap_or("text").to_string();
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
 
@@ -311,24 +335,239 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
             scfi_faultsim::FaultTarget::scenario_count(&target)
         );
     }
-    let report = match multi {
-        Some(m) => run_multi_fault(&target, m, runs, &config),
-        None => run_exhaustive(&target, &config),
-    };
-    let _ = writeln!(out, "{report}");
-    let _ = writeln!(
-        out,
-        "analytic success probability (paper formula): {:.3e}",
-        scfi_faultsim::paper_success_probability(&hardened)
-    );
-    if rank {
-        if multi.is_some() {
-            return Err(usage_err("--rank applies to exhaustive campaigns only"));
+    match format.as_str() {
+        "text" => {
+            let report = match multi {
+                Some(m) => run_multi_fault(&target, m, runs, &config),
+                None => run_exhaustive(&target, &config),
+            };
+            let _ = writeln!(out, "{report}");
+            let _ = writeln!(
+                out,
+                "analytic success probability (paper formula): {:.3e}",
+                scfi_faultsim::paper_success_probability(&hardened)
+            );
+            if rank {
+                if multi.is_some() {
+                    return Err(usage_err("--rank applies to exhaustive campaigns only"));
+                }
+                let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
+                let _ = writeln!(out, "{map}");
+            }
         }
-        let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
-        let _ = writeln!(out, "{map}");
+        "csv" | "json" => {
+            if multi.is_some() {
+                return Err(usage_err(
+                    "--format csv|json streams the exhaustive per-site map; \
+                     it cannot be combined with --multi",
+                ));
+            }
+            if rank {
+                return Err(usage_err(
+                    "--rank is the text ranking; --format csv|json already \
+                     exports every site",
+                ));
+            }
+            let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
+            if format == "csv" {
+                write_sites_csv(out, hardened.module(), &map);
+            } else {
+                write_sites_json(out, hardened.module(), &map);
+            }
+        }
+        other => return Err(usage_err(format!("unknown format `{other}`"))),
     }
     Ok(())
+}
+
+/// Streams the per-site vulnerability map as CSV (one row per fault
+/// cell, header first).
+fn write_sites_csv(
+    out: &mut String,
+    module: &scfi_netlist::Module,
+    map: &scfi_faultsim::VulnerabilityMap,
+) {
+    let _ = writeln!(
+        out,
+        "cell,kind,name,masked,detected,hijacked,total,hijack_rate"
+    );
+    for (cell, stats) in map.sites() {
+        let c = module.cell(cell);
+        let rate = if stats.total() == 0 {
+            0.0
+        } else {
+            stats.hijacked as f64 / stats.total() as f64
+        };
+        let _ = writeln!(
+            out,
+            "c{},{},{},{},{},{},{},{:.6}",
+            cell.0,
+            c.kind.mnemonic(),
+            c.name.as_deref().unwrap_or(""),
+            stats.masked,
+            stats.detected,
+            stats.hijacked,
+            stats.total(),
+            rate
+        );
+    }
+}
+
+/// Streams the per-site vulnerability map as JSON.
+fn write_sites_json(
+    out: &mut String,
+    module: &scfi_netlist::Module,
+    map: &scfi_faultsim::VulnerabilityMap,
+) {
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"module\": \"{}\",", module.name());
+    let _ = writeln!(out, "  \"injections\": {},", map.total_injections());
+    let _ = writeln!(out, "  \"hijacks\": {},", map.total_hijacks());
+    let _ = writeln!(out, "  \"sites\": [");
+    let sites: Vec<_> = map.sites().collect();
+    for (i, (cell, stats)) in sites.iter().enumerate() {
+        let c = module.cell(*cell);
+        let comma = if i + 1 < sites.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"cell\": {}, \"kind\": \"{}\", \"name\": \"{}\", \
+             \"masked\": {}, \"detected\": {}, \"hijacked\": {}}}{comma}",
+            cell.0,
+            c.kind.mnemonic(),
+            c.name.as_deref().unwrap_or(""),
+            stats.masked,
+            stats.detected,
+            stats.hijacked
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+}
+
+/// `scfi certify`: formal per-site fault certification via the
+/// `scfi-symbolic` BDD engine.
+fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let config_kind = flags.value("--config")?.unwrap_or("scfi").to_string();
+    let all_gates = flags.switch("--all-gates");
+    let stuck_at = flags.switch("--stuck-at");
+    let pin_faults = flags.switch("--pin-faults");
+    let per_site = flags.switch("--per-site");
+    let expect_proof = flags.switch("--expect-proof");
+    let Some(path) = flags.positional() else {
+        return Err(usage_err("missing FSM input file"));
+    };
+    let fsm = load_fsm(path)?;
+    let scfi_config = parse_config(&mut flags)?;
+    flags.finish()?;
+    let level = scfi_config.protection_level();
+
+    let report = match config_kind.as_str() {
+        "scfi" => {
+            let hardened = harden(&fsm, &scfi_config).map_err(|e| CliError {
+                message: format!("hardening failed: {e}"),
+                code: 3,
+            })?;
+            certify_model(&hardened, all_gates, stuck_at, pin_faults, per_site, out)
+        }
+        "redundancy" => {
+            let r = redundancy(&fsm, level).map_err(|e| CliError {
+                message: format!("redundancy transform failed: {e}"),
+                code: 3,
+            })?;
+            certify_model(&r, all_gates, stuck_at, pin_faults, per_site, out)
+        }
+        "unprotected" => {
+            let lowered = lower_unprotected(&fsm).map_err(|e| CliError {
+                message: format!("lowering failed: {e}"),
+                code: 3,
+            })?;
+            certify_model(&lowered, all_gates, stuck_at, pin_faults, per_site, out)
+        }
+        other => return Err(usage_err(format!("unknown certify config `{other}`"))),
+    };
+    if expect_proof && report.counterexamples() > 0 {
+        return Err(CliError {
+            message: format!(
+                "--expect-proof: {} counterexample site(s) refute the detection guarantee",
+                report.counterexamples()
+            ),
+            code: 3,
+        });
+    }
+    Ok(())
+}
+
+/// Certifies one model's fault space and renders the report.
+fn certify_model<M: CertifyModel>(
+    model: &M,
+    all_gates: bool,
+    stuck_at: bool,
+    pin_faults: bool,
+    per_site: bool,
+    out: &mut String,
+) -> CertificationReport {
+    let module = model.module();
+    let mut effects = vec![FaultEffect::Flip];
+    if stuck_at {
+        effects.push(FaultEffect::Stuck0);
+        effects.push(FaultEffect::Stuck1);
+    }
+    let mut fault_config = CampaignConfig::new().effects(effects).with_register_flips();
+    if !all_gates {
+        // The paper's FT1 claim: the state registers (stored-bit flips
+        // plus the register-region nets).
+        fault_config = fault_config.register_region(module);
+    }
+    if pin_faults {
+        fault_config = fault_config.with_pin_faults();
+    }
+    let faults = enumerate_faults(module, &fault_config);
+
+    let mut certifier = Certifier::new(model);
+    let report = certifier.certify_all(&faults);
+    let _ = writeln!(out, "{report}");
+    if per_site {
+        for site in &report.sites {
+            let tag = match &site.verdict {
+                Verdict::ProvenDetected => "proven-detected",
+                Verdict::ProvenMasked => "proven-masked  ",
+                Verdict::Counterexample(_) => "COUNTEREXAMPLE ",
+            };
+            let _ = writeln!(out, "  {tag}  {}", describe_fault(module, site.fault));
+        }
+    }
+    let bits =
+        |word: &[bool]| -> String { word.iter().map(|&v| if v { '1' } else { '0' }).collect() };
+    for (fault, witness) in report.counterexample_sites() {
+        let _ = writeln!(
+            out,
+            "  counterexample: {} from state {} under inputs {} ({})",
+            describe_fault(module, *fault),
+            bits(&witness.regs),
+            bits(&witness.inputs),
+            if witness.confirmed {
+                "replay-confirmed hijack on the scalar simulator"
+            } else {
+                "NOT confirmed by replay — engine disagreement, please report"
+            }
+        );
+    }
+    if report.all_proven() {
+        let _ = writeln!(
+            out,
+            "GUARANTEE PROVED: no certified fault can silently hijack control flow \
+             from any reachable state under any admissible input word."
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "guarantee REFUTED: {} of {} sites have escaping assignments.",
+            report.counterexamples(),
+            report.sites.len()
+        );
+    }
+    report
 }
 
 fn cmd_area(args: &[String], out: &mut String) -> Result<(), CliError> {
@@ -577,7 +816,127 @@ mod tests {
         let default = run_ok(&["analyze", p, "--level", "2"]);
         assert_eq!(wide, narrow, "wave width must not change the report");
         assert_eq!(wide, default);
-        assert_eq!(run_err(&["analyze", p, "--lanes", "96"]).code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Lane-width validation must *name* the accepted set, at both layers:
+    /// the CLI flag error and the library builder panic.
+    #[test]
+    fn lanes_rejection_names_the_accepted_set() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        for bogus in ["96", "0", "512", "x"] {
+            let e = run_err(&["analyze", p, "--lanes", bogus]);
+            assert_eq!(e.code, 1);
+            assert!(
+                e.message.contains("64, 128 or 256"),
+                "error for --lanes {bogus} must name the accepted set: {}",
+                e.message
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_proves_the_scfi_demo() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&["certify", p, "--level", "2", "--expect-proof"]);
+        assert!(out.contains("GUARANTEE PROVED"), "{out}");
+        assert!(out.contains("counterexamples: 0"), "{out}");
+        // Per-site listing names every certified site.
+        let listed = run_ok(&["certify", p, "--level", "2", "--per-site"]);
+        assert!(listed.contains("proven-detected"), "{listed}");
+        assert!(listed.contains("stored-bit flip on register 0"), "{listed}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_refutes_the_unprotected_demo() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&["certify", p, "--config", "unprotected"]);
+        assert!(out.contains("REFUTED"), "{out}");
+        assert!(out.contains("replay-confirmed hijack"), "{out}");
+        // --expect-proof turns the refutation into a processing error —
+        // with the already-written report (verdicts, witnesses) still in
+        // the output buffer, so the binary can print it before exiting.
+        let args: Vec<String> = ["certify", p, "--config", "unprotected", "--expect-proof"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut report = String::new();
+        let e = run(&args, &mut report).expect_err("refutation fails --expect-proof");
+        assert_eq!(e.code, 3);
+        assert!(e.message.contains("counterexample"), "{}", e.message);
+        assert!(
+            report.contains("REFUTED"),
+            "report must survive the error: {report}"
+        );
+        assert!(report.contains("counterexample:"), "{report}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_covers_redundancy_and_all_gates() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&["certify", p, "--level", "2", "--config", "redundancy"]);
+        assert!(out.contains("(redundancy)"), "{out}");
+        assert!(out.contains("counterexamples: 0"), "{out}");
+        // All-gates certification runs the whole cell space (stuck-ats and
+        // pin faults included) without claiming a proof necessarily holds.
+        let out = run_ok(&[
+            "certify",
+            p,
+            "--level",
+            "2",
+            "--all-gates",
+            "--stuck-at",
+            "--pin-faults",
+        ]);
+        assert!(out.contains("fault sites"), "{out}");
+        let e = run_err(&["certify", p, "--config", "bogus"]);
+        assert_eq!(e.code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_format_streams_sites() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let csv = run_ok(&["analyze", p, "--level", "2", "--format", "csv"]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("cell,kind,name,masked,detected,hijacked,total,hijack_rate")
+        );
+        assert!(lines.clone().count() > 4, "one row per fault cell: {csv}");
+        assert!(lines.all(|l| l.split(',').count() == 8), "{csv}");
+        let json = run_ok(&["analyze", p, "--level", "2", "--format", "json"]);
+        assert!(json.contains("\"module\": \"demo_scfi\""), "{json}");
+        assert!(json.contains("\"sites\": ["), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced JSON braces: {json}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_format_error_paths() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        assert_eq!(run_err(&["analyze", p, "--format", "xml"]).code, 1);
+        assert_eq!(
+            run_err(&["analyze", p, "--format", "csv", "--multi", "2"]).code,
+            1
+        );
+        assert_eq!(
+            run_err(&["analyze", p, "--format", "csv", "--rank"]).code,
+            1
+        );
         let _ = std::fs::remove_file(path);
     }
 

@@ -11,6 +11,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // Output accumulated before the failure still reaches the
+            // user — e.g. `scfi certify --expect-proof` writes the full
+            // certification report (verdicts, witnesses) before turning
+            // the refutation into a non-zero exit.
+            print!("{out}");
             eprintln!("scfi: {e}");
             ExitCode::from(e.code.clamp(0, 255) as u8)
         }

@@ -1,0 +1,70 @@
+//! Golden-file test for the batched per-site export: `scfi analyze
+//! --format csv` on a fixed FSM must reproduce the checked-in golden
+//! output byte for byte.
+//!
+//! Campaign execution is deterministic by construction (outcomes are
+//! written by work-list slot, independent of thread count, wave width and
+//! lane order), so the whole per-site map — not just aggregate counts —
+//! is a stable artifact. If the hardening pass changes the emitted
+//! netlist intentionally, regenerate with:
+//!
+//! ```text
+//! printf 'fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }' > demo.dsl
+//! cargo run -p scfi-cli -- analyze demo.dsl --level 2 --format csv \
+//!   > crates/cli/tests/golden/analyze_demo_sites.csv
+//! ```
+
+const DEMO: &str = "fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }";
+
+fn run(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    scfi_cli::run(&args, &mut out).expect("command succeeds");
+    out
+}
+
+#[test]
+fn analyze_csv_matches_the_golden_file() {
+    let path = std::env::temp_dir().join(format!("scfi_golden_demo_{}.dsl", std::process::id()));
+    std::fs::write(&path, DEMO).expect("writable temp dir");
+    let csv = run(&[
+        "analyze",
+        path.to_str().expect("utf8"),
+        "--level",
+        "2",
+        "--format",
+        "csv",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    let golden = include_str!("golden/analyze_demo_sites.csv");
+    assert_eq!(
+        csv, golden,
+        "per-site CSV drifted from the golden file; see the module docs \
+         for the regeneration command"
+    );
+}
+
+#[test]
+fn analyze_json_agrees_with_the_csv_totals() {
+    let path = std::env::temp_dir().join(format!("scfi_golden_json_{}.dsl", std::process::id()));
+    std::fs::write(&path, DEMO).expect("writable temp dir");
+    let p = path.to_str().expect("utf8");
+    let csv = run(&["analyze", p, "--level", "2", "--format", "csv"]);
+    let json = run(&["analyze", p, "--level", "2", "--format", "json"]);
+    let _ = std::fs::remove_file(&path);
+    // Same site count in both exports (rows minus header vs JSON site
+    // objects), and the same total injections.
+    let rows = csv.lines().count() - 1;
+    assert_eq!(json.matches("\"cell\":").count(), rows);
+    let total: usize = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(6).unwrap().parse::<usize>().unwrap())
+        .sum();
+    let injections: usize = json
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"injections\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("injections field");
+    assert_eq!(total, injections);
+}

@@ -324,12 +324,26 @@ fn emit(
     // error bits, plus the Fig. 4 `default:` arm (an invalid current state
     // forces SN = ERROR deterministically — this is what makes FT1 faults
     // below N flips always caught) and the non-escapable ERROR hold.
+    //
+    // The default arm covers unmatched *conditions* too, not just
+    // unmatched states: a valid condition codeword whose class has no
+    // edge from the current state selects no modifier, and the e error
+    // bits of MDS(S, X, 0) then pass the all-ones check with probability
+    // ≈ 2^-e per (state, class) pair — common enough at small e that the
+    // netlist would otherwise commit a silent non-codeword the behavioral
+    // reference (`expected_next`) maps to ERROR. Gating `pass` on "some
+    // edge matched" restores `φ_F(S, X, 0) = φ_F̄(S, X, 0)` on the whole
+    // valid-codeword input space; the `scfi-symbolic` certifier found the
+    // discrepancy (a transient invalid state one register flip away from
+    // a valid codeword) and its conformance suite now pins the fix.
     let error_start = b.len() as u32;
     let e_ok = b.and_all(&error_nets);
     let any_state = b.or_all(&state_match);
+    let any_edge = b.or_all(&edge_match);
     let not_err = b.not(in_error);
     let pass = b.and2(e_ok, not_err);
     let pass = b.and2(pass, any_state);
+    let pass = b.and2(pass, any_edge);
     let next: Vec<NetId> = sn_bits.iter().map(|&s| b.and2(s, pass)).collect();
     b.set_dff_word(&state_q, &next);
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::Range;
 
-use scfi_netlist::{CellId, CellKind, Simulator};
+use scfi_netlist::{CellId, CellKind, Module, Simulator};
 
 use crate::target::FaultTarget;
 use crate::wave::{self, WorkList};
@@ -160,7 +160,7 @@ impl CampaignConfig {
     pub fn lane_words(mut self, w: usize) -> Self {
         assert!(
             matches!(w, 1 | 2 | 4),
-            "lane_words must be 1, 2 or 4 (got {w})"
+            "lane_words must be 1, 2 or 4 words (64/128/256 lanes), got {w}"
         );
         self.lane_words = w;
         self
@@ -169,6 +169,36 @@ impl CampaignConfig {
     /// Seed for sampled campaigns.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Restricts the campaign to `module`'s FT1 register fault space:
+    /// stored-bit flips plus faults on the register-region cells
+    /// (`region` spanning the flip-flop cell indices, which every
+    /// lowering in this workspace allocates contiguously per bank).
+    ///
+    /// This is the shared definition of "the register faults" used by
+    /// the conformance suites, the `scfi certify` CLI default and the
+    /// certification benches — one source of truth instead of four
+    /// restatements of the contiguity assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` has no registers.
+    pub fn register_region(mut self, module: &Module) -> Self {
+        let regs = module.registers();
+        let lo = regs
+            .iter()
+            .map(|r| r.0)
+            .min()
+            .expect("module has registers");
+        let hi = regs
+            .iter()
+            .map(|r| r.0)
+            .max()
+            .expect("module has registers");
+        self.region = Some(lo..hi + 1);
+        self.include_register_flips = true;
         self
     }
 
@@ -263,7 +293,34 @@ impl fmt::Display for CampaignReport {
 
 /// Enumerates the fault list for a target under a config.
 pub(crate) fn fault_list<T: FaultTarget>(target: &T, config: &CampaignConfig) -> Vec<Fault> {
-    let module = target.module();
+    enumerate_faults(target.module(), config)
+}
+
+/// Enumerates every injectable fault of `module` under `config`'s fault
+/// model: each configured [`FaultEffect`] on every gate/register output
+/// (and, when enabled, every cell input pin), plus stored-bit register
+/// flips, all restricted to the configured cell region.
+///
+/// This is the single source of truth for the fault-site space — the
+/// campaign executors, the [`VulnerabilityMap`](crate::VulnerabilityMap)
+/// attribution and the `scfi-symbolic` formal certifier all enumerate
+/// through it, so their verdicts are site-for-site comparable.
+///
+/// # Example
+///
+/// ```
+/// use scfi_core::{harden, ScfiConfig};
+/// use scfi_faultsim::{enumerate_faults, CampaignConfig};
+/// use scfi_fsm::parse_fsm;
+///
+/// let fsm = parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }")?;
+/// let h = harden(&fsm, &ScfiConfig::new(2))?;
+/// let flips = enumerate_faults(h.module(), &CampaignConfig::new());
+/// let with_regs = enumerate_faults(h.module(), &CampaignConfig::new().with_register_flips());
+/// assert_eq!(with_regs.len(), flips.len() + h.module().registers().len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn enumerate_faults(module: &Module, config: &CampaignConfig) -> Vec<Fault> {
     let mut faults = Vec::new();
     for (i, cell) in module.cells().iter().enumerate() {
         if matches!(cell.kind, CellKind::Input | CellKind::Const(_)) {
@@ -306,9 +363,14 @@ pub(crate) fn fault_list<T: FaultTarget>(target: &T, config: &CampaignConfig) ->
     faults
 }
 
-/// Arms one fault on a simulator: masks for net/pin faults, a direct state
-/// mutation for register flips.
-pub(crate) fn arm(sim: &mut Simulator<'_>, fault: Fault) {
+/// Arms one fault on a scalar simulator: masks for net/pin faults, a
+/// direct state mutation for register flips.
+///
+/// Public because injection semantics must have exactly one definition:
+/// the campaign executors arm through this, and the `scfi-symbolic`
+/// certifier replays counterexample witnesses through it — if the
+/// mapping ever changes, both oracles move together.
+pub fn arm(sim: &mut Simulator<'_>, fault: Fault) {
     match (fault.site, fault.effect) {
         (FaultSite::CellOutput(c), FaultEffect::Flip) => sim.set_net_flip(c.net()),
         (FaultSite::CellOutput(c), FaultEffect::Stuck0) => sim.set_net_stuck(c.net(), false),
@@ -790,6 +852,35 @@ mod tests {
         let a = run_multi_fault(&t, 2, 200, &CampaignConfig::new().seed(5));
         let b = run_multi_fault(&t, 2, 200, &CampaignConfig::new().seed(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "64/128/256")]
+    fn lane_words_rejection_names_the_accepted_set() {
+        let _ = CampaignConfig::new().lane_words(3);
+    }
+
+    /// The public fault enumeration and the internal campaign fault list
+    /// are the same space — what the symbolic certifier enumerates is
+    /// site-for-site what the campaigns inject.
+    #[test]
+    fn enumerate_faults_matches_the_campaign_fault_space() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::new(&h);
+        for config in [
+            CampaignConfig::new(),
+            CampaignConfig::new()
+                .effects(vec![FaultEffect::Flip, FaultEffect::Stuck0])
+                .with_pin_faults()
+                .with_register_flips(),
+            CampaignConfig::new().region(h.regions().diffusion.clone()),
+        ] {
+            assert_eq!(
+                fault_list(&t, &config),
+                enumerate_faults(h.module(), &config)
+            );
+        }
     }
 
     #[test]

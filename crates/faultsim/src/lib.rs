@@ -72,8 +72,9 @@ mod vulnerability;
 mod wave;
 
 pub use campaign::{
-    run_exhaustive, run_exhaustive_scalar, run_multi_fault, run_multi_fault_scalar, CampaignConfig,
-    CampaignReport, Fault, FaultEffect, FaultRecord, FaultSite, Outcome,
+    arm, enumerate_faults, run_exhaustive, run_exhaustive_scalar, run_multi_fault,
+    run_multi_fault_scalar, CampaignConfig, CampaignReport, Fault, FaultEffect, FaultRecord,
+    FaultSite, Outcome,
 };
 pub use target::{
     protocol_scenarios, FaultTarget, FaultTiming, ProtocolScenario, RedundancyTarget, Scenario,

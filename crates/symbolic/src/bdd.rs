@@ -1,0 +1,603 @@
+//! A small hash-consed ROBDD package.
+//!
+//! Reduced Ordered Binary Decision Diagrams give a *canonical* DAG
+//! representation of Boolean functions: under a fixed variable order,
+//! structurally equal functions are represented by pointer-equal nodes.
+//! That canonicity is what turns the certification question "does any
+//! reachable state and input assignment let this fault escape?" into a
+//! constant-time emptiness test on the escape function's root.
+//!
+//! The package is deliberately minimal — exactly the surface the symbolic
+//! netlist evaluator and the reachability fixpoint need:
+//!
+//! * a *unique table* hash-consing every `(var, lo, hi)` triple, so node
+//!   identity is function identity,
+//! * the Shannon-expansion `ite` operator with memoization, from which all
+//!   binary connectives derive,
+//! * existential quantification over a variable set (image computation),
+//! * an order-preserving variable renaming (primed → unprimed after the
+//!   image step),
+//! * satisfying-assignment extraction (counterexample witnesses) and model
+//!   counting (reachable-state reporting).
+//!
+//! Nodes are arena-allocated and never freed; the engine's workloads
+//! (netlists with tens of symbolic variables) stay far below any size
+//! where garbage collection would pay for itself.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node — and, by canonicity, to a Boolean function.
+///
+/// Handles are only meaningful relative to the [`Bdd`] manager that
+/// created them. Two handles from the same manager are equal **iff** the
+/// functions they denote are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false function.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true function.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Returns `true` for the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Internal node: branch variable plus low/high children.
+///
+/// Terminals use `var == u32::MAX`, which compares greater than every real
+/// variable — convenient for the top-variable computation in `ite`.
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// The BDD manager: node arena, unique table, and operation caches.
+///
+/// Variables are plain `u32` indices; smaller indices sit closer to the
+/// root. The variable order is fixed at creation time by whoever assigns
+/// the indices (the symbolic evaluator derives it from the netlist's
+/// levelization, see [`VarMap`](crate::VarMap)).
+///
+/// # Example
+///
+/// ```
+/// use scfi_symbolic::{Bdd, BddRef};
+///
+/// let mut b = Bdd::new();
+/// let x = b.var(0);
+/// let y = b.var(1);
+/// let f = b.and(x, y);
+/// let g = b.not(f);
+/// let (nx, ny) = (b.not(x), b.not(y));
+/// let h = b.or(nx, ny); // De Morgan
+/// assert_eq!(g, h); // canonicity: equal functions are pointer-equal
+/// assert!(b.eval(f, &[true, true]));
+/// assert_eq!(b.and(x, nx), BddRef::FALSE);
+/// ```
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_memo: HashMap<(u32, u32, u32), u32>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// Creates a manager holding only the two terminals.
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: u32::MAX,
+                    lo: 0,
+                    hi: 0,
+                },
+                Node {
+                    var: u32::MAX,
+                    lo: 1,
+                    hi: 1,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_memo: HashMap::new(),
+        }
+    }
+
+    /// Total nodes allocated (including the two terminals) — a coarse
+    /// memory/health metric for benches and reports.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: u32) -> BddRef {
+        BddRef(self.mk(v, 0, 1))
+    }
+
+    /// The negated single-variable function `!v`.
+    pub fn nvar(&mut self, v: u32) -> BddRef {
+        BddRef(self.mk(v, 1, 0))
+    }
+
+    /// Hash-consed node constructor; collapses redundant tests.
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var < self.nodes[lo as usize].var && var < self.nodes[hi as usize].var,
+            "mk would violate the variable order"
+        );
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            self.nodes.push(Node { var, lo, hi });
+            (self.nodes.len() - 1) as u32
+        })
+    }
+
+    /// Cofactor of `f` with respect to `var` when `f`'s root tests `var`.
+    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
+        let n = self.nodes[f as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: the function `if f then g else h`, computed by
+    /// Shannon expansion on the topmost variable with memoization.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        BddRef(self.ite_raw(f.0, g.0, h.0))
+    }
+
+    fn ite_raw(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        // Terminal short-circuits.
+        if f == 1 {
+            return g;
+        }
+        if f == 0 {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == 1 && h == 0 {
+            return f;
+        }
+        if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.nodes[f as usize]
+            .var
+            .min(self.nodes[g as usize].var)
+            .min(self.nodes[h as usize].var);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite_raw(f0, g0, h0);
+        let hi = self.ite_raw(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_memo.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (`!(f ^ g)`).
+    pub fn xnor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Negated conjunction.
+    pub fn nand(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, BddRef::TRUE)
+    }
+
+    /// Negated disjunction.
+    pub fn nor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, BddRef::FALSE, ng)
+    }
+
+    /// 2:1 multiplexer with the netlist's pin convention:
+    /// `sel ? b : a`.
+    pub fn mux(&mut self, sel: BddRef, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(sel, b, a)
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[v]` is the value
+    /// of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than a variable tested by `f`.
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut n = f.0;
+        while n > 1 {
+            let node = self.nodes[n as usize];
+            n = if assignment[node.var as usize] {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+        n == 1
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    ///
+    /// `vars` must be sorted ascending (asserted in debug builds); the
+    /// per-call memo keys on the node alone, which is sound because the
+    /// variable set is fixed for the whole call.
+    pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> BddRef {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let mut memo = HashMap::new();
+        let last = match vars.last() {
+            Some(&v) => v,
+            None => return f,
+        };
+        BddRef(self.exists_raw(f.0, vars, last, &mut memo))
+    }
+
+    fn exists_raw(&mut self, f: u32, vars: &[u32], last: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        let var = self.nodes[f as usize].var;
+        if var > last {
+            // Every quantified variable lies above this node.
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let Node { lo, hi, .. } = self.nodes[f as usize];
+        let lo_q = self.exists_raw(lo, vars, last, memo);
+        let hi_q = self.exists_raw(hi, vars, last, memo);
+        let r = if vars.binary_search(&var).is_ok() {
+            self.ite_raw(lo_q, 1, hi_q) // or
+        } else {
+            self.mk(var, lo_q, hi_q)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Renames every variable `v` tested by `f` to `map(v)`.
+    ///
+    /// The mapping must preserve the variable order on the variables `f`
+    /// actually tests (strictly monotone along every path); this is what
+    /// keeps the renamed DAG reduced and ordered without a reordering
+    /// pass. The image step satisfies it by construction: primed
+    /// variables sit directly below their unprimed partners, so the
+    /// primed→unprimed shift is order-preserving. Violations are caught
+    /// by the `mk` order assertion in debug builds.
+    pub fn rename(&mut self, f: BddRef, map: &impl Fn(u32) -> u32) -> BddRef {
+        let mut memo = HashMap::new();
+        BddRef(self.rename_raw(f.0, map, &mut memo))
+    }
+
+    fn rename_raw(
+        &mut self,
+        f: u32,
+        map: &impl Fn(u32) -> u32,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let Node { var, lo, hi } = self.nodes[f as usize];
+        let lo_r = self.rename_raw(lo, map, memo);
+        let hi_r = self.rename_raw(hi, map, memo);
+        let r = self.mk(map(var), lo_r, hi_r);
+        memo.insert(f, r);
+        r
+    }
+
+    /// One satisfying assignment of `f` as `(variable, value)` pairs for
+    /// the variables on the chosen path, or `None` if `f` is
+    /// unsatisfiable. Variables absent from the result are don't-cares:
+    /// any completion satisfies `f`.
+    pub fn sat_one(&self, f: BddRef) -> Option<Vec<(u32, bool)>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut n = f.0;
+        while n > 1 {
+            let Node { var, lo, hi } = self.nodes[n as usize];
+            if lo != 0 {
+                path.push((var, false));
+                n = lo;
+            } else {
+                path.push((var, true));
+                n = hi;
+            }
+        }
+        debug_assert_eq!(n, 1, "non-false BDDs always reach the true terminal");
+        Some(path)
+    }
+
+    /// Number of satisfying assignments of `f` over the variable universe
+    /// `vars` (sorted ascending). Returned as `f64`: exact for the sizes
+    /// the engine reports, and overflow-free for pathological ones.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `f` only tests variables from `vars`.
+    pub fn sat_count(&self, f: BddRef, vars: &[u32]) -> f64 {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let mut memo = HashMap::new();
+        // Level of a variable within `vars`; vars not in the universe are
+        // rejected below.
+        let level = |v: u32| vars.binary_search(&v);
+        let total = vars.len();
+        self.count_raw(f.0, 0, total, &level, &mut memo)
+    }
+
+    fn count_raw(
+        &self,
+        f: u32,
+        from_level: usize,
+        total: usize,
+        level: &impl Fn(u32) -> Result<usize, usize>,
+        memo: &mut HashMap<u32, f64>,
+    ) -> f64 {
+        if f == 0 {
+            return 0.0;
+        }
+        if f == 1 {
+            return 2f64.powi((total - from_level) as i32);
+        }
+        let var = self.nodes[f as usize].var;
+        let l = level(var).unwrap_or_else(|_| {
+            panic!("sat_count: function tests variable {var} outside the universe")
+        });
+        let below = if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            let Node { lo, hi, .. } = self.nodes[f as usize];
+            let c = self.count_raw(lo, l + 1, total, level, memo)
+                + self.count_raw(hi, l + 1, total, level, memo);
+            memo.insert(f, c);
+            c
+        };
+        below * 2f64.powi((l - from_level) as i32)
+    }
+
+    /// Number of distinct nodes reachable from `f` (its DAG size).
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut b = Bdd::new();
+        assert_eq!(b.constant(true), BddRef::TRUE);
+        assert_eq!(b.constant(false), BddRef::FALSE);
+        assert!(BddRef::TRUE.is_const());
+        let x = b.var(3);
+        assert!(!x.is_const());
+        assert!(b.eval(x, &[false, false, false, true]));
+        assert!(!b.eval(x, &[true, true, true, false]));
+        let nx = b.nvar(3);
+        assert_eq!(b.not(x), nx);
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let table = |b: &Bdd, f: BddRef| {
+            (0..4)
+                .map(|i| b.eval(f, &[i & 1 == 1, i & 2 == 2]))
+                .collect::<Vec<_>>()
+        };
+        let and = b.and(x, y);
+        assert_eq!(table(&b, and), [false, false, false, true]);
+        let or = b.or(x, y);
+        assert_eq!(table(&b, or), [false, true, true, true]);
+        let xor = b.xor(x, y);
+        assert_eq!(table(&b, xor), [false, true, true, false]);
+        let xnor = b.xnor(x, y);
+        assert_eq!(table(&b, xnor), [true, false, false, true]);
+        let nand = b.nand(x, y);
+        assert_eq!(table(&b, nand), [true, true, true, false]);
+        let nor = b.nor(x, y);
+        assert_eq!(table(&b, nor), [true, false, false, false]);
+    }
+
+    #[test]
+    fn mux_follows_netlist_pin_convention() {
+        let mut b = Bdd::new();
+        let sel = b.var(0);
+        let a = b.var(1);
+        let c = b.var(2);
+        let m = b.mux(sel, a, c);
+        // sel=0 → a, sel=1 → c.
+        assert!(b.eval(m, &[false, true, false]));
+        assert!(!b.eval(m, &[false, false, true]));
+        assert!(b.eval(m, &[true, false, true]));
+        assert!(!b.eval(m, &[true, true, false]));
+    }
+
+    #[test]
+    fn canonicity_collapses_equal_functions() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        // (x & y) | (x & z)  ==  x & (y | z)
+        let xy = b.and(x, y);
+        let xz = b.and(x, z);
+        let lhs = b.or(xy, xz);
+        let yz = b.or(y, z);
+        let rhs = b.and(x, yz);
+        assert_eq!(lhs, rhs);
+        // Tautology and contradiction collapse to terminals.
+        let nx = b.not(x);
+        assert_eq!(b.or(x, nx), BddRef::TRUE);
+        assert_eq!(b.and(x, nx), BddRef::FALSE);
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        // ∃x. x&y == y; ∃x,y. x&y == true.
+        assert_eq!(b.exists(f, &[0]), y);
+        assert_eq!(b.exists(f, &[0, 1]), BddRef::TRUE);
+        assert_eq!(b.exists(f, &[]), f);
+        let contradiction = {
+            let nx = b.not(x);
+            b.and(x, nx)
+        };
+        assert_eq!(b.exists(contradiction, &[0, 1]), BddRef::FALSE);
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let mut b = Bdd::new();
+        let x1 = b.var(1);
+        let x3 = b.var(3);
+        let f = b.xor(x1, x3);
+        let g = b.rename(f, &|v| v - 1);
+        let x0 = b.var(0);
+        let x2 = b.var(2);
+        assert_eq!(g, b.xor(x0, x2));
+    }
+
+    #[test]
+    fn sat_one_returns_a_model() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let ny = b.nvar(1);
+        let f = b.and(x, ny);
+        let model = b.sat_one(f).expect("satisfiable");
+        let mut assignment = vec![false; 2];
+        for (v, val) in model {
+            assignment[v as usize] = val;
+        }
+        assert!(b.eval(f, &assignment));
+        let nx = b.not(x);
+        let unsat = b.and(f, nx);
+        assert_eq!(b.sat_one(unsat), None);
+        assert_eq!(b.sat_one(BddRef::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn sat_count_counts_models() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(2);
+        let f = b.or(x, y); // 3 of 4 over {0, 2}; 6 of 8 over {0, 1, 2}
+        assert_eq!(b.sat_count(f, &[0, 2]), 3.0);
+        assert_eq!(b.sat_count(f, &[0, 1, 2]), 6.0);
+        assert_eq!(b.sat_count(BddRef::TRUE, &[0, 1, 2]), 8.0);
+        assert_eq!(b.sat_count(BddRef::FALSE, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        assert_eq!(b.size(BddRef::TRUE), 2);
+        assert_eq!(b.size(x), 3);
+        let f = b.xor(x, y);
+        assert_eq!(b.size(f), 5); // two terminals, one var-0 node, two var-1 nodes
+        assert!(b.node_count() >= 5);
+    }
+
+    #[test]
+    fn ite_is_shannon_complete_on_three_vars() {
+        // Exhaustive: ite over every triple of 1-var functions matches the
+        // Boolean definition on every assignment.
+        let mut b = Bdd::new();
+        let funcs: Vec<BddRef> = (0..3)
+            .flat_map(|v| {
+                let p = b.var(v);
+                let n = b.nvar(v);
+                [p, n]
+            })
+            .chain([BddRef::FALSE, BddRef::TRUE])
+            .collect();
+        for &f in &funcs {
+            for &g in &funcs {
+                for &h in &funcs {
+                    let r = b.ite(f, g, h);
+                    for bits in 0..8u32 {
+                        let a: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+                        let expect = if b.eval(f, &a) {
+                            b.eval(g, &a)
+                        } else {
+                            b.eval(h, &a)
+                        };
+                        assert_eq!(b.eval(r, &a), expect);
+                    }
+                }
+            }
+        }
+    }
+}

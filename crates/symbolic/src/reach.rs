@@ -1,0 +1,170 @@
+//! Symbolic reachability: the least fixpoint of the image operator over
+//! the module's DFF transition functions, from the reset state.
+//!
+//! Certification quantifies over *reachable* states only — proving "no
+//! reachable state and input assignment lets this fault escape" rather
+//! than the vacuously harder (and generally false) claim over arbitrary
+//! register contents. The reachable set is computed once per module by
+//! the textbook BDD fixpoint:
+//!
+//! ```text
+//! R₀ = {reset};   Rᵢ₊₁ = Rᵢ ∪ Img(Rᵢ);   Img(R) = ∃s,x. R(s) ∧ ⋀ᵢ (sᵢ' ↔ δᵢ(s,x))
+//! ```
+//!
+//! with the primed variables renamed back to their current-state partners
+//! after each image (the [`VarMap`](crate::VarMap) places each primed
+//! variable directly below its partner, so the renaming is
+//! order-preserving).
+
+use crate::bdd::{Bdd, BddRef};
+use crate::eval::{SymStep, SymbolicEvaluator};
+
+/// The result of the reachability fixpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct Reachability {
+    /// Characteristic function of the reachable state set, over the
+    /// current-state variables.
+    pub states: BddRef,
+    /// Fixpoint iterations taken (the module's sequential depth + 1).
+    pub iterations: usize,
+}
+
+/// The characteristic function of a single concrete register state.
+pub fn state_cube(b: &mut Bdd, ev: &SymbolicEvaluator<'_>, regs: &[bool]) -> BddRef {
+    assert_eq!(
+        regs.len(),
+        ev.module().registers().len(),
+        "register count mismatch"
+    );
+    let mut cube = BddRef::TRUE;
+    for (i, &v) in regs.iter().enumerate() {
+        let lit = if v {
+            b.var(ev.varmap().reg_current(i))
+        } else {
+            b.nvar(ev.varmap().reg_current(i))
+        };
+        cube = b.and(cube, lit);
+    }
+    cube
+}
+
+/// Computes the set of register states reachable from the reset state
+/// under any input sequence satisfying `assumption` (a predicate over
+/// the input variables; [`BddRef::TRUE`] for the unconstrained input
+/// space), using the fault-free transition functions of `base` (a
+/// [`SymbolicEvaluator::eval`] with no faults).
+pub fn reachable_states(
+    b: &mut Bdd,
+    ev: &SymbolicEvaluator<'_>,
+    base: &SymStep,
+    assumption: BddRef,
+) -> Reachability {
+    let vm = ev.varmap();
+    // Transition relation ⋀ᵢ (sᵢ' ↔ δᵢ(s, x)), under the input assumption.
+    let mut relation = assumption;
+    for (i, &delta) in base.next_regs.iter().enumerate() {
+        let primed = b.var(vm.reg_next(i));
+        let bit = b.xnor(primed, delta);
+        relation = b.and(relation, bit);
+    }
+    let quantified = vm.unprimed_vars();
+    // Primed variable of register i is current + 1 (see `VarMap`), so the
+    // rename is the order-preserving unit shift back down.
+    let unprime = |v: u32| v - 1;
+
+    let reset = ev.reset_state();
+    let mut reached = state_cube(b, ev, &reset);
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let step = b.and(reached, relation);
+        let img_primed = b.exists(step, &quantified);
+        let img = b.rename(img_primed, &unprime);
+        let next = b.or(reached, img);
+        if next == reached {
+            return Reachability {
+                states: reached,
+                iterations,
+            };
+        }
+        reached = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfi_netlist::{Module, ModuleBuilder};
+
+    /// 2-bit saturating counter with enable: counts up to 3 and holds.
+    fn saturating_counter() -> Module {
+        let mut mb = ModuleBuilder::new("sat2");
+        let en = mb.input("en");
+        let q0 = mb.dff_uninit(false);
+        let q1 = mb.dff_uninit(false);
+        let at_max = mb.and2(q0, q1);
+        let n_max = mb.not(at_max);
+        let tick = mb.and2(en, n_max);
+        let n0 = mb.xor2(q0, tick);
+        let carry = mb.and2(q0, tick);
+        let n1 = mb.xor2(q1, carry);
+        mb.set_dff_input(q0, n0);
+        mb.set_dff_input(q1, n1);
+        mb.output("q0", q0);
+        mb.output("q1", q1);
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn full_counter_reaches_every_state() {
+        let m = saturating_counter();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let base = ev.eval(&mut b, &[]);
+        let reach = reachable_states(&mut b, &ev, &base, BddRef::TRUE);
+        assert_eq!(reach.states, BddRef::TRUE, "all four states are reachable");
+        // 0→1→2→3 plus the converged iteration.
+        assert_eq!(reach.iterations, 4);
+        assert_eq!(b.sat_count(reach.states, &ev.varmap().current_vars()), 4.0);
+    }
+
+    #[test]
+    fn dead_states_are_excluded() {
+        // A one-hot ring 01 → 10 → 01; states 00 and 11 are unreachable.
+        let mut mb = ModuleBuilder::new("ring");
+        let q0 = mb.dff_uninit(true);
+        let q1 = mb.dff_uninit(false);
+        mb.set_dff_input(q0, q1);
+        mb.set_dff_input(q1, q0);
+        mb.output("q0", q0);
+        let m = mb.finish().unwrap();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let base = ev.eval(&mut b, &[]);
+        let reach = reachable_states(&mut b, &ev, &base, BddRef::TRUE);
+        let vars = ev.varmap().current_vars();
+        assert_eq!(b.sat_count(reach.states, &vars), 2.0);
+        // Membership checks via state cubes.
+        for (regs, member) in [
+            (vec![true, false], true),
+            (vec![false, true], true),
+            (vec![false, false], false),
+            (vec![true, true], false),
+        ] {
+            let cube = state_cube(&mut b, &ev, &regs);
+            let hit = b.and(cube, reach.states);
+            assert_eq!(hit != BddRef::FALSE, member, "state {regs:?}");
+        }
+    }
+
+    #[test]
+    fn reset_state_is_always_reachable() {
+        let m = saturating_counter();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let base = ev.eval(&mut b, &[]);
+        let reach = reachable_states(&mut b, &ev, &base, BddRef::TRUE);
+        let reset = state_cube(&mut b, &ev, &ev.reset_state());
+        assert_eq!(b.and(reset, reach.states), reset);
+    }
+}

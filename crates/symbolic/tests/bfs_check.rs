@@ -1,0 +1,63 @@
+//! Differential check of the symbolic reachability fixpoint: on real
+//! Table-1 modules, the BDD least fixpoint must find *exactly* the state
+//! set a concrete breadth-first search over the scalar simulator finds
+//! (driving every valid condition codeword from every discovered state).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use scfi_core::{harden, ScfiConfig};
+use scfi_netlist::Simulator;
+use scfi_symbolic::Certifier;
+
+/// Concrete BFS over the hardened netlist under valid `xe` codewords.
+fn concrete_reachable(h: &scfi_core::HardenedFsm) -> BTreeSet<Vec<bool>> {
+    let xe_words: Vec<Vec<bool>> = (0..h.cond_code().len())
+        .map(|c| h.cond_code().word(c).iter().collect())
+        .collect();
+    let mut sim = Simulator::new(h.module());
+    let reset: Vec<bool> = sim.register_values().to_vec();
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(reset.clone());
+    queue.push_back(reset);
+    while let Some(state) = queue.pop_front() {
+        for xe in &xe_words {
+            sim.reset_to(&state);
+            sim.step(xe);
+            let next = sim.register_values().to_vec();
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn symbolic_reachability_matches_concrete_bfs() {
+    for name in ["adc_ctrl_fsm", "pwrmgr_fsm"] {
+        for n in [2, 3] {
+            let b = scfi_opentitan::by_name(name).expect("suite entry");
+            let h = harden(&b.fsm, &ScfiConfig::new(n)).expect("harden");
+            let concrete = concrete_reachable(&h);
+            let certifier = Certifier::new(&h);
+            assert_eq!(
+                certifier.reachable_state_count(),
+                concrete.len() as u64,
+                "{name} N={n}: symbolic and BFS reachable counts differ"
+            );
+            // Exhaustive membership agreement over the whole register
+            // word space (sw stays small enough on these two FSMs).
+            let sw = h.module().registers().len();
+            assert!(sw <= 16, "membership sweep assumes a small word");
+            for bits in 0u64..1 << sw {
+                let regs: Vec<bool> = (0..sw).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    certifier.state_is_reachable(&regs),
+                    concrete.contains(&regs),
+                    "{name} N={n}: membership of {regs:?} disagrees"
+                );
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`encode`] | `scfi-encode` | Hamming-distance-N codebooks |
 //! | [`core`] | `scfi-core` | **the SCFI pass** + redundancy baseline |
 //! | [`faultsim`] | `scfi-faultsim` | SYNFI-style fault campaigns |
+//! | [`symbolic`] | `scfi-symbolic` | BDD-based formal fault certification |
 //! | [`opentitan`] | `scfi-opentitan` | the Table-1 benchmark FSM suite |
 //!
 //! # Quickstart
@@ -56,3 +57,4 @@ pub use scfi_mds as mds;
 pub use scfi_netlist as netlist;
 pub use scfi_opentitan as opentitan;
 pub use scfi_stdcell as stdcell;
+pub use scfi_symbolic as symbolic;

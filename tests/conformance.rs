@@ -18,11 +18,12 @@ mod common;
 
 use scfi_core::{harden, redundancy, ScfiConfig, ScfiError, StateDecode};
 use scfi_faultsim::{
-    run_exhaustive, run_exhaustive_scalar, CampaignConfig, FaultTarget, RedundancyTarget,
-    ScfiTarget, UnprotectedTarget,
+    enumerate_faults, run_exhaustive, run_exhaustive_scalar, CampaignConfig, FaultSite,
+    FaultTarget, RedundancyTarget, ScfiTarget, UnprotectedTarget, VulnerabilityMap,
 };
 use scfi_fsm::lower_unprotected;
-use scfi_netlist::Simulator;
+use scfi_netlist::{Module, Simulator};
+use scfi_symbolic::{Certifier, CertifyModel, Verdict};
 
 /// Protection levels with a constructible encoding (level 1 is the
 /// rejection case, tested separately).
@@ -315,6 +316,159 @@ fn secure_boot_multicycle_campaign_agrees_across_engines() {
         scfi_report.hijack_rate() < unprot_report.hijack_rate() / 2.0,
         "SCFI must shrink the boot-glitch escape rate: SCFI {scfi_report} vs unprotected {unprot_report}"
     );
+}
+
+/// The shared register-fault space: transient flips on every register
+/// output net plus stored-bit flips — the paper's FT1 attacker. Both the
+/// campaign executors and the symbolic certifier enumerate it through
+/// [`enumerate_faults`], so verdicts are site-for-site comparable.
+fn register_fault_space(module: &Module) -> CampaignConfig {
+    CampaignConfig::new().register_region(module)
+}
+
+/// Cross-checks the formal certifier against the exhaustive campaign on
+/// one model/target pair, site by site:
+///
+/// * the campaign's scenario space (every CFG edge, preloaded with its
+///   source codeword and driven by its condition codeword) is a subset of
+///   the certified space (every reachable state × every admissible input
+///   word), so a campaign hijack at a cell **must** show up as a
+///   certification counterexample at that cell — equivalently, a cell the
+///   certifier proves clean must have zero campaign hijacks;
+/// * a cell the certifier proves `ProvenMasked` (never observable) must be
+///   fully masked in the campaign;
+/// * every counterexample witness must replay to a confirmed hijack on
+///   the scalar simulator.
+///
+/// Returns the certification report for campaign-level assertions.
+fn assert_certification_agrees<M: CertifyModel, T: FaultTarget>(
+    model: &M,
+    target: &T,
+    config: &CampaignConfig,
+    what: &str,
+) -> scfi_symbolic::CertificationReport {
+    let faults = enumerate_faults(model.module(), config);
+    assert!(!faults.is_empty(), "{what}: empty fault space");
+    let cert = Certifier::new(model).certify_all(&faults);
+    let map = VulnerabilityMap::analyze(target, config);
+
+    // Group certification verdicts by fault cell, mirroring the map's
+    // per-cell attribution.
+    let mut by_cell: std::collections::BTreeMap<u32, Vec<&Verdict>> =
+        std::collections::BTreeMap::new();
+    for site in &cert.sites {
+        let cell = match site.fault.site {
+            FaultSite::CellOutput(c) | FaultSite::Pin(c, _) | FaultSite::Register(c) => c.0,
+        };
+        by_cell.entry(cell).or_default().push(&site.verdict);
+    }
+    for (&cell, verdicts) in &by_cell {
+        let stats = map
+            .cell(scfi_netlist::CellId(cell))
+            .unwrap_or_else(|| panic!("{what}: campaign has no stats for certified cell c{cell}"));
+        let proven = verdicts.iter().all(|v| v.is_proven());
+        if proven {
+            assert_eq!(
+                stats.hijacked, 0,
+                "{what}: cell c{cell} is proven clean but the campaign hijacked through it"
+            );
+        }
+        let all_masked = verdicts.iter().all(|v| matches!(v, Verdict::ProvenMasked));
+        if all_masked {
+            assert_eq!(
+                stats.masked,
+                stats.total(),
+                "{what}: cell c{cell} is proven unobservable but the campaign observed it"
+            );
+        }
+    }
+    for (fault, witness) in cert.counterexample_sites() {
+        assert!(
+            witness.confirmed,
+            "{what}: witness for {fault:?} did not replay to a confirmed hijack"
+        );
+    }
+    cert
+}
+
+/// The tentpole cross-oracle matrix: for every Table-1 FSM, every §6.1
+/// configuration and every protection level N ∈ {2, 3, 4}, the symbolic
+/// certifier's per-site verdicts must agree with the exhaustive campaign
+/// outcomes on the shared register-fault space — and the two protected
+/// configurations must *prove* the paper's single-bit detection claim
+/// (zero counterexamples over all reachable states and all admissible
+/// input words), while the unprotected lowering must be refuted with
+/// replay-confirmed witnesses.
+#[test]
+fn certification_agrees_with_exhaustive_campaigns_on_every_table1_fsm() {
+    for b in scfi_opentitan::all() {
+        let lowered = lower_unprotected(&b.fsm).expect("lowering");
+        let config = register_fault_space(lowered.module());
+        let target = UnprotectedTarget::new(&b.fsm, &lowered);
+        let campaign = run_exhaustive(&target, &config);
+        let cert = assert_certification_agrees(
+            &lowered,
+            &target,
+            &config,
+            &format!("{} unprotected", b.name),
+        );
+        assert!(
+            cert.counterexamples() > 0,
+            "{}: the unprotected lowering must be refutable: {cert}",
+            b.name
+        );
+        assert!(
+            campaign.hijacked > 0,
+            "{}: the unprotected campaign must hijack: {campaign}",
+            b.name
+        );
+
+        for n in [2, 3, 4] {
+            let r = redundancy(&b.fsm, n).expect("redundancy");
+            let config = register_fault_space(r.module());
+            let cert = assert_certification_agrees(
+                &r,
+                &RedundancyTarget::new(&r),
+                &config,
+                &format!("{} redundancy N={n}", b.name),
+            );
+            assert!(cert.all_proven(), "{} redundancy N={n}: {cert}", b.name);
+
+            let h = harden(&b.fsm, &ScfiConfig::new(n)).expect("harden");
+            let config = register_fault_space(h.module());
+            let target = ScfiTarget::new(&h);
+            let campaign = run_exhaustive(&target, &config);
+            let cert = assert_certification_agrees(
+                &h,
+                &target,
+                &config,
+                &format!("{} SCFI N={n}", b.name),
+            );
+            // The §3/§5 guarantee, *proved*: zero counterexamples, and
+            // every register fault observable (hence ProvenDetected).
+            assert!(cert.all_proven(), "{} SCFI N={n}: {cert}", b.name);
+            assert_eq!(
+                cert.proven_detected(),
+                cert.sites.len(),
+                "{} SCFI N={n}: register faults are never maskable: {cert}",
+                b.name
+            );
+            // The sampled campaign agrees on its subset of the space.
+            assert_eq!(campaign.hijacked, 0, "{} SCFI N={n}: {campaign}", b.name);
+            assert_eq!(
+                campaign.detected, campaign.injections,
+                "{} SCFI N={n}: {campaign}",
+                b.name
+            );
+            // The certified universe is the codewords plus ERROR.
+            assert_eq!(
+                cert.reachable_states,
+                b.fsm.state_count() as u64 + 1,
+                "{} SCFI N={n}: unexpected reachable set",
+                b.name
+            );
+        }
+    }
 }
 
 /// Whole-module single-fault campaign on the smallest Table-1 FSM: the
