@@ -59,7 +59,8 @@ pub const USAGE: &str = "usage:
               [--emit verilog|dot|report]
   scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-               [--protocol K] [--lanes 64|128|256] [--format text|csv|json]
+               [--protocol K] [--backend scalar|packed|simd]
+               [--lanes 64|128|256] [--format text|csv|json]
   scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
                [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
                [--expect-proof]
@@ -70,10 +71,13 @@ pub const USAGE: &str = "usage:
 OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.
 `--protocol K` runs a multi-cycle campaign over depth-K CFG walks, each
 step glitched transiently, instead of the single-transition experiment.
-`--lanes` picks the packed engine's wave width (default 256; accepted:
-64, 128, 256); the report is identical at every width, only throughput
-changes. `--format csv|json` streams the per-site vulnerability map
-instead of the text summary.
+`--backend` picks the campaign engine (default `packed`): `scalar` is
+the one-injection-at-a-time reference, `packed` the bit-parallel wave
+engine, `simd` the fixed 512-lane vectorization-shaped wave engine.
+`--lanes` picks the packed backend's wave width (default 256; accepted:
+64, 128, 256). The report is identical for every backend, width and
+thread count, only throughput changes. `--format csv|json` streams the
+per-site vulnerability map instead of the text summary.
 
 `scfi analyze` *samples* the detection claim with simulation campaigns
 over concrete scenarios; `scfi certify` *proves* it, building BDDs of
@@ -298,6 +302,14 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
             )))
         }
     };
+    let backend = match flags.value("--backend")? {
+        None => scfi_faultsim::Backend::default(),
+        Some(name) => scfi_faultsim::Backend::parse(name).ok_or_else(|| {
+            usage_err(format!(
+                "--backend must be scalar, packed or simd (got `{name}`)"
+            ))
+        })?,
+    };
     let format = flags.value("--format")?.unwrap_or("text").to_string();
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
@@ -310,7 +322,8 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
     let mut config = CampaignConfig::new()
         .effects(effects)
         .threads(2)
-        .lane_words(lane_words);
+        .lane_words(lane_words)
+        .backend(backend);
     let regions = hardened.regions();
     config = match region.as_str() {
         "all" => config,
@@ -816,6 +829,42 @@ mod tests {
         let default = run_ok(&["analyze", p, "--level", "2"]);
         assert_eq!(wide, narrow, "wave width must not change the report");
         assert_eq!(wide, default);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// The execution backend is a pure throughput knob: every `--backend`
+    /// choice (including the ranked map) must print byte-identical output.
+    #[test]
+    fn backend_flag_changes_engine_not_results() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let base = ["analyze", p, "--level", "2", "--rank"];
+        let default = run_ok(&base);
+        for backend in ["scalar", "packed", "simd"] {
+            let mut args = base.to_vec();
+            args.extend(["--backend", backend]);
+            assert_eq!(
+                run_ok(&args),
+                default,
+                "--backend {backend} must not change the report"
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn backend_rejection_names_the_accepted_set() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        for bogus in ["avx512", "fast", "1"] {
+            let e = run_err(&["analyze", p, "--backend", bogus]);
+            assert_eq!(e.code, 1);
+            assert!(
+                e.message.contains("scalar, packed or simd"),
+                "error for --backend {bogus} must name the accepted set: {}",
+                e.message
+            );
+        }
         let _ = std::fs::remove_file(path);
     }
 

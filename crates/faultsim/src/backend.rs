@@ -1,0 +1,231 @@
+//! Pluggable campaign execution backends.
+//!
+//! A [`CampaignBackend`] is the execution contract behind every campaign
+//! driver: compile the target's netlist once, run a [`WorkList`] of
+//! `(scenario, faults)` items, and return **one [`Outcome`] per item, in
+//! item order** — deterministically, independent of thread count, batching
+//! or internal lane order. Everything above the backend (aggregation,
+//! vulnerability maps, certification cross-checks, the CLI) is engine
+//! agnostic; everything below it is free to batch, prune and parallelize
+//! however it likes, as long as the slot-ordered outcome vector is
+//! byte-identical across backends. The workspace differential suites pin
+//! that equivalence on every Table-1 FSM at every width and thread count.
+//!
+//! Three implementations ship:
+//!
+//! * [`ScalarBackend`] — one [`Simulator`] per worker, one injection at a
+//!   time. The semantic reference: slowest, trivially auditable, and the
+//!   engine the packed backends are differentially tested against.
+//! * [`PackedBackend`] — the bit-parallel wave engine over `[u64; W]` net
+//!   words, `W` ∈ {1, 2, 4} from [`CampaignConfig::lane_words`]: 64–256
+//!   injections per netlist pass with word-parallel classification,
+//!   incremental re-simulation and wave-level cycle skipping.
+//! * [`SimdBackend`] — the same wave engine fixed at
+//!   [`SIMD_LANE_WORDS`] = 8 words (512 lanes per op). The `[u64; 8]`
+//!   inner loops are shaped for the compiler's vectorizer (full 512-bit
+//!   rows on AVX-512, pairs of 256-bit ops on AVX2); on narrow machines it
+//!   degrades gracefully to unrolled scalar word ops.
+//!
+//! Campaign drivers pick the backend from
+//! [`CampaignConfig::backend`](CampaignConfig::backend); the CLI exposes
+//! the same choice as `scfi analyze --backend scalar|packed|simd`.
+
+use scfi_netlist::{Simulator, SIMD_LANE_WORDS};
+
+use crate::campaign::{run_item_scalar, CampaignConfig, Outcome};
+use crate::target::{FaultTarget, Scenario};
+use crate::wave::{self, WorkList};
+
+/// Selects which [`CampaignBackend`] a campaign runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The scalar reference engine ([`ScalarBackend`]).
+    Scalar,
+    /// The tunable-width packed wave engine ([`PackedBackend`]).
+    #[default]
+    Packed,
+    /// The fixed 512-lane vectorization-shaped wave engine
+    /// ([`SimdBackend`]).
+    Simd,
+}
+
+impl Backend {
+    /// Every backend, in `scalar < packed < simd` order.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Packed, Backend::Simd];
+
+    /// Parses a backend name as accepted by `scfi analyze --backend`.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "scalar" => Some(Backend::Scalar),
+            "packed" => Some(Backend::Packed),
+            "simd" => Some(Backend::Simd),
+            _ => None,
+        }
+    }
+
+    /// The backend's canonical name (`parse`'s inverse).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Packed => "packed",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A campaign execution engine.
+///
+/// # Contract
+///
+/// `execute` returns exactly `work.len()` outcomes, where outcome `i` is
+/// the folded trajectory verdict of injecting `work.item(i)`'s fault group
+/// into its scenario — the verdict the scalar reference loop computes. The
+/// vector must be *deterministic*: a pure function of `(target, work)`,
+/// never of `config.threads`, wave boundaries, or scheduling. Backends may
+/// consult `config` only for execution-shape knobs (threads, lane words).
+pub trait CampaignBackend {
+    /// The backend's canonical name (for reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Runs every item of `work` against `target`, returning slot-ordered
+    /// outcomes.
+    fn execute<T: FaultTarget>(
+        &self,
+        target: &T,
+        work: &WorkList,
+        config: &CampaignConfig,
+    ) -> Vec<Outcome>;
+}
+
+/// The scalar reference backend: one [`Simulator`] per worker thread,
+/// injections run one at a time with the last scenario cached, outcomes
+/// written straight into their work-list slots.
+///
+/// Strictly slower than the wave backends; it exists as the differential
+/// oracle (and for debugging single injections with `peek` and VCD hooks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarBackend;
+
+/// The tunable-width packed wave backend: `[u64; W]` waves with
+/// `W` = [`CampaignConfig::lane_words`] ∈ {1, 2, 4}.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PackedBackend;
+
+/// The fixed-width SIMD wave backend: [`SIMD_LANE_WORDS`]-word
+/// (512-lane) waves, ignoring [`CampaignConfig::lane_words`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimdBackend;
+
+impl CampaignBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn execute<T: FaultTarget>(
+        &self,
+        target: &T,
+        work: &WorkList,
+        config: &CampaignConfig,
+    ) -> Vec<Outcome> {
+        let n = work.len();
+        let mut outcomes = vec![Outcome::Masked; n];
+        if n == 0 {
+            return outcomes;
+        }
+        // Each worker owns one reusable simulator and output buffer and
+        // caches the last materialized scenario, so the per-injection cost
+        // is one register reset plus the scenario's simulated cycles.
+        let run_range = |start: usize, out: &mut [Outcome]| {
+            let mut sim = Simulator::new(target.module());
+            let mut outputs = Vec::with_capacity(target.module().outputs().len());
+            let mut cached: Option<(usize, Scenario)> = None;
+            for (k, slot) in out.iter_mut().enumerate() {
+                let (scenario, faults) = work.item(start + k);
+                if cached.as_ref().map(|c| c.0) != Some(scenario) {
+                    cached = Some((scenario, target.scenario(scenario)));
+                }
+                let (_, sc) = cached.as_ref().expect("cached scenario");
+                *slot = run_item_scalar(target, &mut sim, scenario, sc, faults, &mut outputs);
+            }
+        };
+        let threads = config.thread_count().min(n);
+        if threads <= 1 || n < 64 {
+            run_range(0, &mut outcomes);
+        } else {
+            // Contiguous slot ranges per worker: each writes its own
+            // disjoint outcome slice, so the result is slot-ordered by
+            // construction.
+            let per = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, chunk) in outcomes.chunks_mut(per).enumerate() {
+                    let run_range = &run_range;
+                    scope.spawn(move || run_range(t * per, chunk));
+                }
+            });
+        }
+        outcomes
+    }
+}
+
+impl CampaignBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn execute<T: FaultTarget>(
+        &self,
+        target: &T,
+        work: &WorkList,
+        config: &CampaignConfig,
+    ) -> Vec<Outcome> {
+        wave::execute(
+            target,
+            work,
+            config.thread_count(),
+            config.lane_word_count(),
+        )
+    }
+}
+
+impl CampaignBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn execute<T: FaultTarget>(
+        &self,
+        target: &T,
+        work: &WorkList,
+        config: &CampaignConfig,
+    ) -> Vec<Outcome> {
+        wave::execute(target, work, config.thread_count(), SIMD_LANE_WORDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip_through_parse() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(Backend::parse("avx1024"), None);
+        assert_eq!(Backend::default(), Backend::Packed);
+    }
+
+    #[test]
+    fn trait_names_match_enum_names() {
+        assert_eq!(ScalarBackend.name(), Backend::Scalar.name());
+        assert_eq!(PackedBackend.name(), Backend::Packed.name());
+        assert_eq!(SimdBackend.name(), Backend::Simd.name());
+    }
+}

@@ -5,8 +5,9 @@ use std::ops::Range;
 
 use scfi_netlist::{CellId, CellKind, Module, Simulator};
 
+use crate::backend::{Backend, CampaignBackend, PackedBackend, ScalarBackend, SimdBackend};
 use crate::target::FaultTarget;
-use crate::wave::{self, WorkList};
+use crate::wave::WorkList;
 
 /// The effect dimension of the fault model (§2.1: "transient, i.e.
 /// bit-flips, or stuck-at effects").
@@ -90,12 +91,13 @@ pub struct CampaignConfig {
     threads: usize,
     lane_words: usize,
     seed: u64,
+    backend: Backend,
 }
 
 impl CampaignConfig {
     /// Defaults: transient flips on every gate output, no pin faults, no
-    /// register flips, one worker thread per available CPU, 4-word
-    /// (256-lane) waves.
+    /// register flips, one worker thread per available CPU, the packed
+    /// backend with 4-word (256-lane) waves.
     pub fn new() -> Self {
         CampaignConfig {
             effects: vec![FaultEffect::Flip],
@@ -105,6 +107,7 @@ impl CampaignConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             lane_words: 4,
             seed: 0xFA17,
+            backend: Backend::default(),
         }
     }
 
@@ -170,6 +173,22 @@ impl CampaignConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Which [`CampaignBackend`] executes the campaign (default:
+    /// [`Backend::Packed`]).
+    ///
+    /// Backends are pure throughput/auditability trade-offs — every
+    /// backend produces byte-identical reports for the same campaign (the
+    /// differential suites assert it at every width and thread count).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured execution backend.
+    pub fn backend_kind(&self) -> Backend {
+        self.backend
     }
 
     /// Restricts the campaign to `module`'s FT1 register fault space:
@@ -254,15 +273,6 @@ impl CampaignReport {
         } else {
             self.detected as f64 / effective as f64
         }
-    }
-
-    fn merge(&mut self, other: CampaignReport) {
-        self.injections += other.injections;
-        self.masked += other.masked;
-        self.detected += other.detected;
-        self.hijacked += other.hijacked;
-        self.hijack_examples.extend(other.hijack_examples);
-        self.hijack_examples.truncate(64);
     }
 
     fn empty() -> Self {
@@ -458,6 +468,22 @@ fn aggregate(work: &WorkList, outcomes: &[Outcome]) -> CampaignReport {
     report
 }
 
+/// Runs a work list on the backend selected by
+/// [`CampaignConfig::backend`]. The single dispatch point between the
+/// campaign drivers (and the vulnerability map) and the
+/// [`CampaignBackend`] implementations.
+pub(crate) fn execute_backend<T: FaultTarget>(
+    target: &T,
+    work: &WorkList,
+    config: &CampaignConfig,
+) -> Vec<Outcome> {
+    match config.backend {
+        Backend::Scalar => ScalarBackend.execute(target, work, config),
+        Backend::Packed => PackedBackend.execute(target, work, config),
+        Backend::Simd => SimdBackend.execute(target, work, config),
+    }
+}
+
 /// Builds the exhaustive scenario-major work list: every scenario × every
 /// fault in the list.
 pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> WorkList {
@@ -474,14 +500,13 @@ pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> W
 /// Exhaustive single-fault campaign: every scenario × every fault site ×
 /// every configured effect — the §6.4 experiment.
 ///
-/// Runs on the bit-parallel [`PackedSimulator`](scfi_netlist::PackedSimulator)
-/// wave engine, up to 256 injections per netlist pass
-/// ([`CampaignConfig::lane_words`]), sharded across
-/// [`CampaignConfig::threads`] workers with early exit for waves whose
-/// lanes have all folded to terminal verdicts. Produces
-/// injection-for-injection the same report as the scalar reference engine
-/// ([`run_exhaustive_scalar`]); the workspace conformance suite pins the
-/// two against each other on every Table-1 FSM at every wave width.
+/// Runs on the [`CampaignBackend`] selected by [`CampaignConfig::backend`]
+/// (default: the bit-parallel packed wave engine, up to 256 injections per
+/// netlist pass, sharded across [`CampaignConfig::threads`] workers with
+/// early exit for waves whose lanes have all folded to terminal verdicts).
+/// Every backend produces injection-for-injection the same report; the
+/// workspace conformance suite pins them against each other on every
+/// Table-1 FSM at every wave width.
 ///
 /// # Example
 ///
@@ -504,27 +529,18 @@ pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> W
 pub fn run_exhaustive<T: FaultTarget>(target: &T, config: &CampaignConfig) -> CampaignReport {
     let faults = fault_list(target, config);
     let work = exhaustive_work(target, &faults);
-    let outcomes = wave::execute(target, &work, config.threads, config.lane_words);
+    let outcomes = execute_backend(target, &work, config);
     aggregate(&work, &outcomes)
 }
 
-/// The scalar reference implementation of [`run_exhaustive`]: one
-/// [`Simulator`] per worker, reused across injections via
-/// [`Simulator::reset_to`] + [`Simulator::clear_faults`].
-///
-/// The packed engine is strictly faster; this path exists as the
-/// differential oracle (and for debugging single injections with `peek`
-/// and VCD hooks).
+/// [`run_exhaustive`] forced onto the [`ScalarBackend`] — the differential
+/// oracle the wave backends are pinned against (and the engine of choice
+/// when debugging single injections with `peek` and VCD hooks).
 pub fn run_exhaustive_scalar<T: FaultTarget>(
     target: &T,
     config: &CampaignConfig,
 ) -> CampaignReport {
-    let faults = fault_list(target, config);
-    let scenarios = target.scenario_count();
-    let work: Vec<(usize, Fault)> = (0..scenarios)
-        .flat_map(|s| faults.iter().map(move |&f| (s, f)))
-        .collect();
-    run_work_scalar(target, &work, config.threads)
+    run_exhaustive(target, &config.clone().backend(Backend::Scalar))
 }
 
 /// Draws the multi-fault work list: `runs` items of `faults_per_run`
@@ -569,9 +585,9 @@ fn multi_fault_work<T: FaultTarget>(
 /// `faults_per_run` simultaneous faults into a random scenario — the
 /// multi-fault attacker of the threat model (§3, "N−1 faults").
 ///
-/// Runs on the packed wave engine; the fault draw stream is identical to
-/// [`run_multi_fault_scalar`], so the two engines report the same results
-/// for the same seed.
+/// Runs on the configured [`CampaignBackend`]; the fault draw stream is
+/// part of the work-list construction, not the backend, so every backend
+/// reports the same results for the same seed.
 pub fn run_multi_fault<T: FaultTarget>(
     target: &T,
     faults_per_run: usize,
@@ -583,116 +599,24 @@ pub fn run_multi_fault<T: FaultTarget>(
         return CampaignReport::empty();
     }
     let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
-    let outcomes = wave::execute(target, &work, config.threads, config.lane_words);
+    let outcomes = execute_backend(target, &work, config);
     aggregate(&work, &outcomes)
 }
 
-/// The scalar reference implementation of [`run_multi_fault`] (same seeded
-/// draw stream, scalar simulator).
+/// [`run_multi_fault`] forced onto the [`ScalarBackend`] (same seeded draw
+/// stream, scalar simulator).
 pub fn run_multi_fault_scalar<T: FaultTarget>(
     target: &T,
     faults_per_run: usize,
     runs: usize,
     config: &CampaignConfig,
 ) -> CampaignReport {
-    let faults = fault_list(target, config);
-    if faults.is_empty() || target.scenario_count() == 0 {
-        return CampaignReport::empty();
-    }
-    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
-    let mut sim = Simulator::new(target.module());
-    let mut outputs = Vec::with_capacity(target.module().outputs().len());
-    let mut cached: Option<(usize, crate::target::Scenario)> = None;
-    let mut report = CampaignReport::empty();
-    for i in 0..work.len() {
-        let (scenario, armed) = work.item(i);
-        if cached.as_ref().map(|c| c.0) != Some(scenario) {
-            cached = Some((scenario, target.scenario(scenario)));
-        }
-        let (_, sc) = cached.as_ref().expect("cached scenario");
-        let outcome = run_item_scalar(target, &mut sim, scenario, sc, armed, &mut outputs);
-        report.injections += 1;
-        match outcome {
-            Outcome::Masked => report.masked += 1,
-            Outcome::Detected => report.detected += 1,
-            Outcome::Hijack => {
-                report.hijacked += 1;
-                if report.hijack_examples.len() < 64 {
-                    report.hijack_examples.push(FaultRecord {
-                        scenario,
-                        faults: armed.to_vec(),
-                    });
-                }
-            }
-        }
-    }
-    report
-}
-
-/// Executes a prepared work list on the scalar engine, optionally across
-/// threads. Each worker owns one reusable simulator and output buffer and
-/// caches the last scenario, so the per-injection cost is one register
-/// reset plus the scenario's simulated cycles — no allocation, no
-/// `Simulator::new`.
-fn run_work_scalar<T: FaultTarget>(
-    target: &T,
-    work: &[(usize, Fault)],
-    threads: usize,
-) -> CampaignReport {
-    let run_slice = |slice: &[(usize, Fault)]| {
-        let mut sim = Simulator::new(target.module());
-        let mut outputs = Vec::with_capacity(target.module().outputs().len());
-        let mut cached: Option<(usize, crate::target::Scenario)> = None;
-        let mut report = CampaignReport::empty();
-        for &(scenario, fault) in slice {
-            if cached.as_ref().map(|c| c.0) != Some(scenario) {
-                cached = Some((scenario, target.scenario(scenario)));
-            }
-            let (_, sc) = cached.as_ref().expect("cached scenario");
-            let outcome = run_item_scalar(
-                target,
-                &mut sim,
-                scenario,
-                sc,
-                std::slice::from_ref(&fault),
-                &mut outputs,
-            );
-            report.injections += 1;
-            match outcome {
-                Outcome::Masked => report.masked += 1,
-                Outcome::Detected => report.detected += 1,
-                Outcome::Hijack => {
-                    report.hijacked += 1;
-                    if report.hijack_examples.len() < 64 {
-                        report.hijack_examples.push(FaultRecord {
-                            scenario,
-                            faults: vec![fault],
-                        });
-                    }
-                }
-            }
-        }
-        report
-    };
-    if threads <= 1 || work.len() < 64 {
-        return run_slice(work);
-    }
-    let chunk = work.len().div_ceil(threads);
-    let partials: Vec<CampaignReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || run_slice(slice)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
-    let mut total = CampaignReport::empty();
-    for p in partials {
-        total.merge(p);
-    }
-    total
+    run_multi_fault(
+        target,
+        faults_per_run,
+        runs,
+        &config.clone().backend(Backend::Scalar),
+    )
 }
 
 #[cfg(test)]

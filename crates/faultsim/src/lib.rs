@@ -32,19 +32,30 @@
 //! ([`run_exhaustive`]) or as seeded random multi-fault samples
 //! ([`run_multi_fault`]), in parallel across threads by default.
 //!
-//! # Two engines
+//! # Campaign backends
 //!
-//! Campaigns execute on the bit-parallel
-//! [`PackedSimulator`](scfi_netlist::PackedSimulator): the work list is
-//! chunked into waves of 64 `(scenario, fault)` lanes, each wave costs one
-//! netlist pass, and faults are precompiled AND/OR/XOR masks. The scalar
-//! [`Simulator`](scfi_netlist::Simulator) path is retained as the
-//! differential reference — [`run_exhaustive_scalar`] /
-//! [`run_multi_fault_scalar`] produce injection-for-injection identical
-//! reports and exist to cross-check the fast engine (the workspace
-//! conformance suite pins the two against each other on every Table-1
-//! FSM) and to debug single injections. Reports are deterministic and
-//! independent of thread count, wave boundaries and lane order.
+//! Execution is pluggable behind the [`CampaignBackend`] trait: a backend
+//! runs a [`WorkList`] of `(scenario, faults)` items and returns one
+//! slot-ordered [`Outcome`] per item. Three implementations ship, selected
+//! by [`CampaignConfig::backend`]:
+//!
+//! * [`Backend::Scalar`] — one [`Simulator`](scfi_netlist::Simulator),
+//!   one injection at a time; the auditable semantic reference.
+//! * [`Backend::Packed`] (default) — the bit-parallel
+//!   [`PackedSimulator`](scfi_netlist::PackedSimulator) wave engine:
+//!   64–256 `(scenario, fault)` lanes per netlist pass
+//!   ([`CampaignConfig::lane_words`]), faults as precompiled AND/OR/XOR
+//!   masks, word-parallel trajectory classification ([`WaveOracle`]),
+//!   incremental re-simulation against the fault-free baseline, and
+//!   wave-level cycle skipping.
+//! * [`Backend::Simd`] — the same wave engine fixed at 512 lanes per op,
+//!   shaped for the compiler's vectorizer.
+//!
+//! Backends are pure throughput trade-offs: every backend produces
+//! injection-for-injection identical reports, deterministic and
+//! independent of thread count, wave boundaries and lane order — the
+//! workspace conformance suite pins them against each other on every
+//! Table-1 FSM at every width and thread count.
 //!
 //! # Example
 //!
@@ -66,21 +77,26 @@
 
 #![deny(missing_docs)]
 
+mod backend;
 mod campaign;
+mod oracle;
 mod target;
 mod vulnerability;
 mod wave;
 
+pub use backend::{Backend, CampaignBackend, PackedBackend, ScalarBackend, SimdBackend};
 pub use campaign::{
     arm, enumerate_faults, run_exhaustive, run_exhaustive_scalar, run_multi_fault,
     run_multi_fault_scalar, CampaignConfig, CampaignReport, Fault, FaultEffect, FaultRecord,
     FaultSite, Outcome,
 };
+pub use oracle::{AlertModel, WaveOracle};
 pub use target::{
     protocol_scenarios, FaultTarget, FaultTiming, ProtocolScenario, RedundancyTarget, Scenario,
     ScfiTarget, UnprotectedTarget,
 };
 pub use vulnerability::{SiteStats, VulnerabilityMap};
+pub use wave::WorkList;
 
 use scfi_core::HardenedFsm;
 

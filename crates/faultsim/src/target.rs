@@ -14,6 +14,7 @@ use scfi_fsm::{Cfg, Fsm, LoweredFsm, StateId};
 use scfi_netlist::Module;
 
 use crate::campaign::Outcome;
+use crate::oracle::{AlertModel, WaveOracle};
 
 /// When during a scenario's cycle schedule the injected faults are armed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -139,6 +140,30 @@ pub trait FaultTarget: Sync {
     /// of scenario `index` (0-based, one call per cycle of the
     /// trajectory).
     fn classify(&self, index: usize, cycle: usize, regs: &[bool], outputs: &[bool]) -> Outcome;
+
+    /// A precompiled word-level classification oracle, if the target can
+    /// express [`FaultTarget::classify`] as packed-word logic (see
+    /// [`WaveOracle`]). The wave executor then decodes whole 64-lane
+    /// words at a time instead of extracting each lane; `None` keeps the
+    /// per-lane extraction + `classify` fallback, which is correct for
+    /// every target, just slower.
+    ///
+    /// Contract: at every scenario cycle the oracle's verdicts must equal
+    /// `classify`'s on the same post-step registers and outputs, with
+    /// [`FaultTarget::expected_state`] naming the cycle's fault-free
+    /// landing state. The differential suites pin this against the scalar
+    /// engine on every Table-1 FSM.
+    fn wave_oracle(&self) -> Option<WaveOracle> {
+        None
+    }
+
+    /// The codebook index (in [`FaultTarget::wave_oracle`]'s codeword
+    /// order) of the fault-free landing state after `cycle` of scenario
+    /// `index`. Only consulted when `wave_oracle` returns an oracle.
+    fn expected_state(&self, index: usize, cycle: usize) -> usize {
+        let _ = (index, cycle);
+        unimplemented!("targets providing a wave_oracle must implement expected_state")
+    }
 }
 
 /// Shared scenario-space bookkeeping behind the three targets: either the
@@ -320,6 +345,32 @@ impl FaultTarget for ScfiTarget<'_> {
             StateDecode::State(_) => Outcome::Hijack,
         }
     }
+
+    fn wave_oracle(&self) -> Option<WaveOracle> {
+        let h = self.hardened;
+        // decode_registers reads the whole register file as the state
+        // codeword; fall back to the scalar path if that ever diverges.
+        if h.state_code().width() != h.module().registers().len() {
+            return None;
+        }
+        let codewords = (0..h.fsm().state_count())
+            .map(|s| h.encode_state(StateId(s)).iter().collect())
+            .collect();
+        // Zero words are terminal ERROR, invalid codewords are caught on
+        // the next edge, and the last two ports are alert/in_error —
+        // exactly the scalar classification above.
+        Some(WaveOracle::new(
+            codewords,
+            true,
+            true,
+            AlertModel::LastTwoOutputs,
+        ))
+    }
+
+    fn expected_state(&self, index: usize, cycle: usize) -> usize {
+        let ei = self.space.edge_at(index, cycle, |i| i);
+        self.hardened.cfg().edges()[ei].to.0
+    }
 }
 
 /// Campaign target for the redundancy baseline.
@@ -354,6 +405,19 @@ impl<'a> RedundancyTarget<'a> {
                 redundant.cfg(),
                 protocol_scenarios(redundant.cfg(), depth, seed),
             ),
+        }
+    }
+
+    /// Multi-cycle target over hand-picked protocol scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a walk is empty, disconnected, or times its fault window
+    /// past the walk's end.
+    pub fn with_scenarios(redundant: &'a RedundantFsm, scenarios: Vec<ProtocolScenario>) -> Self {
+        RedundancyTarget {
+            redundant,
+            space: ScenarioSpace::protocol(redundant.cfg(), scenarios),
         }
     }
 
@@ -410,6 +474,29 @@ impl FaultTarget for RedundancyTarget<'_> {
             _ if alert => Outcome::Detected,
             _ => Outcome::Hijack,
         }
+    }
+
+    fn wave_oracle(&self) -> Option<WaveOracle> {
+        let r = self.redundant;
+        let sb = r.state_bits();
+        // Bank 0 (the first state_bits registers) carries the natural
+        // binary code; the alert is the registered mismatch line plus the
+        // combinational replica comparison — the scalar classification
+        // above, word-parallel.
+        let codewords = (0..r.fsm().state_count())
+            .map(|s| scfi_gf2::BitVec::from_u64(s as u64, sb).iter().collect())
+            .collect();
+        Some(WaveOracle::new(
+            codewords,
+            false,
+            false,
+            AlertModel::BankMismatch { state_bits: sb },
+        ))
+    }
+
+    fn expected_state(&self, index: usize, cycle: usize) -> usize {
+        let ei = self.space.edge_at(index, cycle, |i| i);
+        self.redundant.cfg().edges()[ei].to.0
     }
 }
 
@@ -481,6 +568,39 @@ impl<'a> UnprotectedTarget<'a> {
         target
     }
 
+    /// Multi-cycle target over hand-picked protocol scenarios. Every walk
+    /// edge must be drivable (see
+    /// [`UnprotectedTarget::scenario_edge_is_drivable`]) — an edge no input
+    /// valuation can take has no concrete input vector to schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a walk is empty, disconnected, times its fault window past
+    /// the walk's end, or uses an undrivable edge.
+    pub fn with_scenarios(
+        fsm: &'a Fsm,
+        lowered: &'a LoweredFsm,
+        scenarios: Vec<ProtocolScenario>,
+    ) -> Self {
+        let mut target = Self::new(fsm, lowered);
+        for (i, s) in scenarios.iter().enumerate() {
+            for &ei in &s.edges {
+                assert!(
+                    target.representatives[ei].is_some(),
+                    "protocol scenario {i} uses edge {ei}, which no input valuation drives"
+                );
+            }
+        }
+        target.space = ScenarioSpace::protocol(&target.cfg, scenarios);
+        target
+    }
+
+    /// Whether some input valuation takes CFG edge `ei` — i.e. whether the
+    /// edge can appear in a concrete protocol schedule.
+    pub fn scenario_edge_is_drivable(&self, ei: usize) -> bool {
+        self.representatives[ei].is_some()
+    }
+
     /// The source FSM.
     pub fn fsm(&self) -> &'a Fsm {
         self.fsm
@@ -518,6 +638,27 @@ impl FaultTarget for UnprotectedTarget<'_> {
             Some(s) if s == self.cfg.edges()[ei].to => Outcome::Masked,
             _ => Outcome::Hijack,
         }
+    }
+
+    fn wave_oracle(&self) -> Option<WaveOracle> {
+        let enc = self.lowered.encodings();
+        // decode_registers matches the whole register file against the
+        // binary encodings; a width mismatch would never decode, so keep
+        // the scalar fallback for that (impossible by construction) case.
+        if enc.is_empty() || enc[0].len() != self.module().registers().len() {
+            return None;
+        }
+        Some(WaveOracle::new(
+            enc.iter().map(|e| e.iter().collect()).collect(),
+            false,
+            false,
+            AlertModel::None,
+        ))
+    }
+
+    fn expected_state(&self, index: usize, cycle: usize) -> usize {
+        let ei = self.space.edge_at(index, cycle, |i| self.drivable[i]);
+        self.cfg.edges()[ei].to.0
     }
 }
 
