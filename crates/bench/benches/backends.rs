@@ -16,15 +16,18 @@
 //! divergence fails CI), and each backend's geometric-mean speedup over
 //! the scalar reference is compared against the committed baseline — a
 //! drop below 0.8× the baseline speedup (a >20 % relative regression)
-//! fails CI.
+//! fails CI. Test mode also pins the execution-control layer: running
+//! the exhaustive W=4 row under an armed-but-never-tripping
+//! [`RunControl`] must stay within the baseline's
+//! `control_overhead_budget` fraction of the uncontrolled throughput.
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
 use scfi_core::{harden, HardenedFsm, ScfiConfig};
 use scfi_faultsim::{
-    run_exhaustive, Backend, CampaignConfig, CampaignReport, FaultTarget, FaultTiming,
-    ProtocolScenario, ScfiTarget,
+    run_exhaustive, try_run_exhaustive, Backend, CampaignConfig, CampaignReport, FaultTarget,
+    FaultTiming, ProtocolScenario, RunControl, ScfiTarget,
 };
 
 /// Small / medium / large rows of Table 1 (7, 13 and 30 states).
@@ -163,7 +166,7 @@ fn geomean_speedup(points: &[Point], column: &str) -> f64 {
 }
 
 fn write_baseline(points: &[Point]) {
-    let mut json = String::from("{\n  \"grid\": \"Table-1 {aes_control, adc_ctrl_fsm, i2c_fsm} x N in {2,3,4}, exhaustive flips + register flips, 1 thread\",\n  \"points\": [\n");
+    let mut json = String::from("{\n  \"grid\": \"Table-1 {aes_control, adc_ctrl_fsm, i2c_fsm} x N in {2,3,4}, exhaustive flips + register flips, 1 thread\",\n  \"control_overhead_budget\": 0.02,\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"fsm\": \"{}\", \"level\": {}, \"backend\": \"{}\", \"inj_per_s\": {:.0}, \"speedup_vs_scalar\": {:.2}}}{}\n",
@@ -230,6 +233,68 @@ fn check_against_baseline(points: &[Point]) {
              if the change is intentional"
         );
     }
+}
+
+/// Pulls the top-level `control_overhead_budget` fraction out of the
+/// committed baseline.
+fn control_overhead_budget(text: &str) -> f64 {
+    text.lines()
+        .find(|l| l.contains("\"control_overhead_budget\""))
+        .and_then(|l| {
+            l.split(':')
+                .nth(1)?
+                .trim()
+                .trim_end_matches(',')
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "BENCH_backends.json has no control_overhead_budget key; \
+                 regenerate with `cargo bench --bench backends -- --save`"
+            )
+        })
+}
+
+/// Satellite check for the execution-control layer: the per-wave
+/// [`RunControl`] admission check must be free at campaign scale. Runs
+/// the heaviest exhaustive W=4 row (i2c_fsm N=4, packed-256) with an
+/// armed-but-never-tripping control (deadline and injection budget both
+/// set) against the plain uncontrolled entry point, best-of-3 each, and
+/// asserts the throughput ratio stays above `1 - control_overhead_budget`
+/// from the committed baseline.
+fn check_control_overhead() {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed baseline");
+    let budget = control_overhead_budget(&text);
+    let h = hardened("i2c_fsm", 4);
+    let target = ScfiTarget::new(&h);
+    let cfg = config(Backend::Packed, 4);
+    let control = RunControl::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_injection_budget(u64::MAX / 2);
+    let (mut plain, mut armed) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        let (_, rate) = run_point(&target, &cfg);
+        plain = plain.max(rate);
+        let start = Instant::now();
+        let report =
+            try_run_exhaustive(&target, &cfg, &control).expect("an unhit control never trips");
+        let rate = report.injections as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        armed = armed.max(rate);
+    }
+    let ratio = armed / plain.max(1e-9);
+    println!(
+        "control overhead (i2c_fsm N=4, packed-256): armed {armed:.0} vs plain {plain:.0} inj/s, \
+         ratio {ratio:.3} (floor {:.3})",
+        1.0 - budget
+    );
+    assert!(
+        ratio >= 1.0 - budget,
+        "per-wave control checks cost {:.1}% throughput on the exhaustive W=4 row, \
+         over the {:.1}% budget (BENCH_backends.json control_overhead_budget)",
+        (1.0 - ratio) * 100.0,
+        budget * 100.0
+    );
 }
 
 /// The scenario-dense depth-1 point: i2c_fsm has the most CFG edges, so
@@ -303,6 +368,7 @@ fn main() {
     }
     if test_mode() {
         check_against_baseline(&points);
+        check_control_overhead();
         return;
     }
     benches();

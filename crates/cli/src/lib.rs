@@ -11,29 +11,36 @@
 //! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
 //!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
 //!              [--protocol K] [--lanes 64|128|256] [--format text|csv|json]
+//!              [--timeout-secs T] [--max-injections K]
 //! scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
 //!              [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
-//!              [--expect-proof]
+//!              [--expect-proof] [--timeout-secs T] [--max-bdd-nodes K]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! ```
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use scfi_core::{harden, redundancy, PadPolicy, ScfiConfig};
 use scfi_faultsim::{
-    enumerate_faults, run_exhaustive, run_multi_fault, CampaignConfig, FaultEffect, ScfiTarget,
+    enumerate_faults, try_run_exhaustive, try_run_multi_fault, CampaignConfig, CampaignError,
+    FaultEffect, RunControl, ScfiTarget, StopReason,
 };
 use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
 use scfi_stdcell::Library;
-use scfi_symbolic::{describe_fault, CertificationReport, Certifier, CertifyModel, Verdict};
+use scfi_symbolic::{
+    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, Verdict,
+};
 
 /// A CLI failure: message for stderr plus the process exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Suggested exit code (1 = usage, 2 = input, 3 = processing).
+    /// Suggested exit code (1 = usage, 2 = input, 3 = processing,
+    /// 4 = cancelled or timed out with partial results printed,
+    /// 5 = resource budget exhausted).
     pub code: i32,
 }
 
@@ -61,9 +68,10 @@ pub const USAGE: &str = "usage:
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
                [--protocol K] [--backend scalar|packed|simd]
                [--lanes 64|128|256] [--format text|csv|json]
+               [--timeout-secs T] [--max-injections K]
   scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
                [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
-               [--expect-proof]
+               [--expect-proof] [--timeout-secs T] [--max-bdd-nodes K]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
 
@@ -84,7 +92,16 @@ over concrete scenarios; `scfi certify` *proves* it, building BDDs of
 every fault's escape condition over all reachable states and all valid
 encoded input words (and refuting it with a replayed witness where no
 proof exists — e.g. the unprotected configuration). `--expect-proof`
-exits non-zero unless every certified site is proven.";
+exits non-zero unless every certified site is proven.
+
+Budgets: `--timeout-secs`/`--max-injections` stop an `analyze` campaign
+cleanly at the next wave boundary and print the completed prefix marked
+PARTIAL RESULT (every printed count is byte-identical to the same slots
+of an uninterrupted run). `--timeout-secs`/`--max-bdd-nodes` bound
+certification: over-budget sites degrade to UNKNOWN verdicts — never a
+fabricated proof. Exit codes: 0 success, 1 usage, 2 input, 3 processing
+failure (including a refuted `--expect-proof`), 4 cancelled or timed
+out with partial results printed, 5 resource budget exhausted.";
 
 /// Runs the CLI on an argument vector (without the program name), writing
 /// the result into `out`.
@@ -311,6 +328,7 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         })?,
     };
     let format = flags.value("--format")?.unwrap_or("text").to_string();
+    let control = parse_run_control(&mut flags)?;
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
 
@@ -351,9 +369,10 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
     match format.as_str() {
         "text" => {
             let report = match multi {
-                Some(m) => run_multi_fault(&target, m, runs, &config),
-                None => run_exhaustive(&target, &config),
-            };
+                Some(m) => try_run_multi_fault(&target, m, runs, &config, &control),
+                None => try_run_exhaustive(&target, &config, &control),
+            }
+            .map_err(|e| campaign_error(e, out))?;
             let _ = writeln!(out, "{report}");
             let _ = writeln!(
                 out,
@@ -364,7 +383,8 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
                 if multi.is_some() {
                     return Err(usage_err("--rank applies to exhaustive campaigns only"));
                 }
-                let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
+                let map = scfi_faultsim::VulnerabilityMap::try_analyze(&target, &config, &control)
+                    .map_err(|e| campaign_error(e, out))?;
                 let _ = writeln!(out, "{map}");
             }
         }
@@ -381,7 +401,8 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
                      exports every site",
                 ));
             }
-            let map = scfi_faultsim::VulnerabilityMap::analyze(&target, &config);
+            let map = scfi_faultsim::VulnerabilityMap::try_analyze(&target, &config, &control)
+                .map_err(|e| campaign_error(e, out))?;
             if format == "csv" {
                 write_sites_csv(out, hardened.module(), &map);
             } else {
@@ -391,6 +412,55 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         other => return Err(usage_err(format!("unknown format `{other}`"))),
     }
     Ok(())
+}
+
+/// Parses the shared campaign-budget flags (`--timeout-secs`,
+/// `--max-injections`) into a [`RunControl`] handle.
+fn parse_run_control(flags: &mut Flags<'_>) -> Result<RunControl, CliError> {
+    let mut control = RunControl::unlimited();
+    if let Some(v) = flags.value("--timeout-secs")? {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| usage_err("--timeout-secs must be a whole number of seconds"))?;
+        control = control.with_deadline(Duration::from_secs(secs));
+    }
+    if let Some(v) = flags.value("--max-injections")? {
+        let budget: u64 = v
+            .parse()
+            .map_err(|_| usage_err("--max-injections must be a number"))?;
+        control = control.with_injection_budget(budget);
+    }
+    Ok(control)
+}
+
+/// Converts a campaign failure into its exit code, writing the completed
+/// prefix (clearly marked) into `out` first: 4 for a cancelled or
+/// deadline-stopped run, 5 for an exhausted injection budget, 3 for
+/// anything else (worker panics, overflows).
+fn campaign_error(e: CampaignError, out: &mut String) -> CliError {
+    match e {
+        CampaignError::Interrupted { reason, partial } => {
+            let code = match reason {
+                StopReason::Cancelled | StopReason::DeadlineExpired => 4,
+                StopReason::InjectionBudgetExhausted => 5,
+            };
+            let _ = writeln!(
+                out,
+                "PARTIAL RESULT (stopped early: {reason}) — {} of {} injections completed",
+                partial.completed,
+                partial.total()
+            );
+            let _ = writeln!(out, "{}", partial.report);
+            CliError {
+                message: format!("campaign interrupted: {reason}"),
+                code,
+            }
+        }
+        other => CliError {
+            message: format!("campaign failed: {other}"),
+            code: 3,
+        },
+    }
 }
 
 /// Streams the per-site vulnerability map as CSV (one row per fault
@@ -467,6 +537,7 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
     let pin_faults = flags.switch("--pin-faults");
     let per_site = flags.switch("--per-site");
     let expect_proof = flags.switch("--expect-proof");
+    let budget = parse_certify_budget(&mut flags)?;
     let Some(path) = flags.positional() else {
         return Err(usage_err("missing FSM input file"));
     };
@@ -481,21 +552,25 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                 message: format!("hardening failed: {e}"),
                 code: 3,
             })?;
-            certify_model(&hardened, all_gates, stuck_at, pin_faults, per_site, out)
+            certify_model(
+                &hardened, all_gates, stuck_at, pin_faults, per_site, budget, out,
+            )
         }
         "redundancy" => {
             let r = redundancy(&fsm, level).map_err(|e| CliError {
                 message: format!("redundancy transform failed: {e}"),
                 code: 3,
             })?;
-            certify_model(&r, all_gates, stuck_at, pin_faults, per_site, out)
+            certify_model(&r, all_gates, stuck_at, pin_faults, per_site, budget, out)
         }
         "unprotected" => {
             let lowered = lower_unprotected(&fsm).map_err(|e| CliError {
                 message: format!("lowering failed: {e}"),
                 code: 3,
             })?;
-            certify_model(&lowered, all_gates, stuck_at, pin_faults, per_site, out)
+            certify_model(
+                &lowered, all_gates, stuck_at, pin_faults, per_site, budget, out,
+            )
         }
         other => return Err(usage_err(format!("unknown certify config `{other}`"))),
     };
@@ -508,7 +583,43 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
             code: 3,
         });
     }
+    if report.unknown() > 0 {
+        // The budget ran out before every site was decided. The report
+        // (with its UNKNOWN verdicts) is already in `out`; exit with the
+        // documented partial-result code so scripts can tell "undecided"
+        // from "refuted".
+        let deadline = report.sites.iter().any(
+            |s| matches!(&s.verdict, Verdict::Unknown { reason } if reason.contains("deadline")),
+        );
+        return Err(CliError {
+            message: format!(
+                "certification budget exhausted: {} of {} site(s) undecided",
+                report.unknown(),
+                report.sites.len()
+            ),
+            code: if deadline { 4 } else { 5 },
+        });
+    }
     Ok(())
+}
+
+/// Parses the certification-budget flags (`--timeout-secs`,
+/// `--max-bdd-nodes`) into a [`CertifyBudget`].
+fn parse_certify_budget(flags: &mut Flags<'_>) -> Result<CertifyBudget, CliError> {
+    let mut budget = CertifyBudget::unlimited();
+    if let Some(v) = flags.value("--timeout-secs")? {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| usage_err("--timeout-secs must be a whole number of seconds"))?;
+        budget = budget.timeout(Duration::from_secs(secs));
+    }
+    if let Some(v) = flags.value("--max-bdd-nodes")? {
+        let nodes: usize = v
+            .parse()
+            .map_err(|_| usage_err("--max-bdd-nodes must be a number"))?;
+        budget = budget.max_nodes(nodes);
+    }
+    Ok(budget)
 }
 
 /// Certifies one model's fault space and renders the report.
@@ -518,6 +629,7 @@ fn certify_model<M: CertifyModel>(
     stuck_at: bool,
     pin_faults: bool,
     per_site: bool,
+    budget: CertifyBudget,
     out: &mut String,
 ) -> CertificationReport {
     let module = model.module();
@@ -537,8 +649,12 @@ fn certify_model<M: CertifyModel>(
     }
     let faults = enumerate_faults(module, &fault_config);
 
-    let mut certifier = Certifier::new(model);
-    let report = certifier.certify_all(&faults);
+    // A budget overflow during setup means no certifier exists at all:
+    // degrade every site to Unknown rather than fabricating a proof.
+    let report = match Certifier::with_budget(model, budget) {
+        Ok(mut certifier) => certifier.certify_all(&faults),
+        Err(overflow) => Certifier::degraded_report(model, &faults, overflow),
+    };
     let _ = writeln!(out, "{report}");
     if per_site {
         for site in &report.sites {
@@ -546,6 +662,7 @@ fn certify_model<M: CertifyModel>(
                 Verdict::ProvenDetected => "proven-detected",
                 Verdict::ProvenMasked => "proven-masked  ",
                 Verdict::Counterexample(_) => "COUNTEREXAMPLE ",
+                Verdict::Unknown { .. } => "UNKNOWN        ",
             };
             let _ = writeln!(out, "  {tag}  {}", describe_fault(module, site.fault));
         }
@@ -572,11 +689,19 @@ fn certify_model<M: CertifyModel>(
             "GUARANTEE PROVED: no certified fault can silently hijack control flow \
              from any reachable state under any admissible input word."
         );
-    } else {
+    } else if report.counterexamples() > 0 {
         let _ = writeln!(
             out,
             "guarantee REFUTED: {} of {} sites have escaping assignments.",
             report.counterexamples(),
+            report.sites.len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "PARTIAL RESULT: {} of {} sites exceeded the certification budget; \
+             their verdicts are UNKNOWN, not proofs.",
+            report.unknown(),
             report.sites.len()
         );
     }
@@ -947,6 +1072,128 @@ mod tests {
         assert!(out.contains("fault sites"), "{out}");
         let e = run_err(&["certify", p, "--config", "bogus"]);
         assert_eq!(e.code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_injection_budget_exits_5_with_partial_output() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let args: Vec<String> = ["analyze", p, "--level", "2", "--max-injections", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = String::new();
+        let e = run(&args, &mut out).expect_err("budget of 1 cannot cover the campaign");
+        assert_eq!(e.code, 5, "{}", e.message);
+        assert!(
+            e.message.contains("injection budget exhausted"),
+            "{}",
+            e.message
+        );
+        assert!(
+            out.contains("PARTIAL RESULT (stopped early: injection budget exhausted)"),
+            "partial output must be clearly marked: {out}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_expired_deadline_exits_4_with_partial_output() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let args: Vec<String> = ["analyze", p, "--level", "2", "--timeout-secs", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = String::new();
+        let e = run(&args, &mut out).expect_err("a zero deadline stops before the first wave");
+        assert_eq!(e.code, 4, "{}", e.message);
+        assert!(e.message.contains("deadline expired"), "{}", e.message);
+        assert!(out.contains("PARTIAL RESULT"), "{out}");
+        assert!(out.contains("0 of"), "nothing completed: {out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_generous_budget_changes_nothing() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let plain = run_ok(&["analyze", p, "--level", "2"]);
+        let budgeted = run_ok(&[
+            "analyze",
+            p,
+            "--level",
+            "2",
+            "--timeout-secs",
+            "3600",
+            "--max-injections",
+            "1000000000",
+        ]);
+        assert_eq!(
+            plain, budgeted,
+            "an unhit budget must not change the report"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_tiny_node_budget_degrades_to_unknown_and_exits_5() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let args: Vec<String> = [
+            "certify",
+            p,
+            "--level",
+            "2",
+            "--per-site",
+            "--max-bdd-nodes",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = String::new();
+        let e = run(&args, &mut out).expect_err("8 BDD nodes cannot certify anything");
+        assert_eq!(e.code, 5, "{}", e.message);
+        assert!(e.message.contains("budget exhausted"), "{}", e.message);
+        assert!(out.contains("UNKNOWN"), "{out}");
+        assert!(out.contains("unknown (budget exhausted)"), "{out}");
+        assert!(out.contains("PARTIAL RESULT"), "{out}");
+        assert!(
+            !out.contains("GUARANTEE PROVED"),
+            "an exhausted budget must never claim the proof: {out}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_generous_budget_still_proves() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&[
+            "certify",
+            p,
+            "--level",
+            "2",
+            "--expect-proof",
+            "--timeout-secs",
+            "3600",
+            "--max-bdd-nodes",
+            "100000000",
+        ]);
+        assert!(out.contains("GUARANTEE PROVED"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn budget_flag_values_are_validated() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        assert_eq!(run_err(&["analyze", p, "--timeout-secs", "x"]).code, 1);
+        assert_eq!(run_err(&["analyze", p, "--max-injections", "-3"]).code, 1);
+        assert_eq!(run_err(&["certify", p, "--max-bdd-nodes", "many"]).code, 1);
+        assert_eq!(run_err(&["certify", p, "--timeout-secs", "1.5"]).code, 1);
         let _ = std::fs::remove_file(path);
     }
 

@@ -21,7 +21,8 @@
 //!   injections per netlist pass with word-parallel classification,
 //!   incremental re-simulation and wave-level cycle skipping.
 //! * [`SimdBackend`] — the same wave engine fixed at
-//!   [`SIMD_LANE_WORDS`] = 8 words (512 lanes per op). The `[u64; 8]`
+//!   [`SIMD_LANE_WORDS`](scfi_netlist::SIMD_LANE_WORDS) = 8 words
+//!   (512 lanes per op). The `[u64; 8]`
 //!   inner loops are shaped for the compiler's vectorizer (full 512-bit
 //!   rows on AVX-512, pairs of 256-bit ops on AVX2); on narrow machines it
 //!   degrades gracefully to unrolled scalar word ops.
@@ -30,11 +31,15 @@
 //! [`CampaignConfig::backend`](CampaignConfig::backend); the CLI exposes
 //! the same choice as `scfi analyze --backend scalar|packed|simd`.
 
-use scfi_netlist::{Simulator, SIMD_LANE_WORDS};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use scfi_netlist::{Simulator, LANES};
 
 use crate::campaign::{run_item_scalar, CampaignConfig, Outcome};
+use crate::control::{CampaignError, LaneWidth, RunControl, StopReason};
 use crate::target::{FaultTarget, Scenario};
-use crate::wave::{self, WorkList};
+use crate::wave::{self, RunOutput, WaveStats, WorkList};
 
 /// Selects which [`CampaignBackend`] a campaign runs on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -83,24 +88,55 @@ impl std::fmt::Display for Backend {
 ///
 /// # Contract
 ///
-/// `execute` returns exactly `work.len()` outcomes, where outcome `i` is
-/// the folded trajectory verdict of injecting `work.item(i)`'s fault group
-/// into its scenario — the verdict the scalar reference loop computes. The
-/// vector must be *deterministic*: a pure function of `(target, work)`,
-/// never of `config.threads`, wave boundaries, or scheduling. Backends may
-/// consult `config` only for execution-shape knobs (threads, lane words).
+/// `try_execute` returns exactly `work.len()` outcomes, where outcome `i`
+/// is the folded trajectory verdict of injecting `work.item(i)`'s fault
+/// group into its scenario — the verdict the scalar reference loop
+/// computes. The vector must be *deterministic*: a pure function of
+/// `(target, work)`, never of `config.threads`, wave boundaries, or
+/// scheduling. Backends may consult `config` only for execution-shape
+/// knobs (threads, lane words).
+///
+/// # Execution control
+///
+/// Backends consult `control` through [`RunControl::admit`] once per wave
+/// (never per gate or per cycle) and wrap each wave in
+/// [`std::panic::catch_unwind`]. The determinism contract extends to
+/// interruption: a refused wave leaves its slots out of the
+/// [`PartialReport`](crate::PartialReport), and every slot that *did*
+/// complete is byte-identical to the same slot of an uninterrupted run —
+/// at any thread count, on any backend.
 pub trait CampaignBackend {
     /// The backend's canonical name (for reports and diagnostics).
     fn name(&self) -> &'static str;
 
+    /// Runs `work` against `target` under `control`, returning
+    /// slot-ordered outcomes — or, when interrupted or poisoned, the
+    /// typed [`CampaignError`] carrying everything that completed.
+    fn try_execute<T: FaultTarget>(
+        &self,
+        target: &T,
+        work: &WorkList,
+        config: &CampaignConfig,
+        control: &RunControl,
+    ) -> Result<Vec<Outcome>, CampaignError>;
+
     /// Runs every item of `work` against `target`, returning slot-ordered
-    /// outcomes.
+    /// outcomes. Thin wrapper over [`try_execute`](Self::try_execute)
+    /// with an unlimited [`RunControl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`CampaignError`] description if a wave panics
+    /// (the caught payload is embedded in the message).
     fn execute<T: FaultTarget>(
         &self,
         target: &T,
         work: &WorkList,
         config: &CampaignConfig,
-    ) -> Vec<Outcome>;
+    ) -> Vec<Outcome> {
+        self.try_execute(target, work, config, &RunControl::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 /// The scalar reference backend: one [`Simulator`] per worker thread,
@@ -117,8 +153,9 @@ pub struct ScalarBackend;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PackedBackend;
 
-/// The fixed-width SIMD wave backend: [`SIMD_LANE_WORDS`]-word
-/// (512-lane) waves, ignoring [`CampaignConfig::lane_words`].
+/// The fixed-width SIMD wave backend:
+/// [`SIMD_LANE_WORDS`](scfi_netlist::SIMD_LANE_WORDS)-word (512-lane)
+/// waves, ignoring [`CampaignConfig::lane_words`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimdBackend;
 
@@ -127,49 +164,117 @@ impl CampaignBackend for ScalarBackend {
         "scalar"
     }
 
-    fn execute<T: FaultTarget>(
+    fn try_execute<T: FaultTarget>(
         &self,
         target: &T,
         work: &WorkList,
         config: &CampaignConfig,
-    ) -> Vec<Outcome> {
+        control: &RunControl,
+    ) -> Result<Vec<Outcome>, CampaignError> {
         let n = work.len();
-        let mut outcomes = vec![Outcome::Masked; n];
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
         if n == 0 {
-            return outcomes;
+            return Ok(Vec::new());
         }
         // Each worker owns one reusable simulator and output buffer and
         // caches the last materialized scenario, so the per-injection cost
         // is one register reset plus the scenario's simulated cycles.
-        let run_range = |start: usize, out: &mut [Outcome]| {
+        // Items run one at a time, but control checks and panic isolation
+        // are chunked at the wave granularity ([`LANES`] items) so the
+        // scalar backend honors the same wave-boundary contract as the
+        // packed engines.
+        let run_range = |start: usize,
+                         out: &mut [Option<Outcome>]|
+         -> (Option<StopReason>, Vec<(Range<usize>, String)>) {
             let mut sim = Simulator::new(target.module());
             let mut outputs = Vec::with_capacity(target.module().outputs().len());
             let mut cached: Option<(usize, Scenario)> = None;
-            for (k, slot) in out.iter_mut().enumerate() {
-                let (scenario, faults) = work.item(start + k);
-                if cached.as_ref().map(|c| c.0) != Some(scenario) {
-                    cached = Some((scenario, target.scenario(scenario)));
+            let mut stopped = None;
+            let mut panics = Vec::new();
+            let mut done = 0usize;
+            while done < out.len() {
+                let chunk = LANES.min(out.len() - done);
+                if let Err(reason) = control.admit(chunk) {
+                    stopped = Some(reason);
+                    break;
                 }
-                let (_, sc) = cached.as_ref().expect("cached scenario");
-                *slot = run_item_scalar(target, &mut sim, scenario, sc, faults, &mut outputs);
+                let wave = catch_unwind(AssertUnwindSafe(|| {
+                    for (k, slot) in out.iter_mut().enumerate().skip(done).take(chunk) {
+                        let (scenario, faults) = work.item(start + k);
+                        if cached.as_ref().map(|c| c.0) != Some(scenario) {
+                            cached = Some((scenario, target.scenario(scenario)));
+                        }
+                        let (_, sc) = cached.as_ref().expect("cached scenario");
+                        *slot = Some(run_item_scalar(
+                            target,
+                            &mut sim,
+                            scenario,
+                            sc,
+                            faults,
+                            &mut outputs,
+                        ));
+                    }
+                }));
+                if let Err(payload) = wave {
+                    // Fail the whole chunk (partially computed slots
+                    // included — a poisoned wave reports no outcomes) and
+                    // restore clean per-worker scratch for the next chunk.
+                    for slot in &mut out[done..done + chunk] {
+                        *slot = None;
+                    }
+                    panics.push((
+                        start + done..start + done + chunk,
+                        wave::panic_message(payload),
+                    ));
+                    sim.clear_faults();
+                    cached = None;
+                }
+                done += chunk;
             }
+            (stopped, panics)
         };
         let threads = config.thread_count().min(n);
-        if threads <= 1 || n < 64 {
-            run_range(0, &mut outcomes);
+        let (stopped, panics) = if threads <= 1 || n < 64 {
+            run_range(0, &mut outcomes)
         } else {
             // Contiguous slot ranges per worker: each writes its own
             // disjoint outcome slice, so the result is slot-ordered by
             // construction.
             let per = n.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (t, chunk) in outcomes.chunks_mut(per).enumerate() {
-                    let run_range = &run_range;
-                    scope.spawn(move || run_range(t * per, chunk));
-                }
+            let workers: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = outcomes
+                    .chunks_mut(per)
+                    .enumerate()
+                    .map(|(t, chunk)| {
+                        let run_range = &run_range;
+                        scope.spawn(move || run_range(t * per, chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scalar workers catch their own panics"))
+                    .collect()
             });
-        }
-        outcomes
+            let mut stopped = None;
+            let mut panics = Vec::new();
+            for (s, p) in workers {
+                if stopped.is_none() {
+                    stopped = s;
+                }
+                panics.extend(p);
+            }
+            (stopped, panics)
+        };
+        wave::finish_run(
+            work,
+            RunOutput {
+                outcomes,
+                stats: WaveStats::default(),
+                stopped,
+                panics,
+            },
+        )
+        .map(|(outcomes, _)| outcomes)
     }
 }
 
@@ -178,17 +283,19 @@ impl CampaignBackend for PackedBackend {
         "packed"
     }
 
-    fn execute<T: FaultTarget>(
+    fn try_execute<T: FaultTarget>(
         &self,
         target: &T,
         work: &WorkList,
         config: &CampaignConfig,
-    ) -> Vec<Outcome> {
-        wave::execute(
+        control: &RunControl,
+    ) -> Result<Vec<Outcome>, CampaignError> {
+        wave::try_execute(
             target,
             work,
             config.thread_count(),
-            config.lane_word_count(),
+            config.lane_width(),
+            control,
         )
     }
 }
@@ -198,13 +305,20 @@ impl CampaignBackend for SimdBackend {
         "simd"
     }
 
-    fn execute<T: FaultTarget>(
+    fn try_execute<T: FaultTarget>(
         &self,
         target: &T,
         work: &WorkList,
         config: &CampaignConfig,
-    ) -> Vec<Outcome> {
-        wave::execute(target, work, config.thread_count(), SIMD_LANE_WORDS)
+        control: &RunControl,
+    ) -> Result<Vec<Outcome>, CampaignError> {
+        wave::try_execute(
+            target,
+            work,
+            config.thread_count(),
+            LaneWidth::SIMD,
+            control,
+        )
     }
 }
 

@@ -6,6 +6,7 @@ use std::ops::Range;
 use scfi_netlist::{CellId, CellKind, Module, Simulator};
 
 use crate::backend::{Backend, CampaignBackend, PackedBackend, ScalarBackend, SimdBackend};
+use crate::control::{CampaignError, LaneWidth, RunControl};
 use crate::target::FaultTarget;
 use crate::wave::WorkList;
 
@@ -89,7 +90,7 @@ pub struct CampaignConfig {
     include_register_flips: bool,
     include_pin_faults: bool,
     threads: usize,
-    lane_words: usize,
+    lane_words: LaneWidth,
     seed: u64,
     backend: Backend,
 }
@@ -105,7 +106,7 @@ impl CampaignConfig {
             include_register_flips: false,
             include_pin_faults: false,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            lane_words: 4,
+            lane_words: LaneWidth::new(4).expect("4 words is a valid packed width"),
             seed: 0xFA17,
             backend: Backend::default(),
         }
@@ -159,14 +160,20 @@ impl CampaignConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `w` is not 1, 2 or 4.
+    /// Panics with the [`CampaignError::InvalidLaneWords`] description if
+    /// `w` is not 1, 2 or 4; use [`try_lane_words`](Self::try_lane_words)
+    /// to validate instead.
     pub fn lane_words(mut self, w: usize) -> Self {
-        assert!(
-            matches!(w, 1 | 2 | 4),
-            "lane_words must be 1, 2 or 4 words (64/128/256 lanes), got {w}"
-        );
-        self.lane_words = w;
+        self.lane_words = LaneWidth::new(w).unwrap_or_else(|e| panic!("{e}"));
         self
+    }
+
+    /// [`lane_words`](Self::lane_words) as a fallible validation:
+    /// rejects widths outside {1, 2, 4} with
+    /// [`CampaignError::InvalidLaneWords`] instead of panicking.
+    pub fn try_lane_words(mut self, w: usize) -> Result<Self, CampaignError> {
+        self.lane_words = LaneWidth::new(w)?;
+        Ok(self)
     }
 
     /// Seed for sampled campaigns.
@@ -226,8 +233,8 @@ impl CampaignConfig {
         self.threads
     }
 
-    /// Configured lane words per wave.
-    pub(crate) fn lane_word_count(&self) -> usize {
+    /// Configured validated wave width of the packed backend.
+    pub(crate) fn lane_width(&self) -> LaneWidth {
         self.lane_words
     }
 }
@@ -275,7 +282,7 @@ impl CampaignReport {
         }
     }
 
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         CampaignReport {
             injections: 0,
             masked: 0,
@@ -468,33 +475,44 @@ fn aggregate(work: &WorkList, outcomes: &[Outcome]) -> CampaignReport {
     report
 }
 
-/// Runs a work list on the backend selected by
+/// Runs a work list under `control` on the backend selected by
 /// [`CampaignConfig::backend`]. The single dispatch point between the
 /// campaign drivers (and the vulnerability map) and the
 /// [`CampaignBackend`] implementations.
-pub(crate) fn execute_backend<T: FaultTarget>(
+pub(crate) fn try_execute_backend<T: FaultTarget>(
     target: &T,
     work: &WorkList,
     config: &CampaignConfig,
-) -> Vec<Outcome> {
+    control: &RunControl,
+) -> Result<Vec<Outcome>, CampaignError> {
     match config.backend {
-        Backend::Scalar => ScalarBackend.execute(target, work, config),
-        Backend::Packed => PackedBackend.execute(target, work, config),
-        Backend::Simd => SimdBackend.execute(target, work, config),
+        Backend::Scalar => ScalarBackend.try_execute(target, work, config, control),
+        Backend::Packed => PackedBackend.try_execute(target, work, config, control),
+        Backend::Simd => SimdBackend.try_execute(target, work, config, control),
     }
 }
 
 /// Builds the exhaustive scenario-major work list: every scenario × every
-/// fault in the list.
-pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> WorkList {
+/// fault in the list. [`CampaignError::WorkListOverflow`] if the campaign
+/// outgrows the packed `u32` slot representation.
+pub(crate) fn try_exhaustive_work<T: FaultTarget>(
+    target: &T,
+    faults: &[Fault],
+) -> Result<WorkList, CampaignError> {
     let scenarios = target.scenario_count();
     let mut work = WorkList::with_capacity(scenarios * faults.len());
     for s in 0..scenarios {
         for fault in faults {
-            work.push(s, std::slice::from_ref(fault));
+            work.try_push(s, std::slice::from_ref(fault))?;
         }
     }
-    work
+    Ok(work)
+}
+
+/// [`try_exhaustive_work`], panicking on overflow.
+#[cfg(test)]
+pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> WorkList {
+    try_exhaustive_work(target, faults).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Exhaustive single-fault campaign: every scenario × every fault site ×
@@ -527,10 +545,50 @@ pub(crate) fn exhaustive_work<T: FaultTarget>(target: &T, faults: &[Fault]) -> W
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_exhaustive<T: FaultTarget>(target: &T, config: &CampaignConfig) -> CampaignReport {
+    try_run_exhaustive(target, config, &RunControl::unlimited()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_exhaustive`] under a [`RunControl`]: the campaign can be
+/// cancelled, deadlined or injection-budgeted, and stops cleanly at the
+/// next wave boundary. On interruption the returned
+/// [`CampaignError::Interrupted`] carries a
+/// [`PartialReport`](crate::PartialReport) whose completed slots are
+/// byte-identical to the same slots of an uninterrupted run — at any
+/// thread count, on any backend. A panicking wave is isolated to its item
+/// range and surfaces as [`CampaignError::WorkerPanic`] with the rest of
+/// the campaign completed.
+///
+/// # Example
+///
+/// ```
+/// use scfi_core::{harden, ScfiConfig};
+/// use scfi_faultsim::{try_run_exhaustive, CampaignConfig, CampaignError, RunControl};
+/// use scfi_fsm::parse_fsm;
+///
+/// let fsm = parse_fsm("fsm m { inputs a; state P { if a -> Q; } state Q { goto P; } }")?;
+/// let hardened = harden(&fsm, &ScfiConfig::new(2))?;
+/// let target = scfi_faultsim::ScfiTarget::new(&hardened);
+///
+/// // Unlimited control behaves exactly like `run_exhaustive`…
+/// let full = try_run_exhaustive(&target, &CampaignConfig::new(), &RunControl::unlimited())?;
+///
+/// // …while an exhausted injection budget yields the completed prefix.
+/// let control = RunControl::unlimited().with_injection_budget(64);
+/// let err = try_run_exhaustive(&target, &CampaignConfig::new(), &control).unwrap_err();
+/// let CampaignError::Interrupted { partial, .. } = err else { panic!("interrupted") };
+/// assert!(partial.completed <= 64);
+/// assert_eq!(partial.total(), full.injections);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn try_run_exhaustive<T: FaultTarget>(
+    target: &T,
+    config: &CampaignConfig,
+    control: &RunControl,
+) -> Result<CampaignReport, CampaignError> {
     let faults = fault_list(target, config);
-    let work = exhaustive_work(target, &faults);
-    let outcomes = execute_backend(target, &work, config);
-    aggregate(&work, &outcomes)
+    let work = try_exhaustive_work(target, &faults)?;
+    let outcomes = try_execute_backend(target, &work, config, control)?;
+    Ok(aggregate(&work, &outcomes))
 }
 
 /// [`run_exhaustive`] forced onto the [`ScalarBackend`] — the differential
@@ -552,7 +610,7 @@ fn multi_fault_work<T: FaultTarget>(
     faults_per_run: usize,
     runs: usize,
     seed: u64,
-) -> WorkList {
+) -> Result<WorkList, CampaignError> {
     let mut rng = seed.max(1);
     let mut next = move || {
         rng ^= rng >> 12;
@@ -576,9 +634,9 @@ fn multi_fault_work<T: FaultTarget>(
         for _ in 0..faults_per_run {
             armed.push(faults[draw(faults.len())]);
         }
-        work.push(scenario, &armed);
+        work.try_push(scenario, &armed)?;
     }
-    work
+    Ok(work)
 }
 
 /// Seeded random multi-fault campaign: `runs` experiments, each injecting
@@ -594,13 +652,35 @@ pub fn run_multi_fault<T: FaultTarget>(
     runs: usize,
     config: &CampaignConfig,
 ) -> CampaignReport {
+    try_run_multi_fault(
+        target,
+        faults_per_run,
+        runs,
+        config,
+        &RunControl::unlimited(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_multi_fault`] under a [`RunControl`] — the controlled twin, with
+/// the same interruption and panic-isolation contract as
+/// [`try_run_exhaustive`]: the completed slots of the
+/// [`PartialReport`](crate::PartialReport) are byte-identical to the same
+/// slots of an uninterrupted run with the same seed.
+pub fn try_run_multi_fault<T: FaultTarget>(
+    target: &T,
+    faults_per_run: usize,
+    runs: usize,
+    config: &CampaignConfig,
+    control: &RunControl,
+) -> Result<CampaignReport, CampaignError> {
     let faults = fault_list(target, config);
     if faults.is_empty() || target.scenario_count() == 0 {
-        return CampaignReport::empty();
+        return Ok(CampaignReport::empty());
     }
-    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed);
-    let outcomes = execute_backend(target, &work, config);
-    aggregate(&work, &outcomes)
+    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed)?;
+    let outcomes = try_execute_backend(target, &work, config, control)?;
+    Ok(aggregate(&work, &outcomes))
 }
 
 /// [`run_multi_fault`] forced onto the [`ScalarBackend`] (same seeded draw

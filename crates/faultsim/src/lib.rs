@@ -57,6 +57,18 @@
 //! workspace conformance suite pins them against each other on every
 //! Table-1 FSM at every width and thread count.
 //!
+//! # Execution control
+//!
+//! Long campaigns are interruptible: [`try_run_exhaustive`],
+//! [`try_run_multi_fault`] and [`VulnerabilityMap::try_analyze`] thread a
+//! [`RunControl`] handle (cancellation token, wall-clock deadline,
+//! injection budget) through the backend, checked once per wave. An
+//! interrupted run returns [`CampaignError::Interrupted`] carrying a
+//! [`PartialReport`] whose completed slots are byte-identical to the same
+//! slots of an uninterrupted run, at any thread count on any backend; a
+//! worker panic poisons only its own wave's item range
+//! ([`CampaignError::WorkerPanic`]) while every other wave completes.
+//!
 //! # Example
 //!
 //! ```
@@ -79,6 +91,7 @@
 
 mod backend;
 mod campaign;
+mod control;
 mod oracle;
 mod target;
 mod vulnerability;
@@ -87,9 +100,10 @@ mod wave;
 pub use backend::{Backend, CampaignBackend, PackedBackend, ScalarBackend, SimdBackend};
 pub use campaign::{
     arm, enumerate_faults, run_exhaustive, run_exhaustive_scalar, run_multi_fault,
-    run_multi_fault_scalar, CampaignConfig, CampaignReport, Fault, FaultEffect, FaultRecord,
-    FaultSite, Outcome,
+    run_multi_fault_scalar, try_run_exhaustive, try_run_multi_fault, CampaignConfig,
+    CampaignReport, Fault, FaultEffect, FaultRecord, FaultSite, Outcome,
 };
+pub use control::{CampaignError, LaneWidth, PartialReport, RunControl, StopReason};
 pub use oracle::{AlertModel, WaveOracle};
 pub use target::{
     protocol_scenarios, FaultTarget, FaultTiming, ProtocolScenario, RedundancyTarget, Scenario,

@@ -66,11 +66,15 @@
 //! thread count, the lane-word width, the wave boundaries and the lane
 //! order.
 
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use scfi_netlist::{
     extract_lane, lane_mask, NetId, PackedNetlist, PackedSimulator, Simulator, LANES,
 };
 
 use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
+use crate::control::{CampaignError, LaneWidth, PartialReport, RunControl, StopReason};
 use crate::target::{FaultTarget, Scenario};
 
 /// A flat `(scenario, faults)` work list: item `i` injects the fault group
@@ -106,20 +110,40 @@ impl WorkList {
     ///
     /// # Panics
     ///
-    /// Panics with a description of the limit if the scenario index or the
-    /// accumulated fault count exceeds the packed `u32` representation
-    /// (about 4.29 billion entries) — a campaign that large must be split
-    /// into sub-campaigns rather than silently wrap and attribute
-    /// outcomes to the wrong scenarios.
+    /// Panics with the [`CampaignError::WorkListOverflow`] description if
+    /// the scenario index or the accumulated fault count exceeds the
+    /// packed `u32` representation; use [`try_push`](Self::try_push) to
+    /// handle oversized campaigns as a recoverable error.
     pub fn push(&mut self, scenario: usize, faults: &[Fault]) {
-        let scenario = u32::try_from(scenario)
-            .expect("scenario index exceeds the work list's u32 range; split the campaign");
+        self.try_push(scenario, faults)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Appends one item injecting `faults` simultaneously into `scenario`,
+    /// or reports [`CampaignError::WorkListOverflow`] if the scenario
+    /// index or the accumulated fault count exceeds the packed `u32`
+    /// representation (about 4.29 billion entries) — a campaign that
+    /// large must be split into sub-campaigns rather than silently wrap
+    /// and attribute outcomes to the wrong scenarios.
+    pub fn try_push(&mut self, scenario: usize, faults: &[Fault]) -> Result<(), CampaignError> {
+        const LIMIT: usize = u32::MAX as usize;
+        let Ok(scenario) = u32::try_from(scenario) else {
+            return Err(CampaignError::WorkListOverflow {
+                items: scenario,
+                limit: LIMIT,
+            });
+        };
+        let end = self.faults.len() + faults.len();
+        let Ok(end) = u32::try_from(end) else {
+            return Err(CampaignError::WorkListOverflow {
+                items: end,
+                limit: LIMIT,
+            });
+        };
         self.scenarios.push(scenario);
         self.faults.extend_from_slice(faults);
-        let end = u32::try_from(self.faults.len()).expect(
-            "accumulated fault count exceeds the work list's u32 range; split the campaign",
-        );
         self.offsets.push(end);
+        Ok(())
     }
 
     /// Number of items.
@@ -169,6 +193,79 @@ fn arm_lanes<const W: usize>(sim: &mut PackedSimulator<'_, W>, fault: Fault, lan
     }
 }
 
+/// Converts a raw lane-word count into a validated [`LaneWidth`],
+/// admitting the SIMD backend's internal W = 8 alongside the
+/// configurable {1, 2, 4}.
+///
+/// # Panics
+///
+/// Panics with the unified [`CampaignError::InvalidLaneWords`] message
+/// for any other width.
+#[cfg(test)]
+fn width_from_words(lane_words: usize) -> LaneWidth {
+    if lane_words == LaneWidth::SIMD.words() {
+        LaneWidth::SIMD
+    } else {
+        LaneWidth::new(lane_words).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Everything one controlled run produced: slot-ordered outcomes
+/// (`None` for items whose wave never ran or panicked), execution
+/// counters, the first stop reason, and any caught wave panics.
+pub(crate) struct RunOutput {
+    pub outcomes: Vec<Option<Outcome>>,
+    pub stats: WaveStats,
+    pub stopped: Option<StopReason>,
+    pub panics: Vec<(Range<usize>, String)>,
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Folds a [`RunOutput`] into the backend result contract: a complete
+/// slot-ordered outcome vector, or the typed [`CampaignError`] carrying
+/// the completed portion. A caught wave panic outranks an interruption
+/// (its data loss is unrecoverable; an interrupted run can be resumed).
+pub(crate) fn finish_run(
+    work: &WorkList,
+    run: RunOutput,
+) -> Result<(Vec<Outcome>, WaveStats), CampaignError> {
+    let RunOutput {
+        outcomes,
+        stats,
+        stopped,
+        mut panics,
+    } = run;
+    if !panics.is_empty() {
+        let (item_range, message) = panics.remove(0);
+        return Err(CampaignError::WorkerPanic {
+            item_range,
+            message,
+            partial: Box::new(PartialReport::from_outcomes(work, outcomes)),
+        });
+    }
+    if let Some(reason) = stopped {
+        return Err(CampaignError::Interrupted {
+            reason,
+            partial: Box::new(PartialReport::from_outcomes(work, outcomes)),
+        });
+    }
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("an uninterrupted run fills every slot"))
+        .collect();
+    Ok((outcomes, stats))
+}
+
 /// Executes the work list on the packed engine and returns one outcome per
 /// item, in item order. `threads` worker threads share the compiled
 /// netlist; each owns its simulator and scratch. `lane_words` selects the
@@ -177,7 +274,8 @@ fn arm_lanes<const W: usize>(sim: &mut PackedSimulator<'_, W>, fault: Fault, lan
 ///
 /// # Panics
 ///
-/// Panics if `lane_words` is not 1, 2, 4 or 8.
+/// Panics if `lane_words` is not 1, 2, 4 or 8, or if a wave panics.
+#[cfg(test)]
 pub(crate) fn execute<T: FaultTarget>(
     target: &T,
     work: &WorkList,
@@ -192,21 +290,56 @@ pub(crate) fn execute<T: FaultTarget>(
 /// all caught on their first classified cycle steps one edge per wave,
 /// however long its scenarios are) and mask-rebuild elision (an
 /// all-`Permanent` wave rebuilds once).
+#[cfg(test)]
 pub(crate) fn execute_counting<T: FaultTarget>(
     target: &T,
     work: &WorkList,
     threads: usize,
     lane_words: usize,
 ) -> (Vec<Outcome>, WaveStats) {
-    match lane_words {
-        1 => execute_waves::<T, 1>(target, work, threads),
-        2 => execute_waves::<T, 2>(target, work, threads),
-        4 => execute_waves::<T, 4>(target, work, threads),
-        8 => execute_waves::<T, 8>(target, work, threads),
-        other => {
-            panic!("unsupported lane_words {other}: the packed engine runs W in {{1, 2, 4, 8}}")
-        }
-    }
+    let width = width_from_words(lane_words);
+    try_execute_counting(target, work, threads, width, &RunControl::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The controlled entry point behind the packed and SIMD backends: runs
+/// under `control`, admitting one wave at a time, and returns either the
+/// complete slot-ordered outcome vector or the typed error carrying the
+/// completed portion.
+pub(crate) fn try_execute<T: FaultTarget>(
+    target: &T,
+    work: &WorkList,
+    threads: usize,
+    width: LaneWidth,
+    control: &RunControl,
+) -> Result<Vec<Outcome>, CampaignError> {
+    try_execute_counting(target, work, threads, width, control).map(|(outcomes, _)| outcomes)
+}
+
+/// [`try_execute`] with the [`WaveStats`] counters.
+pub(crate) fn try_execute_counting<T: FaultTarget>(
+    target: &T,
+    work: &WorkList,
+    threads: usize,
+    width: LaneWidth,
+    control: &RunControl,
+) -> Result<(Vec<Outcome>, WaveStats), CampaignError> {
+    let run = match width.words() {
+        1 => execute_waves::<T, 1>(target, work, threads, control),
+        2 => execute_waves::<T, 2>(target, work, threads, control),
+        4 => execute_waves::<T, 4>(target, work, threads, control),
+        8 => execute_waves::<T, 8>(target, work, threads, control),
+        _ => unreachable!("LaneWidth admits only 1, 2, 4 or 8 words"),
+    };
+    finish_run(work, run)
+}
+
+/// Per-worker result of [`run_waves`]: counters, the first refused
+/// admission, and the item ranges of any caught wave panics.
+struct WorkerRun {
+    stats: WaveStats,
+    stopped: Option<StopReason>,
+    panics: Vec<(Range<usize>, String)>,
 }
 
 /// Monomorphized executor body for one wave width.
@@ -214,40 +347,70 @@ fn execute_waves<T: FaultTarget, const W: usize>(
     target: &T,
     work: &WorkList,
     threads: usize,
-) -> (Vec<Outcome>, WaveStats) {
+    control: &RunControl,
+) -> RunOutput {
     let n = work.len();
-    let mut outcomes = vec![Outcome::Masked; n];
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
     if n == 0 {
-        return (outcomes, WaveStats::default());
+        return RunOutput {
+            outcomes,
+            stats: WaveStats::default(),
+            stopped: None,
+            panics: Vec::new(),
+        };
     }
     let compiled = PackedNetlist::compile(target.module());
     let wave_lanes = LANES * W;
     let waves = n.div_ceil(wave_lanes);
     let threads = threads.max(1).min(waves);
-    let stats = if threads <= 1 {
-        run_waves::<T, W>(target, &compiled, work, 0, &mut outcomes)
+    let workers: Vec<WorkerRun> = if threads <= 1 {
+        vec![run_waves::<T, W>(
+            target,
+            &compiled,
+            work,
+            0,
+            &mut outcomes,
+            control,
+        )]
     } else {
         // Contiguous blocks of whole waves per worker; each worker writes
-        // its own disjoint outcome slice.
+        // its own disjoint outcome slice. Workers catch their own wave
+        // panics, so joins only fail on setup panics (propagated).
         let per = waves.div_ceil(threads) * wave_lanes;
-        let stepped = std::sync::atomic::AtomicU64::new(0);
-        let rebuilds = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| {
-            for (t, chunk) in outcomes.chunks_mut(per).enumerate() {
-                let (compiled, stepped, rebuilds) = (&compiled, &stepped, &rebuilds);
-                scope.spawn(move || {
-                    let s = run_waves::<T, W>(target, compiled, work, t * per, chunk);
-                    stepped.fetch_add(s.stepped, std::sync::atomic::Ordering::Relaxed);
-                    rebuilds.fetch_add(s.rebuilds, std::sync::atomic::Ordering::Relaxed);
-                });
-            }
-        });
-        WaveStats {
-            stepped: stepped.into_inner(),
-            rebuilds: rebuilds.into_inner(),
-        }
+            let handles: Vec<_> = outcomes
+                .chunks_mut(per)
+                .enumerate()
+                .map(|(t, chunk)| {
+                    let compiled = &compiled;
+                    scope.spawn(move || {
+                        run_waves::<T, W>(target, compiled, work, t * per, chunk, control)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("wave workers catch their own panics"))
+                .collect()
+        })
     };
-    (outcomes, stats)
+    let mut stats = WaveStats::default();
+    let mut stopped = None;
+    let mut panics = Vec::new();
+    for w in workers {
+        stats.stepped += w.stats.stepped;
+        stats.rebuilds += w.stats.rebuilds;
+        if stopped.is_none() {
+            stopped = w.stopped;
+        }
+        panics.extend(w.panics);
+    }
+    RunOutput {
+        outcomes,
+        stats,
+        stopped,
+        panics,
+    }
 }
 
 /// Per-wave cached scenario: the materialized schedule, the per-cycle
@@ -280,7 +443,7 @@ fn baseline_trace(sim: &mut Simulator<'_>, sc: &Scenario, n_nets: usize) -> Vec<
 
 /// Runs the items `base..base + out.len()` of the work list, one wave of
 /// up to `64 · W` injections at a time, writing trajectory verdicts into
-/// `out`.
+/// `out` (`Some` for every completed wave).
 ///
 /// Each wave simulates at most `max(lane cycles)` clock edges. Fault
 /// semantics are exactly the scalar reference of
@@ -293,13 +456,24 @@ fn baseline_trace(sim: &mut Simulator<'_>, sc: &Scenario, n_nets: usize) -> Vec<
 /// fold); dead lanes keep stepping with the wave but are neither driven,
 /// faulted nor classified, and once every lane of the wave is dead the
 /// remaining cycles are skipped entirely.
+///
+/// # Execution control
+///
+/// `control` is consulted exactly once per wave, before the wave starts;
+/// a refused admission leaves the remaining slots `None` and records the
+/// stop reason. Each wave body runs under [`catch_unwind`]: a panic
+/// (poisoned scenario, broken target) fails only that wave's item range
+/// — its slots stay `None`, the simulator scratch is wiped, and the next
+/// wave rebuilds cleanly (every wave reloads registers, re-fills its
+/// verdict buffer and re-arms masks from scratch by construction).
 fn run_waves<T: FaultTarget, const W: usize>(
     target: &T,
     compiled: &PackedNetlist,
     work: &WorkList,
     base: usize,
-    out: &mut [Outcome],
-) -> WaveStats {
+    out: &mut [Option<Outcome>],
+    control: &RunControl,
+) -> WorkerRun {
     let wave_lanes = LANES * W;
     let oracle = target.wave_oracle();
     let mut sim = PackedSimulator::<W>::new(compiled);
@@ -319,246 +493,279 @@ fn run_waves<T: FaultTarget, const W: usize>(
     // Per-slot masks of this cycle's live lanes, rebuilt every cycle.
     let mut slot_live: Vec<[u64; W]> = Vec::new();
     let mut stats = WaveStats::default();
+    let mut stopped = None;
+    let mut panics: Vec<(Range<usize>, String)> = Vec::new();
 
     let mut done = 0usize;
     while done < out.len() {
         let lanes = wave_lanes.min(out.len() - done);
-        reg_words.fill([0; W]);
-        let mut wave_cycles = 0usize;
-        for (lane, slot_out) in lane_scen.iter_mut().enumerate().take(lanes) {
-            let (scenario, _) = work.item(base + done + lane);
-            // Scenario-major ordering means consecutive lanes almost
-            // always share the wave's most recent scenario: check the last
-            // slot first and fall back to the (short) linear scan only on
-            // a miss, so resolution stays O(1) amortized even on
-            // scenario-dense protocol campaigns.
-            let slot = if scens.last().is_some_and(|s| s.index == scenario) {
-                scens.len() - 1
-            } else if let Some(i) = scens.iter().position(|s| s.index == scenario) {
-                i
-            } else {
-                let sc = target.scenario(scenario);
-                assert!(sc.cycles() >= 1, "scenario {scenario} has no cycles");
-                assert_eq!(
-                    sc.regs.len(),
-                    reg_words.len(),
-                    "scenario register preload width mismatch"
-                );
-                for inputs in &sc.inputs {
-                    assert_eq!(
-                        inputs.len(),
-                        input_words.len(),
-                        "scenario input width mismatch"
-                    );
-                }
-                let expected = if oracle.is_some() {
-                    (0..sc.cycles())
-                        .map(|c| target.expected_state(scenario, c))
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                scens.push(SlotCache {
-                    index: scenario,
-                    sc,
-                    expected,
-                    baseline: None,
-                });
-                scens.len() - 1
-            };
-            *slot_out = slot;
-            let sc = &scens[slot].sc;
-            wave_cycles = wave_cycles.max(sc.cycles());
-            let bit = lane_mask::<W>(lane);
-            for (j, &v) in sc.regs.iter().enumerate() {
-                if v {
-                    for k in 0..W {
-                        reg_words[j][k] |= bit[k];
-                    }
-                }
-            }
+        // The only control check of the engine: once per wave, off the
+        // per-gate and per-cycle hot paths.
+        if let Err(reason) = control.admit(lanes) {
+            stopped = Some(reason);
+            break;
         }
-        sim.set_register_words(&reg_words);
-        verdicts[..lanes].fill(Outcome::Masked);
-        slot_live.clear();
-        slot_live.resize(scens.len(), [0u64; W]);
-        let mut prev_live: Option<[u64; W]> = None;
-        for cycle in 0..wave_cycles {
-            // Pass 1, every cycle: liveness, input words, register flips.
-            // Flips mutate stored state (not masks), so they fire at their
-            // window start whether or not the masks are rebuilt below.
-            input_words.fill([0; W]);
-            for m in slot_live.iter_mut() {
-                *m = [0; W];
-            }
-            let mut live_words = [0u64; W];
-            let mut live = 0usize;
-            for lane in 0..lanes {
-                let slot = lane_scen[lane];
+        let wave = catch_unwind(AssertUnwindSafe(|| {
+            reg_words.fill([0; W]);
+            let mut wave_cycles = 0usize;
+            for (lane, slot_out) in lane_scen.iter_mut().enumerate().take(lanes) {
+                let (scenario, _) = work.item(base + done + lane);
+                // Scenario-major ordering means consecutive lanes almost
+                // always share the wave's most recent scenario: check the last
+                // slot first and fall back to the (short) linear scan only on
+                // a miss, so resolution stays O(1) amortized even on
+                // scenario-dense protocol campaigns.
+                let slot = if scens.last().is_some_and(|s| s.index == scenario) {
+                    scens.len() - 1
+                } else if let Some(i) = scens.iter().position(|s| s.index == scenario) {
+                    i
+                } else {
+                    let sc = target.scenario(scenario);
+                    assert!(sc.cycles() >= 1, "scenario {scenario} has no cycles");
+                    assert_eq!(
+                        sc.regs.len(),
+                        reg_words.len(),
+                        "scenario register preload width mismatch"
+                    );
+                    for inputs in &sc.inputs {
+                        assert_eq!(
+                            inputs.len(),
+                            input_words.len(),
+                            "scenario input width mismatch"
+                        );
+                    }
+                    let expected = if oracle.is_some() {
+                        (0..sc.cycles())
+                            .map(|c| target.expected_state(scenario, c))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    scens.push(SlotCache {
+                        index: scenario,
+                        sc,
+                        expected,
+                        baseline: None,
+                    });
+                    scens.len() - 1
+                };
+                *slot_out = slot;
                 let sc = &scens[slot].sc;
-                if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
-                    // Dead lane: past its trajectory, or its verdict is
-                    // already terminal — skip driving and faulting it.
-                    continue;
-                }
-                live += 1;
+                wave_cycles = wave_cycles.max(sc.cycles());
                 let bit = lane_mask::<W>(lane);
-                for k in 0..W {
-                    live_words[k] |= bit[k];
-                    slot_live[slot][k] |= bit[k];
-                }
-                for (j, &v) in sc.inputs[cycle].iter().enumerate() {
+                for (j, &v) in sc.regs.iter().enumerate() {
                     if v {
                         for k in 0..W {
-                            input_words[j][k] |= bit[k];
-                        }
-                    }
-                }
-                if sc.timing.flip_cycle() == cycle {
-                    let (_, faults) = work.item(base + done + lane);
-                    for &f in faults {
-                        if matches!(f.site, FaultSite::Register(_)) {
-                            arm_lanes(&mut sim, f, bit);
+                            reg_words[j][k] |= bit[k];
                         }
                     }
                 }
             }
-            if live == 0 {
-                // Every lane's verdict is settled: skip the wave's
-                // remaining cycles outright.
-                break;
-            }
-            // Pass 2: rebuild the net/pin fault masks only when the armed
-            // set can have changed — the live set moved, or a live
-            // scenario's fault window opened or closed since the previous
-            // cycle. All-`Permanent` waves with a stable live set arm
-            // their masks exactly once.
-            let windows_moved = cycle == 0
-                || scens.iter().zip(&slot_live).any(|(s, m)| {
-                    m.iter().any(|&w| w != 0)
-                        && s.sc.timing.armed_at(cycle) != s.sc.timing.armed_at(cycle - 1)
-                });
-            if windows_moved || prev_live != Some(live_words) {
-                stats.rebuilds += 1;
-                sim.clear_faults();
+            sim.set_register_words(&reg_words);
+            verdicts[..lanes].fill(Outcome::Masked);
+            slot_live.clear();
+            slot_live.resize(scens.len(), [0u64; W]);
+            let mut prev_live: Option<[u64; W]> = None;
+            for cycle in 0..wave_cycles {
+                // Pass 1, every cycle: liveness, input words, register flips.
+                // Flips mutate stored state (not masks), so they fire at their
+                // window start whether or not the masks are rebuilt below.
+                input_words.fill([0; W]);
+                for m in slot_live.iter_mut() {
+                    *m = [0; W];
+                }
+                let mut live_words = [0u64; W];
+                let mut live = 0usize;
                 for lane in 0..lanes {
-                    let sc = &scens[lane_scen[lane]].sc;
-                    if cycle >= sc.cycles()
-                        || verdicts[lane] == Outcome::Detected
-                        || !sc.timing.armed_at(cycle)
-                    {
+                    let slot = lane_scen[lane];
+                    let sc = &scens[slot].sc;
+                    if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
+                        // Dead lane: past its trajectory, or its verdict is
+                        // already terminal — skip driving and faulting it.
                         continue;
                     }
+                    live += 1;
                     let bit = lane_mask::<W>(lane);
-                    let (_, faults) = work.item(base + done + lane);
-                    for &f in faults {
-                        if !matches!(f.site, FaultSite::Register(_)) {
-                            arm_lanes(&mut sim, f, bit);
+                    for k in 0..W {
+                        live_words[k] |= bit[k];
+                        slot_live[slot][k] |= bit[k];
+                    }
+                    for (j, &v) in sc.inputs[cycle].iter().enumerate() {
+                        if v {
+                            for k in 0..W {
+                                input_words[j][k] |= bit[k];
+                            }
+                        }
+                    }
+                    if sc.timing.flip_cycle() == cycle {
+                        let (_, faults) = work.item(base + done + lane);
+                        for &f in faults {
+                            if matches!(f.site, FaultSite::Register(_)) {
+                                arm_lanes(&mut sim, f, bit);
+                            }
                         }
                     }
                 }
-            }
-            prev_live = Some(live_words);
-            if sim.has_faults() {
-                sim.step_into(&input_words, &mut out_words);
-            } else {
-                // Incremental re-simulation: with no masks armed
-                // (register-flip campaigns, pre-/post-window cycles of
-                // transient schedules) every lane is a fault-free run plus
-                // a sparse state divergence, so the settle can skip every
-                // op whose inputs sit on the baseline in all live lanes.
-                // Any wave scenario's trace serves as the reference point
-                // — lanes from other scenarios simply seed divergence at
-                // the sources — so use the slot with the most live lanes.
-                let slot = slot_live
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, m)| m.iter().map(|w| w.count_ones()).sum::<u32>())
-                    .map(|(i, _)| i)
-                    .expect("a live lane exists");
-                let entry = &mut scens[slot];
-                let trace = entry.baseline.get_or_insert_with(|| {
-                    baseline_trace(&mut base_sim, &entry.sc, compiled.len())
-                });
-                sim.step_into_pruned(
-                    &input_words,
-                    &trace[cycle],
-                    live_words,
-                    &mut activity,
-                    &mut out_words,
-                );
-            }
-            stats.stepped += 1;
-            match &oracle {
-                Some(oracle) => {
-                    // Word-parallel classification: decode whole 64-lane
-                    // words against the precompiled codebook and alert
-                    // masks; only Detected/Hijack lanes are touched
-                    // (Masked is the fold identity).
-                    let regs = sim.register_words();
-                    for w in 0..W {
-                        if live_words[w] == 0 {
+                if live == 0 {
+                    // Every lane's verdict is settled: skip the wave's
+                    // remaining cycles outright.
+                    break;
+                }
+                // Pass 2: rebuild the net/pin fault masks only when the armed
+                // set can have changed — the live set moved, or a live
+                // scenario's fault window opened or closed since the previous
+                // cycle. All-`Permanent` waves with a stable live set arm
+                // their masks exactly once.
+                let windows_moved = cycle == 0
+                    || scens.iter().zip(&slot_live).any(|(s, m)| {
+                        m.iter().any(|&w| w != 0)
+                            && s.sc.timing.armed_at(cycle) != s.sc.timing.armed_at(cycle - 1)
+                    });
+                if windows_moved || prev_live != Some(live_words) {
+                    stats.rebuilds += 1;
+                    sim.clear_faults();
+                    for lane in 0..lanes {
+                        let sc = &scens[lane_scen[lane]].sc;
+                        if cycle >= sc.cycles()
+                            || verdicts[lane] == Outcome::Detected
+                            || !sc.timing.armed_at(cycle)
+                        {
                             continue;
                         }
-                        let det_base = oracle.detected_word(w, regs, &out_words);
-                        for (slot, masks) in scens.iter().zip(&slot_live) {
-                            let group = masks[w];
-                            if group == 0 {
+                        let bit = lane_mask::<W>(lane);
+                        let (_, faults) = work.item(base + done + lane);
+                        for &f in faults {
+                            if !matches!(f.site, FaultSite::Register(_)) {
+                                arm_lanes(&mut sim, f, bit);
+                            }
+                        }
+                    }
+                }
+                prev_live = Some(live_words);
+                if sim.has_faults() {
+                    sim.step_into(&input_words, &mut out_words);
+                } else {
+                    // Incremental re-simulation: with no masks armed
+                    // (register-flip campaigns, pre-/post-window cycles of
+                    // transient schedules) every lane is a fault-free run plus
+                    // a sparse state divergence, so the settle can skip every
+                    // op whose inputs sit on the baseline in all live lanes.
+                    // Any wave scenario's trace serves as the reference point
+                    // — lanes from other scenarios simply seed divergence at
+                    // the sources — so use the slot with the most live lanes.
+                    let slot = slot_live
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, m)| m.iter().map(|w| w.count_ones()).sum::<u32>())
+                        .map(|(i, _)| i)
+                        .expect("a live lane exists");
+                    let entry = &mut scens[slot];
+                    let trace = entry.baseline.get_or_insert_with(|| {
+                        baseline_trace(&mut base_sim, &entry.sc, compiled.len())
+                    });
+                    sim.step_into_pruned(
+                        &input_words,
+                        &trace[cycle],
+                        live_words,
+                        &mut activity,
+                        &mut out_words,
+                    );
+                }
+                stats.stepped += 1;
+                match &oracle {
+                    Some(oracle) => {
+                        // Word-parallel classification: decode whole 64-lane
+                        // words against the precompiled codebook and alert
+                        // masks; only Detected/Hijack lanes are touched
+                        // (Masked is the fold identity).
+                        let regs = sim.register_words();
+                        for w in 0..W {
+                            if live_words[w] == 0 {
                                 continue;
                             }
-                            let (det, hij) = oracle.classify_word(
-                                det_base,
-                                slot.expected[cycle],
-                                w,
-                                group,
-                                regs,
-                            );
-                            let mut bits = det;
-                            while bits != 0 {
-                                let lane = w * LANES + bits.trailing_zeros() as usize;
-                                verdicts[lane] = Outcome::Detected;
-                                bits &= bits - 1;
-                            }
-                            // Live lanes are never Detected, so the fold
-                            // of Hijack is Hijack.
-                            let mut bits = hij;
-                            while bits != 0 {
-                                let lane = w * LANES + bits.trailing_zeros() as usize;
-                                verdicts[lane] = Outcome::Hijack;
-                                bits &= bits - 1;
+                            let det_base = oracle.detected_word(w, regs, &out_words);
+                            for (slot, masks) in scens.iter().zip(&slot_live) {
+                                let group = masks[w];
+                                if group == 0 {
+                                    continue;
+                                }
+                                let (det, hij) = oracle.classify_word(
+                                    det_base,
+                                    slot.expected[cycle],
+                                    w,
+                                    group,
+                                    regs,
+                                );
+                                let mut bits = det;
+                                while bits != 0 {
+                                    let lane = w * LANES + bits.trailing_zeros() as usize;
+                                    verdicts[lane] = Outcome::Detected;
+                                    bits &= bits - 1;
+                                }
+                                // Live lanes are never Detected, so the fold
+                                // of Hijack is Hijack.
+                                let mut bits = hij;
+                                while bits != 0 {
+                                    let lane = w * LANES + bits.trailing_zeros() as usize;
+                                    verdicts[lane] = Outcome::Hijack;
+                                    bits &= bits - 1;
+                                }
                             }
                         }
                     }
-                }
-                None => {
-                    for lane in 0..lanes {
-                        let slot = lane_scen[lane];
-                        let sc = &scens[slot].sc;
-                        if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
-                            continue;
+                    None => {
+                        for lane in 0..lanes {
+                            let slot = lane_scen[lane];
+                            let sc = &scens[slot].sc;
+                            if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
+                                continue;
+                            }
+                            extract_lane(sim.register_words(), lane, &mut reg_bits);
+                            extract_lane(&out_words, lane, &mut out_bits);
+                            verdicts[lane] = verdicts[lane].fold(target.classify(
+                                scens[slot].index,
+                                cycle,
+                                &reg_bits,
+                                &out_bits,
+                            ));
                         }
-                        extract_lane(sim.register_words(), lane, &mut reg_bits);
-                        extract_lane(&out_words, lane, &mut out_bits);
-                        verdicts[lane] = verdicts[lane].fold(target.classify(
-                            scens[slot].index,
-                            cycle,
-                            &reg_bits,
-                            &out_bits,
-                        ));
                     }
                 }
             }
-        }
-        out[done..done + lanes].copy_from_slice(&verdicts[..lanes]);
-        // Keep only the most recent scenario for the next wave.
-        if scens.len() > 1 {
-            let last = scens.pop().expect("nonempty");
-            scens.clear();
-            scens.push(last);
+        }));
+        match wave {
+            Ok(()) => {
+                for (slot, &v) in out[done..done + lanes]
+                    .iter_mut()
+                    .zip(verdicts[..lanes].iter())
+                {
+                    *slot = Some(v);
+                }
+                // Keep only the most recent scenario for the next wave.
+                if scens.len() > 1 {
+                    let last = scens.pop().expect("nonempty");
+                    scens.clear();
+                    scens.push(last);
+                }
+            }
+            Err(payload) => {
+                // Isolate the poisoned wave: record its item range (slots
+                // stay `None`), wipe the scratch it may have half-armed
+                // (fault masks, scenario caches) and continue — the next
+                // wave reloads registers, verdicts and masks from scratch
+                // by construction, so it is unaffected.
+                panics.push((base + done..base + done + lanes, panic_message(payload)));
+                sim.clear_faults();
+                scens.clear();
+            }
         }
         done += lanes;
     }
-    stats
+    WorkerRun {
+        stats,
+        stopped,
+        panics,
+    }
 }
 
 #[cfg(test)]
@@ -619,13 +826,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported lane_words")]
+    #[should_panic(expected = "lane_words must be 1, 2 or 4")]
     fn unsupported_widths_are_rejected() {
         let f = target_fsm();
         let h = harden(&f, &ScfiConfig::new(2)).unwrap();
         let t = ScfiTarget::new(&h);
         let work = WorkList::with_capacity(0);
         let _ = execute(&t, &work, 1, 3);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_scenario_index_is_a_typed_overflow() {
+        let mut w = WorkList::with_capacity(1);
+        let err = w
+            .try_push(u32::MAX as usize + 1, &[])
+            .expect_err("overflow");
+        assert!(matches!(err, CampaignError::WorkListOverflow { .. }));
+        assert!(err.to_string().contains("split the campaign"));
+        assert!(w.is_empty(), "failed push must not mutate the list");
     }
 
     /// Lanes of *different* trajectory lengths inside the same wave: mix

@@ -25,6 +25,52 @@
 //! where garbage collection would pay for itself.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Why a budgeted BDD operation stopped early.
+///
+/// Raised by the `try_*` operations of a [`Bdd`] whose node budget, step
+/// limit or deadline (see [`Bdd::set_node_budget`], [`Bdd::set_step_limit`],
+/// [`Bdd::set_deadline`]) was exhausted mid-operation. An unbudgeted
+/// manager never raises it. The certifier maps every variant to
+/// [`Verdict::Unknown`](crate::Verdict::Unknown) — a budget overflow is
+/// *never* turned into a fabricated proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BddOverflow {
+    /// The node arena reached the configured cap; the operation would have
+    /// allocated past it.
+    Nodes {
+        /// The configured node budget.
+        limit: usize,
+    },
+    /// The operation-step counter passed the configured cap.
+    Steps {
+        /// The configured step limit.
+        limit: u64,
+    },
+    /// The wall-clock deadline expired mid-operation.
+    Deadline,
+}
+
+impl fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddOverflow::Nodes { limit } => {
+                write!(f, "BDD node budget exhausted (limit {limit} nodes)")
+            }
+            BddOverflow::Steps { limit } => {
+                write!(
+                    f,
+                    "BDD operation-step limit exhausted (limit {limit} steps)"
+                )
+            }
+            BddOverflow::Deadline => write!(f, "BDD deadline expired"),
+        }
+    }
+}
+
+impl std::error::Error for BddOverflow {}
 
 /// A handle to a BDD node — and, by canonicity, to a Boolean function.
 ///
@@ -84,7 +130,21 @@ pub struct Bdd {
     nodes: Vec<Node>,
     unique: HashMap<(u32, u32, u32), u32>,
     ite_memo: HashMap<(u32, u32, u32), u32>,
+    /// Node-arena cap; allocations past it raise [`BddOverflow::Nodes`].
+    max_nodes: Option<usize>,
+    /// Operation-step cap (recursive `ite`/`exists`/`rename` invocations
+    /// since the last [`Bdd::reset_steps`]).
+    max_steps: Option<u64>,
+    /// Wall-clock deadline, checked every 4096 steps.
+    deadline: Option<Instant>,
+    steps: u64,
 }
+
+/// How many operation steps pass between wall-clock deadline checks:
+/// `Instant::now` is far too expensive per recursive `ite` call, and a few
+/// thousand steps complete in microseconds, so the deadline overshoot is
+/// negligible.
+const DEADLINE_CHECK_INTERVAL: u64 = 4096;
 
 impl Default for Bdd {
     fn default() -> Self {
@@ -110,6 +170,10 @@ impl Bdd {
             ],
             unique: HashMap::new(),
             ite_memo: HashMap::new(),
+            max_nodes: None,
+            max_steps: None,
+            deadline: None,
+            steps: 0,
         }
     }
 
@@ -117,6 +181,59 @@ impl Bdd {
     /// memory/health metric for benches and reports.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Caps the node arena at `limit` nodes: any `try_*` operation that
+    /// would allocate past it raises [`BddOverflow::Nodes`]. The budget is
+    /// cumulative over the manager's lifetime (nodes are never freed).
+    pub fn set_node_budget(&mut self, limit: usize) {
+        self.max_nodes = Some(limit);
+    }
+
+    /// Caps the operation-step counter: once more than `limit` recursive
+    /// operation steps have run since the last
+    /// [`reset_steps`](Self::reset_steps), `try_*` operations raise
+    /// [`BddOverflow::Steps`]. Reset the counter per unit of work to make
+    /// the limit per-unit rather than cumulative.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.max_steps = Some(limit);
+    }
+
+    /// Sets an absolute wall-clock deadline, checked every few thousand
+    /// operation steps; `try_*` operations past it raise
+    /// [`BddOverflow::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Operation steps executed since construction or the last
+    /// [`reset_steps`](Self::reset_steps).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Zeroes the operation-step counter (the deadline and node budget are
+    /// unaffected). Called by the certifier before each site so the step
+    /// limit bounds one site's work, not the whole report's.
+    pub fn reset_steps(&mut self) {
+        self.steps = 0;
+    }
+
+    /// Counts one operation step against the step limit and (periodically)
+    /// the deadline.
+    fn step(&mut self) -> Result<(), BddOverflow> {
+        self.steps += 1;
+        if let Some(limit) = self.max_steps {
+            if self.steps > limit {
+                return Err(BddOverflow::Steps { limit });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
+                return Err(BddOverflow::Deadline);
+            }
+        }
+        Ok(())
     }
 
     /// The constant function for `value`.
@@ -129,28 +246,59 @@ impl Bdd {
     }
 
     /// The single-variable function `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if a configured budget
+    /// is exhausted; use [`try_var`](Self::try_var) under budgets.
     pub fn var(&mut self, v: u32) -> BddRef {
-        BddRef(self.mk(v, 0, 1))
+        self.try_var(v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`var`](Self::var), surfacing budget exhaustion as [`BddOverflow`].
+    pub fn try_var(&mut self, v: u32) -> Result<BddRef, BddOverflow> {
+        Ok(BddRef(self.mk(v, 0, 1)?))
     }
 
     /// The negated single-variable function `!v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if a configured budget
+    /// is exhausted; use [`try_nvar`](Self::try_nvar) under budgets.
     pub fn nvar(&mut self, v: u32) -> BddRef {
-        BddRef(self.mk(v, 1, 0))
+        self.try_nvar(v).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Hash-consed node constructor; collapses redundant tests.
-    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+    /// [`nvar`](Self::nvar), surfacing budget exhaustion as
+    /// [`BddOverflow`].
+    pub fn try_nvar(&mut self, v: u32) -> Result<BddRef, BddOverflow> {
+        Ok(BddRef(self.mk(v, 1, 0)?))
+    }
+
+    /// Hash-consed node constructor; collapses redundant tests. A lookup
+    /// hit is always free; only a genuinely new node is charged against
+    /// the node budget.
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, BddOverflow> {
         if lo == hi {
-            return lo;
+            return Ok(lo);
         }
         debug_assert!(
             var < self.nodes[lo as usize].var && var < self.nodes[hi as usize].var,
             "mk would violate the variable order"
         );
-        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
-            self.nodes.push(Node { var, lo, hi });
-            (self.nodes.len() - 1) as u32
-        })
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return Ok(n);
+        }
+        if let Some(limit) = self.max_nodes {
+            if self.nodes.len() >= limit {
+                return Err(BddOverflow::Nodes { limit });
+            }
+        }
+        let n = (self.nodes.len()) as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), n);
+        Ok(n)
     }
 
     /// Cofactor of `f` with respect to `var` when `f`'s root tests `var`.
@@ -165,27 +313,42 @@ impl Bdd {
 
     /// If-then-else: the function `if f then g else h`, computed by
     /// Shannon expansion on the topmost variable with memoization.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if a configured budget
+    /// is exhausted; use [`try_ite`](Self::try_ite) under budgets.
     pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
-        BddRef(self.ite_raw(f.0, g.0, h.0))
+        self.try_ite(f, g, h).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn ite_raw(&mut self, f: u32, g: u32, h: u32) -> u32 {
+    /// [`ite`](Self::ite), surfacing budget exhaustion as [`BddOverflow`]
+    /// instead of panicking. On an unbudgeted manager this never fails.
+    /// A failed operation leaves the manager consistent (every node and
+    /// memo entry it created is a valid, fully reduced function); the
+    /// caller may keep using the manager or retry with a larger budget.
+    pub fn try_ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, BddOverflow> {
+        Ok(BddRef(self.ite_raw(f.0, g.0, h.0)?))
+    }
+
+    fn ite_raw(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddOverflow> {
         // Terminal short-circuits.
         if f == 1 {
-            return g;
+            return Ok(g);
         }
         if f == 0 {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == 1 && h == 0 {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let top = self.nodes[f as usize]
             .var
             .min(self.nodes[g as usize].var)
@@ -193,11 +356,11 @@ impl Bdd {
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
-        let lo = self.ite_raw(f0, g0, h0);
-        let hi = self.ite_raw(f1, g1, h1);
-        let r = self.mk(top, lo, hi);
+        let lo = self.ite_raw(f0, g0, h0)?;
+        let hi = self.ite_raw(f1, g1, h1)?;
+        let r = self.mk(top, lo, hi)?;
         self.ite_memo.insert((f, g, h), r);
-        r
+        Ok(r)
     }
 
     /// Logical negation.
@@ -205,14 +368,29 @@ impl Bdd {
         self.ite(f, BddRef::FALSE, BddRef::TRUE)
     }
 
+    /// Fallible [`not`](Self::not).
+    pub fn try_not(&mut self, f: BddRef) -> Result<BddRef, BddOverflow> {
+        self.try_ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
     /// Logical conjunction.
     pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
         self.ite(f, g, BddRef::FALSE)
     }
 
+    /// Fallible [`and`](Self::and).
+    pub fn try_and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        self.try_ite(f, g, BddRef::FALSE)
+    }
+
     /// Logical disjunction.
     pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
         self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Fallible [`or`](Self::or).
+    pub fn try_or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        self.try_ite(f, BddRef::TRUE, g)
     }
 
     /// Exclusive or.
@@ -221,10 +399,22 @@ impl Bdd {
         self.ite(f, ng, g)
     }
 
+    /// Fallible [`xor`](Self::xor).
+    pub fn try_xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, ng, g)
+    }
+
     /// Equivalence (`!(f ^ g)`).
     pub fn xnor(&mut self, f: BddRef, g: BddRef) -> BddRef {
         let ng = self.not(g);
         self.ite(f, g, ng)
+    }
+
+    /// Fallible [`xnor`](Self::xnor).
+    pub fn try_xnor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, g, ng)
     }
 
     /// Negated conjunction.
@@ -233,16 +423,33 @@ impl Bdd {
         self.ite(f, ng, BddRef::TRUE)
     }
 
+    /// Fallible [`nand`](Self::nand).
+    pub fn try_nand(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, ng, BddRef::TRUE)
+    }
+
     /// Negated disjunction.
     pub fn nor(&mut self, f: BddRef, g: BddRef) -> BddRef {
         let ng = self.not(g);
         self.ite(f, BddRef::FALSE, ng)
     }
 
+    /// Fallible [`nor`](Self::nor).
+    pub fn try_nor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddOverflow> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, BddRef::FALSE, ng)
+    }
+
     /// 2:1 multiplexer with the netlist's pin convention:
     /// `sel ? b : a`.
     pub fn mux(&mut self, sel: BddRef, a: BddRef, b: BddRef) -> BddRef {
         self.ite(sel, b, a)
+    }
+
+    /// Fallible [`mux`](Self::mux).
+    pub fn try_mux(&mut self, sel: BddRef, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
+        self.try_ite(sel, b, a)
     }
 
     /// Evaluates `f` under a total assignment (`assignment[v]` is the value
@@ -269,38 +476,56 @@ impl Bdd {
     /// `vars` must be sorted ascending (asserted in debug builds); the
     /// per-call memo keys on the node alone, which is sound because the
     /// variable set is fixed for the whole call.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if a configured budget
+    /// is exhausted; use [`try_exists`](Self::try_exists) under budgets.
     pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> BddRef {
+        self.try_exists(f, vars).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`exists`](Self::exists), surfacing budget exhaustion as
+    /// [`BddOverflow`].
+    pub fn try_exists(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef, BddOverflow> {
         debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
         let mut memo = HashMap::new();
         let last = match vars.last() {
             Some(&v) => v,
-            None => return f,
+            None => return Ok(f),
         };
-        BddRef(self.exists_raw(f.0, vars, last, &mut memo))
+        Ok(BddRef(self.exists_raw(f.0, vars, last, &mut memo)?))
     }
 
-    fn exists_raw(&mut self, f: u32, vars: &[u32], last: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+    fn exists_raw(
+        &mut self,
+        f: u32,
+        vars: &[u32],
+        last: u32,
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddOverflow> {
         if f <= 1 {
-            return f;
+            return Ok(f);
         }
         let var = self.nodes[f as usize].var;
         if var > last {
             // Every quantified variable lies above this node.
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let Node { lo, hi, .. } = self.nodes[f as usize];
-        let lo_q = self.exists_raw(lo, vars, last, memo);
-        let hi_q = self.exists_raw(hi, vars, last, memo);
+        let lo_q = self.exists_raw(lo, vars, last, memo)?;
+        let hi_q = self.exists_raw(hi, vars, last, memo)?;
         let r = if vars.binary_search(&var).is_ok() {
-            self.ite_raw(lo_q, 1, hi_q) // or
+            self.ite_raw(lo_q, 1, hi_q)? // or
         } else {
-            self.mk(var, lo_q, hi_q)
+            self.mk(var, lo_q, hi_q)?
         };
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 
     /// Renames every variable `v` tested by `f` to `map(v)`.
@@ -312,9 +537,24 @@ impl Bdd {
     /// variables sit directly below their unprimed partners, so the
     /// primed→unprimed shift is order-preserving. Violations are caught
     /// by the `mk` order assertion in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if a configured budget
+    /// is exhausted; use [`try_rename`](Self::try_rename) under budgets.
     pub fn rename(&mut self, f: BddRef, map: &impl Fn(u32) -> u32) -> BddRef {
+        self.try_rename(f, map).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`rename`](Self::rename), surfacing budget exhaustion as
+    /// [`BddOverflow`].
+    pub fn try_rename(
+        &mut self,
+        f: BddRef,
+        map: &impl Fn(u32) -> u32,
+    ) -> Result<BddRef, BddOverflow> {
         let mut memo = HashMap::new();
-        BddRef(self.rename_raw(f.0, map, &mut memo))
+        Ok(BddRef(self.rename_raw(f.0, map, &mut memo)?))
     }
 
     fn rename_raw(
@@ -322,19 +562,20 @@ impl Bdd {
         f: u32,
         map: &impl Fn(u32) -> u32,
         memo: &mut HashMap<u32, u32>,
-    ) -> u32 {
+    ) -> Result<u32, BddOverflow> {
         if f <= 1 {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let Node { var, lo, hi } = self.nodes[f as usize];
-        let lo_r = self.rename_raw(lo, map, memo);
-        let hi_r = self.rename_raw(hi, map, memo);
-        let r = self.mk(map(var), lo_r, hi_r);
+        let lo_r = self.rename_raw(lo, map, memo)?;
+        let hi_r = self.rename_raw(hi, map, memo)?;
+        let r = self.mk(map(var), lo_r, hi_r)?;
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 
     /// One satisfying assignment of `f` as `(variable, value)` pairs for
@@ -568,6 +809,99 @@ mod tests {
         let f = b.xor(x, y);
         assert_eq!(b.size(f), 5); // two terminals, one var-0 node, two var-1 nodes
         assert!(b.node_count() >= 5);
+    }
+
+    #[test]
+    fn node_budget_stops_allocation_but_keeps_the_manager_usable() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let before = b.node_count();
+        b.set_node_budget(before); // no headroom at all
+                                   // Hash-consed hits stay free under a zero-headroom budget…
+        assert_eq!(b.try_var(0), Ok(x));
+        // …while a genuinely new node overflows with the configured limit.
+        let err = b.try_and(x, y).unwrap_err();
+        assert_eq!(err, BddOverflow::Nodes { limit: before });
+        assert_eq!(b.node_count(), before, "failed op must not leak nodes");
+        // Raising the budget un-wedges the same operation.
+        b.set_node_budget(before + 16);
+        let f = b.try_and(x, y).expect("fits in the raised budget");
+        assert!(b.eval(f, &[true, true]));
+    }
+
+    #[test]
+    fn step_limit_bounds_one_unit_of_work() {
+        let mut b = Bdd::new();
+        b.set_step_limit(2);
+        // A wide xor chain needs far more than two Shannon expansions.
+        let mut acc = b.try_var(0).unwrap();
+        let mut overflowed = false;
+        for v in 1..12 {
+            let x = b.try_var(v).unwrap();
+            match b.try_xor(acc, x) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    assert_eq!(e, BddOverflow::Steps { limit: 2 });
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "2 steps cannot build a 12-variable xor");
+        // reset_steps makes the limit per-unit: small ops fit again.
+        b.reset_steps();
+        assert!(b.steps() == 0);
+        let x = b.try_var(20).unwrap();
+        let y = b.try_var(21).unwrap();
+        b.try_and(x, y).expect("fresh budget for a fresh site");
+    }
+
+    #[test]
+    fn expired_deadline_fails_after_the_check_interval() {
+        let mut b = Bdd::new();
+        b.set_deadline(std::time::Instant::now());
+        // The deadline is only polled every DEADLINE_CHECK_INTERVAL steps,
+        // so grind out enough work to guarantee several polls.
+        let mut acc = b.try_var(0).unwrap();
+        let mut result = Ok(());
+        for v in 1..512 {
+            let x = b.try_var(v).unwrap();
+            match b.try_xor(acc, x) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(result, Err(BddOverflow::Deadline));
+    }
+
+    #[test]
+    fn overflow_messages_name_the_budget() {
+        assert_eq!(
+            BddOverflow::Nodes { limit: 7 }.to_string(),
+            "BDD node budget exhausted (limit 7 nodes)"
+        );
+        assert_eq!(
+            BddOverflow::Steps { limit: 9 }.to_string(),
+            "BDD operation-step limit exhausted (limit 9 steps)"
+        );
+        assert_eq!(BddOverflow::Deadline.to_string(), "BDD deadline expired");
+    }
+
+    #[test]
+    fn unbudgeted_managers_never_overflow() {
+        let mut b = Bdd::new();
+        let mut acc = BddRef::FALSE;
+        for v in 0..32 {
+            let x = b.try_var(v).unwrap();
+            acc = b.try_xor(acc, x).expect("no budget, no overflow");
+        }
+        let vars: Vec<u32> = (0..32).collect();
+        assert!(b.try_exists(acc, &vars).is_ok());
+        assert!(b.try_rename(acc, &|v| v).is_ok());
     }
 
     #[test]

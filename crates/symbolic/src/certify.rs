@@ -25,9 +25,14 @@
 //! The verdict vocabulary mirrors the campaign outcome classes
 //! ([`Outcome`](scfi_faultsim::Outcome)): `ProvenMasked` (the fault is
 //! never observable), `ProvenDetected` (observable somewhere, caught
-//! everywhere), `Counterexample` (an escaping assignment exists).
+//! everywhere), `Counterexample` (an escaping assignment exists) — plus
+//! `Unknown`, the graceful-degradation verdict of a budgeted certifier
+//! ([`CertifyBudget`]) whose BDD budget ran out mid-site. An `Unknown`
+//! site carries the overflow reason and is *never* counted as proven;
+//! callers fall back to exhaustive campaign sampling for those sites.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use scfi_core::{HardenedFsm, RedundantFsm, StateDecode};
 use scfi_fsm::LoweredFsm;
@@ -35,9 +40,9 @@ use scfi_netlist::{Module, Simulator};
 
 use scfi_faultsim::{Fault, FaultEffect, FaultSite};
 
-use crate::bdd::{Bdd, BddRef};
+use crate::bdd::{Bdd, BddOverflow, BddRef};
 use crate::eval::{SymStep, SymbolicEvaluator};
-use crate::reach::{reachable_states, Reachability};
+use crate::reach::{try_reachable_states, Reachability};
 
 /// A protected (or deliberately unprotected) netlist the certifier can
 /// reason about: the module plus the configuration-specific detection
@@ -55,7 +60,11 @@ pub trait CertifyModel {
     /// landing on a valid operational codeword for SCFI, replica banks
     /// agreeing for redundancy, `TRUE` for the unprotected lowering
     /// (which has no decode-level detection at all).
-    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> BddRef;
+    ///
+    /// Fallible so a budgeted manager (see [`CertifyBudget`]) can surface
+    /// [`BddOverflow`] mid-construction; on an unbudgeted manager the
+    /// `try_*` BDD operations never fail.
+    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> Result<BddRef, BddOverflow>;
 
     /// The input-space assumption the certification quantifies under,
     /// over the module's input-port functions `inputs`.
@@ -68,9 +77,9 @@ pub trait CertifyModel {
     /// restrict `xe` to valid condition codewords; the unprotected
     /// lowering takes raw control signals, where every word is legal
     /// (default: no restriction).
-    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> BddRef {
+    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> Result<BddRef, BddOverflow> {
         let _ = inputs;
-        b.constant(true)
+        Ok(b.constant(true))
     }
 
     /// Concrete counterpart of [`CertifyModel::undetected_next`].
@@ -86,18 +95,22 @@ pub trait CertifyModel {
 }
 
 /// Builds the disjunction of exact-word matches `⋁_w (next == w)`.
-fn word_match_any(b: &mut Bdd, next: &[BddRef], words: &[Vec<bool>]) -> BddRef {
+fn word_match_any(
+    b: &mut Bdd,
+    next: &[BddRef],
+    words: &[Vec<bool>],
+) -> Result<BddRef, BddOverflow> {
     let mut any = BddRef::FALSE;
     for word in words {
         debug_assert_eq!(word.len(), next.len(), "codeword width mismatch");
         let mut cube = BddRef::TRUE;
         for (&bit, &value) in next.iter().zip(word) {
-            let lit = if value { bit } else { b.not(bit) };
-            cube = b.and(cube, lit);
+            let lit = if value { bit } else { b.try_not(bit)? };
+            cube = b.try_and(cube, lit)?;
         }
-        any = b.or(any, cube);
+        any = b.try_or(any, cube)?;
     }
-    any
+    Ok(any)
 }
 
 impl CertifyModel for HardenedFsm {
@@ -105,7 +118,7 @@ impl CertifyModel for HardenedFsm {
         HardenedFsm::module(self)
     }
 
-    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> BddRef {
+    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> Result<BddRef, BddOverflow> {
         // Escaping means landing on some *operational* codeword; the
         // all-zero ERROR word and every non-codeword are caught by the
         // decode (`StateDecode::Error` / `Invalid`).
@@ -119,7 +132,7 @@ impl CertifyModel for HardenedFsm {
         matches!(self.decode_registers(next), StateDecode::State(_))
     }
 
-    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> BddRef {
+    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> Result<BddRef, BddOverflow> {
         let words: Vec<Vec<bool>> = (0..self.cond_code().len())
             .map(|c| self.cond_code().word(c).iter().collect())
             .collect();
@@ -141,7 +154,7 @@ impl CertifyModel for RedundantFsm {
         RedundantFsm::module(self)
     }
 
-    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> BddRef {
+    fn undetected_next(&self, b: &mut Bdd, next: &[BddRef]) -> Result<BddRef, BddOverflow> {
         // Escaping the redundancy scheme means every replica bank agrees
         // with bank 0 after the step — the mismatch detector (evaluated
         // on the post-step banks, exactly like the campaign classifier)
@@ -150,11 +163,11 @@ impl CertifyModel for RedundantFsm {
         let mut agree = BddRef::TRUE;
         for bank in next.chunks(sb).skip(1) {
             for (&a, &c) in next[..sb].iter().zip(bank) {
-                let eq = b.xnor(a, c);
-                agree = b.and(agree, eq);
+                let eq = b.try_xnor(a, c)?;
+                agree = b.try_and(agree, eq)?;
             }
         }
-        agree
+        Ok(agree)
     }
 
     fn undetected_next_concrete(&self, next: &[bool]) -> bool {
@@ -162,7 +175,7 @@ impl CertifyModel for RedundantFsm {
         next.chunks(sb).skip(1).all(|bank| bank == &next[..sb])
     }
 
-    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> BddRef {
+    fn input_assumption(&self, b: &mut Bdd, inputs: &[BddRef]) -> Result<BddRef, BddOverflow> {
         // Same protected control interface as SCFI (§6.1): the driving
         // domain delivers valid HD-N condition codewords.
         let words: Vec<Vec<bool>> = (0..self.cond_code().len())
@@ -185,8 +198,8 @@ impl CertifyModel for LoweredFsm {
         LoweredFsm::module(self)
     }
 
-    fn undetected_next(&self, b: &mut Bdd, _next: &[BddRef]) -> BddRef {
-        b.constant(true) // no detection mechanism exists
+    fn undetected_next(&self, b: &mut Bdd, _next: &[BddRef]) -> Result<BddRef, BddOverflow> {
+        Ok(b.constant(true)) // no detection mechanism exists
     }
 
     fn undetected_next_concrete(&self, _next: &[bool]) -> bool {
@@ -229,12 +242,22 @@ pub enum Verdict {
     /// Refutation: the witness assignment drives the faulty run into a
     /// valid-but-wrong next state with every detection line low.
     Counterexample(Witness),
+    /// Degradation: the certifier's BDD budget ([`CertifyBudget`]) ran
+    /// out before this site was decided. The site is *not* proven and
+    /// *not* refuted — callers fall back to exhaustive campaign sampling
+    /// for it. A budget overflow is never converted into a proof.
+    Unknown {
+        /// The [`BddOverflow`] description that stopped the site.
+        reason: String,
+    },
 }
 
 impl Verdict {
-    /// `true` for either proof variant.
+    /// `true` for either proof variant — and, deliberately, `false` for
+    /// [`Verdict::Unknown`]: an undecided site never strengthens a
+    /// guarantee claim.
     pub fn is_proven(&self) -> bool {
-        !matches!(self, Verdict::Counterexample(_))
+        matches!(self, Verdict::ProvenMasked | Verdict::ProvenDetected)
     }
 }
 
@@ -284,11 +307,24 @@ impl CertificationReport {
 
     /// Sites with a counterexample.
     pub fn counterexamples(&self) -> usize {
-        self.sites.len() - self.proven_detected() - self.proven_masked()
+        self.sites
+            .iter()
+            .filter(|s| matches!(s.verdict, Verdict::Counterexample(_)))
+            .count()
     }
 
-    /// `true` when every site is proven (no counterexamples) — the
-    /// paper's detection guarantee holds for the whole fault list.
+    /// Sites left undecided by a budget overflow
+    /// ([`Verdict::Unknown`]).
+    pub fn unknown(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| matches!(s.verdict, Verdict::Unknown { .. }))
+            .count()
+    }
+
+    /// `true` when every site is proven (no counterexamples *and* no
+    /// budget-degraded unknowns) — the paper's detection guarantee holds
+    /// for the whole fault list.
     pub fn all_proven(&self) -> bool {
         self.sites.iter().all(|s| s.verdict.is_proven())
     }
@@ -319,7 +355,52 @@ impl fmt::Display for CertificationReport {
             self.proven_detected(),
             self.proven_masked(),
             self.counterexamples()
-        )
+        )?;
+        if self.unknown() > 0 {
+            write!(f, ", unknown (budget exhausted): {}", self.unknown())?;
+        }
+        Ok(())
+    }
+}
+
+/// Resource budget for a [`Certifier`]: caps on BDD nodes, per-site
+/// operation steps, and wall-clock time. The default is unlimited —
+/// identical to [`Certifier::new`]'s behavior.
+///
+/// The node budget is cumulative over the certifier's lifetime (BDD
+/// nodes are hash-consed and never freed); the step limit is reset per
+/// certified site, so it bounds the *hardest single site* rather than
+/// the whole report; the timeout is an absolute deadline armed at
+/// construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CertifyBudget {
+    max_nodes: Option<usize>,
+    max_steps: Option<u64>,
+    timeout: Option<Duration>,
+}
+
+impl CertifyBudget {
+    /// No limits at all (the [`Default`]).
+    pub fn unlimited() -> Self {
+        CertifyBudget::default()
+    }
+
+    /// Caps the BDD manager at `n` nodes (cumulative).
+    pub fn max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Caps each certified site at `n` BDD operation steps.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Arms a wall-clock deadline `d` from certifier construction.
+    pub fn timeout(mut self, d: Duration) -> Self {
+        self.timeout = Some(d);
+        self
     }
 }
 
@@ -361,18 +442,45 @@ pub struct Certifier<'m, M: CertifyModel> {
 
 impl<'m, M: CertifyModel> Certifier<'m, M> {
     /// Builds the fault-free symbolic step, the input-space assumption
-    /// and the reachability fixpoint for `model`'s module.
+    /// and the reachability fixpoint for `model`'s module, with no
+    /// resource limits.
     pub fn new(model: &'m M) -> Self {
+        Certifier::with_budget(model, CertifyBudget::unlimited())
+            .expect("an unbudgeted certifier cannot overflow")
+    }
+
+    /// [`new`](Self::new) under a [`CertifyBudget`]. The setup work (the
+    /// fault-free symbolic step and the reachability fixpoint) is itself
+    /// budgeted: if it overflows, no certifier exists and the error is
+    /// returned — use [`degraded_report`](Self::degraded_report) to
+    /// produce the all-[`Unknown`](Verdict::Unknown) report for that
+    /// case. Per-site overflows after a successful setup degrade to
+    /// per-site `Unknown` verdicts instead (see [`certify`](Self::certify)).
+    pub fn with_budget(model: &'m M, budget: CertifyBudget) -> Result<Self, BddOverflow> {
         let evaluator = SymbolicEvaluator::new(model.module());
         let mut bdd = Bdd::new();
-        let base = evaluator.eval(&mut bdd, &[]);
-        let input_vars: Vec<BddRef> = (0..model.module().inputs().len())
-            .map(|i| bdd.var(evaluator.varmap().input(i)))
-            .collect();
-        let assumption = model.input_assumption(&mut bdd, &input_vars);
-        let reach = reachable_states(&mut bdd, &evaluator, &base, assumption);
+        if let Some(n) = budget.max_nodes {
+            bdd.set_node_budget(n);
+        }
+        if let Some(t) = budget.timeout {
+            if let Some(deadline) = Instant::now().checked_add(t) {
+                bdd.set_deadline(deadline);
+            }
+        }
+        let base = evaluator.try_eval(&mut bdd, &[])?;
+        let input_vars = (0..model.module().inputs().len())
+            .map(|i| bdd.try_var(evaluator.varmap().input(i)))
+            .collect::<Result<Vec<BddRef>, _>>()?;
+        let assumption = model.input_assumption(&mut bdd, &input_vars)?;
+        let reach = try_reachable_states(&mut bdd, &evaluator, &base, assumption)?;
+        // The step limit is a *per-site* allowance (reset before each
+        // `certify` call), so it is armed only after the one-time setup:
+        // setup is bounded by the node budget and the deadline instead.
+        if let Some(s) = budget.max_steps {
+            bdd.set_step_limit(s);
+        }
         let detection_ports = model.detection_ports();
-        Certifier {
+        Ok(Certifier {
             model,
             evaluator,
             bdd,
@@ -380,6 +488,34 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
             reach,
             assumption,
             detection_ports,
+        })
+    }
+
+    /// The all-[`Unknown`](Verdict::Unknown) report for a setup-phase
+    /// budget overflow: every site undecided, with `overflow`'s
+    /// description as the shared reason. Keeps the "over budget means
+    /// Unknown, never a fabricated proof" contract even when the budget
+    /// is too small to build the certifier at all.
+    pub fn degraded_report(
+        model: &M,
+        faults: &[Fault],
+        overflow: BddOverflow,
+    ) -> CertificationReport {
+        CertificationReport {
+            config: model.config_name(),
+            module: model.module().name().to_string(),
+            sites: faults
+                .iter()
+                .map(|&fault| SiteReport {
+                    fault,
+                    verdict: Verdict::Unknown {
+                        reason: overflow.to_string(),
+                    },
+                })
+                .collect(),
+            reachable_states: 0,
+            state_bits: model.module().registers().len(),
+            input_bits: model.module().inputs().len(),
         }
     }
 
@@ -420,68 +556,84 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
     }
 
     /// Certifies one fault site.
+    ///
+    /// Under a [`CertifyBudget`], the per-site step counter is reset
+    /// first, and a mid-site budget overflow degrades to
+    /// [`Verdict::Unknown`] carrying the overflow reason — the site is
+    /// reported undecided, never proven. Unbudgeted certifiers cannot
+    /// overflow.
     pub fn certify(&mut self, fault: Fault) -> Verdict {
+        self.bdd.reset_steps();
+        match self.certify_inner(fault) {
+            Ok(verdict) => verdict,
+            Err(overflow) => Verdict::Unknown {
+                reason: overflow.to_string(),
+            },
+        }
+    }
+
+    fn certify_inner(&mut self, fault: Fault) -> Result<Verdict, BddOverflow> {
         let faulty = self
             .evaluator
-            .eval_fault_from(&mut self.bdd, &self.base, fault);
+            .try_eval_fault_from(&mut self.bdd, &self.base, fault)?;
         // Disjunction of the detection lines in a step (BddRefs are Copy,
         // so collecting them first keeps the borrows disjoint).
-        let or_ports = |b: &mut Bdd, step: &SymStep, ports: &[usize]| {
-            let mut any = BddRef::FALSE;
-            for &p in ports {
-                any = b.or(any, step.outputs[p]);
-            }
-            any
-        };
-        let ports = std::mem::take(&mut self.detection_ports);
+        let or_ports =
+            |b: &mut Bdd, step: &SymStep, ports: &[usize]| -> Result<BddRef, BddOverflow> {
+                let mut any = BddRef::FALSE;
+                for &p in ports {
+                    any = b.try_or(any, step.outputs[p])?;
+                }
+                Ok(any)
+            };
+        // Cloned (two small indices) rather than moved out, so an early
+        // `?` return cannot leave the field empty for the next site.
+        let ports = self.detection_ports.clone();
         let b = &mut self.bdd;
 
         // diverge: the committed next state differs somewhere.
         let mut diverge = BddRef::FALSE;
         for (&free, &bad) in self.base.next_regs.iter().zip(&faulty.next_regs) {
-            let d = b.xor(free, bad);
-            diverge = b.or(diverge, d);
+            let d = b.try_xor(free, bad)?;
+            diverge = b.try_or(diverge, d)?;
         }
 
-        let undetected = self.model.undetected_next(b, &faulty.next_regs);
-        let alerted = or_ports(b, &faulty, &ports);
-        let quiet = b.not(alerted);
+        let undetected = self.model.undetected_next(b, &faulty.next_regs)?;
+        let alerted = or_ports(b, &faulty, &ports)?;
+        let quiet = b.try_not(alerted)?;
         let escape = {
-            let e = b.and(diverge, undetected);
-            let e = b.and(e, quiet);
-            let e = b.and(e, self.assumption);
-            b.and(e, self.reach.states)
+            let e = b.try_and(diverge, undetected)?;
+            let e = b.try_and(e, quiet)?;
+            let e = b.try_and(e, self.assumption)?;
+            b.try_and(e, self.reach.states)?
         };
 
-        let verdict = if escape != BddRef::FALSE {
+        if escape != BddRef::FALSE {
             let assignment = b.sat_one(escape).expect("non-false BDD has a model");
             let (regs, inputs) = self.evaluator.varmap().decode_assignment(&assignment);
-            self.detection_ports = ports;
             let confirmed = self.replay(fault, &regs, &inputs);
-            return Verdict::Counterexample(Witness {
+            Ok(Verdict::Counterexample(Witness {
                 regs,
                 inputs,
                 confirmed,
-            });
+            }))
         } else {
             // No escape: distinguish "never observable" from "caught".
             // The observability test uses the campaign's observables —
             // the committed state and the detection lines, not the Moore
             // outputs (a Moore-only glitch is Masked in §6.4 terms too).
-            let base_alert = or_ports(b, &self.base, &ports);
-            let faulty_alert = or_ports(b, &faulty, &ports);
-            let alert_diff = b.xor(base_alert, faulty_alert);
-            let observable = b.or(diverge, alert_diff);
-            let effect = b.and(observable, self.reach.states);
-            let effect = b.and(effect, self.assumption);
+            let base_alert = or_ports(b, &self.base, &ports)?;
+            let faulty_alert = or_ports(b, &faulty, &ports)?;
+            let alert_diff = b.try_xor(base_alert, faulty_alert)?;
+            let observable = b.try_or(diverge, alert_diff)?;
+            let effect = b.try_and(observable, self.reach.states)?;
+            let effect = b.try_and(effect, self.assumption)?;
             if effect == BddRef::FALSE {
-                Verdict::ProvenMasked
+                Ok(Verdict::ProvenMasked)
             } else {
-                Verdict::ProvenDetected
+                Ok(Verdict::ProvenDetected)
             }
-        };
-        self.detection_ports = ports;
-        verdict
+        }
     }
 
     /// Certifies every fault in `faults` and assembles the report.
@@ -656,8 +808,12 @@ mod tests {
             fn module(&self) -> &Module {
                 self.0
             }
-            fn undetected_next(&self, b: &mut Bdd, _next: &[BddRef]) -> BddRef {
-                b.constant(true)
+            fn undetected_next(
+                &self,
+                b: &mut Bdd,
+                _next: &[BddRef],
+            ) -> Result<BddRef, BddOverflow> {
+                Ok(b.constant(true))
             }
             fn undetected_next_concrete(&self, _next: &[bool]) -> bool {
                 true
@@ -702,6 +858,64 @@ mod tests {
             report.sites.len(),
             report.proven_detected() + report.proven_masked() + report.counterexamples()
         );
+    }
+
+    #[test]
+    fn generous_budget_matches_the_unbudgeted_report() {
+        let h = harden(&fsm(), &ScfiConfig::new(2)).unwrap();
+        let faults = enumerate_faults(h.module(), &register_fault_config(h.module()));
+        let unbudgeted = Certifier::new(&h).certify_all(&faults);
+        let budget = CertifyBudget::unlimited()
+            .max_nodes(usize::MAX)
+            .max_steps(u64::MAX)
+            .timeout(std::time::Duration::from_secs(3600));
+        let mut budgeted =
+            Certifier::with_budget(&h, budget).expect("generous budget must suffice");
+        let report = budgeted.certify_all(&faults);
+        assert_eq!(report.unknown(), 0, "{report}");
+        for (a, c) in unbudgeted.sites.iter().zip(&report.sites) {
+            assert_eq!(a.verdict, c.verdict, "fault {:?}", a.fault);
+        }
+    }
+
+    #[test]
+    fn tiny_node_budget_degrades_to_unknown_not_a_proof() {
+        let h = harden(&fsm(), &ScfiConfig::new(2)).unwrap();
+        let faults = enumerate_faults(h.module(), &register_fault_config(h.module()));
+        // Far too small to even build the base step: setup overflows.
+        let err = match Certifier::with_budget(&h, CertifyBudget::unlimited().max_nodes(8)) {
+            Err(e) => e,
+            Ok(_) => panic!("8 nodes cannot hold a hardened FSM's base step"),
+        };
+        assert_eq!(err, BddOverflow::Nodes { limit: 8 });
+        let report = Certifier::degraded_report(&h, &faults, err);
+        assert_eq!(report.unknown(), report.sites.len());
+        assert_eq!(report.counterexamples(), 0);
+        assert!(!report.all_proven(), "unknown sites are never proven");
+        let text = report.to_string();
+        assert!(text.contains("unknown (budget exhausted)"), "{text}");
+        for site in &report.sites {
+            match &site.verdict {
+                Verdict::Unknown { reason } => {
+                    assert!(reason.contains("node budget"), "{reason}");
+                    assert!(!site.verdict.is_proven());
+                }
+                other => panic!("expected Unknown, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_site_step_limit_yields_unknown_sites_after_good_setup() {
+        let h = harden(&fsm(), &ScfiConfig::new(3)).unwrap();
+        let faults = enumerate_faults(h.module(), &register_fault_config(h.module()));
+        // Setup fits (no node cap), but each site gets a step allowance
+        // too small for the escape-BDD construction.
+        let mut certifier = Certifier::with_budget(&h, CertifyBudget::unlimited().max_steps(1))
+            .expect("the step limit is reset per site, setup runs before it bites");
+        let report = certifier.certify_all(&faults);
+        assert_eq!(report.unknown(), report.sites.len(), "{report}");
+        assert!(!report.all_proven());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use scfi_faultsim::{Fault, FaultEffect, FaultSite};
 use scfi_netlist::{CellKind, Module, NetId};
 
-use crate::bdd::{Bdd, BddRef};
+use crate::bdd::{Bdd, BddOverflow, BddRef};
 
 /// Assignment of BDD variables to the module's symbolic sources, ordered
 /// by the netlist's levelization.
@@ -180,15 +180,15 @@ struct Transform {
 }
 
 impl Transform {
-    fn apply(self, b: &mut Bdd, raw: BddRef) -> BddRef {
+    fn apply(self, b: &mut Bdd, raw: BddRef) -> Result<BddRef, BddOverflow> {
         let mut v = match self.stuck {
             Some(s) => b.constant(s),
             None => raw,
         };
         if self.flip {
-            v = b.not(v);
+            v = b.try_not(v)?;
         }
-        v
+        Ok(v)
     }
 }
 
@@ -301,40 +301,58 @@ impl<'m> SymbolicEvaluator<'m> {
 
     /// The source value of a register's output net before net faults:
     /// its current-state variable, negated if the stored bit is flipped.
-    fn reg_source(&self, b: &mut Bdd, pos: usize, masks: &FaultMasks) -> BddRef {
+    fn reg_source(
+        &self,
+        b: &mut Bdd,
+        pos: usize,
+        masks: &FaultMasks,
+    ) -> Result<BddRef, BddOverflow> {
         if masks.reg_flips.iter().filter(|&&p| p == pos).count() % 2 == 1 {
-            b.nvar(self.varmap.reg_current[pos])
+            b.try_nvar(self.varmap.reg_current[pos])
         } else {
-            b.var(self.varmap.reg_current[pos])
+            b.try_var(self.varmap.reg_current[pos])
         }
     }
 
     /// Evaluates one symbolic cycle under `faults` (empty for the
     /// fault-free base step).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if `b`'s configured
+    /// budget is exhausted; use [`try_eval`](Self::try_eval) under
+    /// budgets.
     pub fn eval(&self, b: &mut Bdd, faults: &[Fault]) -> SymStep {
+        self.try_eval(b, faults).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`eval`](Self::eval), surfacing budget exhaustion on `b` as
+    /// [`BddOverflow`] instead of panicking. On an unbudgeted manager
+    /// this never fails.
+    pub fn try_eval(&self, b: &mut Bdd, faults: &[Fault]) -> Result<SymStep, BddOverflow> {
         let masks = FaultMasks::compile(self.module, faults);
         let m = self.module;
         let mut nets = vec![BddRef::FALSE; m.len()];
 
         // Phase 0: source nets (inputs, constants, register outputs).
         for (i, &net) in m.inputs().iter().enumerate() {
-            let raw = b.var(self.varmap.inputs[i]);
-            nets[net.index()] = masks.net(net.0).apply(b, raw);
+            let raw = b.try_var(self.varmap.inputs[i])?;
+            nets[net.index()] = masks.net(net.0).apply(b, raw)?;
         }
         for (i, cell) in m.cells().iter().enumerate() {
             if let CellKind::Const(c) = cell.kind {
                 let raw = b.constant(c);
-                nets[i] = masks.net(i as u32).apply(b, raw);
+                nets[i] = masks.net(i as u32).apply(b, raw)?;
             }
         }
         for (pos, &r) in m.registers().iter().enumerate() {
-            let raw = self.reg_source(b, pos, &masks);
-            nets[r.index()] = masks.net(r.0).apply(b, raw);
+            let raw = self.reg_source(b, pos, &masks)?;
+            nets[r.index()] = masks.net(r.0).apply(b, raw)?;
         }
 
         // Phase 1: combinational settle in topological order.
         for &c in m.topo_order() {
-            let v = self.eval_cell(b, c.index(), &nets, &masks);
+            let v = self.eval_cell(b, c.index(), &nets, &masks)?;
             nets[c.index()] = v;
         }
 
@@ -350,7 +368,25 @@ impl<'m> SymbolicEvaluator<'m> {
     ///
     /// Produces handle-for-handle the same result as
     /// `eval(b, &[fault])` (asserted by the differential tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BddOverflow`] description if `b`'s configured
+    /// budget is exhausted; use
+    /// [`try_eval_fault_from`](Self::try_eval_fault_from) under budgets.
     pub fn eval_fault_from(&self, b: &mut Bdd, base: &SymStep, fault: Fault) -> SymStep {
+        self.try_eval_fault_from(b, base, fault)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`eval_fault_from`](Self::eval_fault_from), surfacing budget
+    /// exhaustion on `b` as [`BddOverflow`] instead of panicking.
+    pub fn try_eval_fault_from(
+        &self,
+        b: &mut Bdd,
+        base: &SymStep,
+        fault: Fault,
+    ) -> Result<SymStep, BddOverflow> {
         let masks = FaultMasks::compile(self.module, &[fault]);
         let m = self.module;
         let mut nets = base.nets.clone();
@@ -367,7 +403,7 @@ impl<'m> SymbolicEvaluator<'m> {
                 // Unreachable through `enumerate_faults`, but keep the
                 // semantics total: re-apply the transform to the source.
                 let raw = nets[seed_cell.index()];
-                let v = masks.net(seed_cell.0).apply(b, raw);
+                let v = masks.net(seed_cell.0).apply(b, raw)?;
                 if v != nets[seed_cell.index()] {
                     nets[seed_cell.index()] = v;
                     dirty[seed_cell.index()] = true;
@@ -377,8 +413,8 @@ impl<'m> SymbolicEvaluator<'m> {
                 let pos = m
                     .register_position(seed_cell)
                     .expect("DFF cells are registers");
-                let raw = self.reg_source(b, pos, &masks);
-                let v = masks.net(seed_cell.0).apply(b, raw);
+                let raw = self.reg_source(b, pos, &masks)?;
+                let v = masks.net(seed_cell.0).apply(b, raw)?;
                 if v != nets[seed_cell.index()] {
                     nets[seed_cell.index()] = v;
                     dirty[seed_cell.index()] = true;
@@ -396,7 +432,7 @@ impl<'m> SymbolicEvaluator<'m> {
             if !needs {
                 continue;
             }
-            let v = self.eval_cell(b, c.index(), &nets, &masks);
+            let v = self.eval_cell(b, c.index(), &nets, &masks)?;
             dirty[c.index()] = v != nets[c.index()];
             nets[c.index()] = v;
         }
@@ -405,45 +441,51 @@ impl<'m> SymbolicEvaluator<'m> {
     }
 
     /// Evaluates one combinational cell from settled pin values.
-    fn eval_cell(&self, b: &mut Bdd, index: usize, nets: &[BddRef], masks: &FaultMasks) -> BddRef {
+    fn eval_cell(
+        &self,
+        b: &mut Bdd,
+        index: usize,
+        nets: &[BddRef],
+        masks: &FaultMasks,
+    ) -> Result<BddRef, BddOverflow> {
         let cell = &self.module.cells()[index];
-        let read = |b: &mut Bdd, pin: usize| -> BddRef {
+        let read = |b: &mut Bdd, pin: usize| -> Result<BddRef, BddOverflow> {
             let raw = nets[cell.pins[pin].index()];
             masks.pin(index as u32, pin).apply(b, raw)
         };
         let raw = match cell.kind {
-            CellKind::Buf => read(b, 0),
+            CellKind::Buf => read(b, 0)?,
             CellKind::Not => {
-                let a = read(b, 0);
-                b.not(a)
+                let a = read(b, 0)?;
+                b.try_not(a)?
             }
             CellKind::And => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.and(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_and(x, y)?
             }
             CellKind::Or => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.or(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_or(x, y)?
             }
             CellKind::Xor => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.xor(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_xor(x, y)?
             }
             CellKind::Nand => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.nand(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_nand(x, y)?
             }
             CellKind::Nor => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.nor(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_nor(x, y)?
             }
             CellKind::Xnor => {
-                let (x, y) = (read(b, 0), read(b, 1));
-                b.xnor(x, y)
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_xnor(x, y)?
             }
             CellKind::Mux => {
-                let (sel, x, y) = (read(b, 0), read(b, 1), read(b, 2));
-                b.mux(sel, x, y)
+                let (sel, x, y) = (read(b, 0)?, read(b, 1)?, read(b, 2)?);
+                b.try_mux(sel, x, y)?
             }
             CellKind::Input | CellKind::Const(_) | CellKind::Dff { .. } => {
                 unreachable!("topo order contains only combinational cells")
@@ -453,7 +495,12 @@ impl<'m> SymbolicEvaluator<'m> {
     }
 
     /// Samples outputs and the register commit path from settled nets.
-    fn finish_step(&self, b: &mut Bdd, nets: Vec<BddRef>, masks: &FaultMasks) -> SymStep {
+    fn finish_step(
+        &self,
+        b: &mut Bdd,
+        nets: Vec<BddRef>,
+        masks: &FaultMasks,
+    ) -> Result<SymStep, BddOverflow> {
         let m = self.module;
         let next_regs = m
             .registers()
@@ -463,17 +510,17 @@ impl<'m> SymbolicEvaluator<'m> {
                 let raw = nets[pin_net.index()];
                 masks.pin(r.0, 0).apply(b, raw)
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let outputs = m
             .outputs()
             .iter()
             .map(|&(_, net): &(String, NetId)| nets[net.index()])
             .collect();
-        SymStep {
+        Ok(SymStep {
             nets,
             next_regs,
             outputs,
-        }
+        })
     }
 }
 

@@ -59,9 +59,10 @@ mod certify;
 mod eval;
 mod reach;
 
-pub use bdd::{Bdd, BddRef};
+pub use bdd::{Bdd, BddOverflow, BddRef};
 pub use certify::{
-    describe_fault, CertificationReport, Certifier, CertifyModel, SiteReport, Verdict, Witness,
+    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, SiteReport,
+    Verdict, Witness,
 };
 pub use eval::{SymStep, SymbolicEvaluator, VarMap};
-pub use reach::{reachable_states, state_cube, Reachability};
+pub use reach::{reachable_states, state_cube, try_reachable_states, try_state_cube, Reachability};

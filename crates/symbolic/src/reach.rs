@@ -16,7 +16,7 @@
 //! variable directly below its partner, so the renaming is
 //! order-preserving).
 
-use crate::bdd::{Bdd, BddRef};
+use crate::bdd::{Bdd, BddOverflow, BddRef};
 use crate::eval::{SymStep, SymbolicEvaluator};
 
 /// The result of the reachability fixpoint.
@@ -31,6 +31,15 @@ pub struct Reachability {
 
 /// The characteristic function of a single concrete register state.
 pub fn state_cube(b: &mut Bdd, ev: &SymbolicEvaluator<'_>, regs: &[bool]) -> BddRef {
+    try_state_cube(b, ev, regs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`state_cube`], surfacing budget exhaustion on `b` as [`BddOverflow`].
+pub fn try_state_cube(
+    b: &mut Bdd,
+    ev: &SymbolicEvaluator<'_>,
+    regs: &[bool],
+) -> Result<BddRef, BddOverflow> {
     assert_eq!(
         regs.len(),
         ev.module().registers().len(),
@@ -39,13 +48,13 @@ pub fn state_cube(b: &mut Bdd, ev: &SymbolicEvaluator<'_>, regs: &[bool]) -> Bdd
     let mut cube = BddRef::TRUE;
     for (i, &v) in regs.iter().enumerate() {
         let lit = if v {
-            b.var(ev.varmap().reg_current(i))
+            b.try_var(ev.varmap().reg_current(i))?
         } else {
-            b.nvar(ev.varmap().reg_current(i))
+            b.try_nvar(ev.varmap().reg_current(i))?
         };
-        cube = b.and(cube, lit);
+        cube = b.try_and(cube, lit)?;
     }
-    cube
+    Ok(cube)
 }
 
 /// Computes the set of register states reachable from the reset state
@@ -53,19 +62,36 @@ pub fn state_cube(b: &mut Bdd, ev: &SymbolicEvaluator<'_>, regs: &[bool]) -> Bdd
 /// the input variables; [`BddRef::TRUE`] for the unconstrained input
 /// space), using the fault-free transition functions of `base` (a
 /// [`SymbolicEvaluator::eval`] with no faults).
+///
+/// # Panics
+///
+/// Panics with the [`BddOverflow`] description if `b`'s configured budget
+/// is exhausted; use [`try_reachable_states`] under budgets.
 pub fn reachable_states(
     b: &mut Bdd,
     ev: &SymbolicEvaluator<'_>,
     base: &SymStep,
     assumption: BddRef,
 ) -> Reachability {
+    try_reachable_states(b, ev, base, assumption).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`reachable_states`], surfacing budget exhaustion on `b` as
+/// [`BddOverflow`] instead of panicking. On an unbudgeted manager this
+/// never fails.
+pub fn try_reachable_states(
+    b: &mut Bdd,
+    ev: &SymbolicEvaluator<'_>,
+    base: &SymStep,
+    assumption: BddRef,
+) -> Result<Reachability, BddOverflow> {
     let vm = ev.varmap();
     // Transition relation ⋀ᵢ (sᵢ' ↔ δᵢ(s, x)), under the input assumption.
     let mut relation = assumption;
     for (i, &delta) in base.next_regs.iter().enumerate() {
-        let primed = b.var(vm.reg_next(i));
-        let bit = b.xnor(primed, delta);
-        relation = b.and(relation, bit);
+        let primed = b.try_var(vm.reg_next(i))?;
+        let bit = b.try_xnor(primed, delta)?;
+        relation = b.try_and(relation, bit)?;
     }
     let quantified = vm.unprimed_vars();
     // Primed variable of register i is current + 1 (see `VarMap`), so the
@@ -73,19 +99,19 @@ pub fn reachable_states(
     let unprime = |v: u32| v - 1;
 
     let reset = ev.reset_state();
-    let mut reached = state_cube(b, ev, &reset);
+    let mut reached = try_state_cube(b, ev, &reset)?;
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let step = b.and(reached, relation);
-        let img_primed = b.exists(step, &quantified);
-        let img = b.rename(img_primed, &unprime);
-        let next = b.or(reached, img);
+        let step = b.try_and(reached, relation)?;
+        let img_primed = b.try_exists(step, &quantified)?;
+        let img = b.try_rename(img_primed, &unprime)?;
+        let next = b.try_or(reached, img)?;
         if next == reached {
-            return Reachability {
+            return Ok(Reachability {
                 states: reached,
                 iterations,
-            };
+            });
         }
         reached = next;
     }
