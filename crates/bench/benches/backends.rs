@@ -91,10 +91,7 @@ fn run_point(target: &ScfiTarget<'_>, cfg: &CampaignConfig) -> (CampaignReport, 
 /// faults only so each wave spans many distinct scenarios.
 fn scenario_dense_target(h: &HardenedFsm) -> ScfiTarget<'_> {
     let scenarios = (0..h.cfg().edges().len())
-        .map(|ei| ProtocolScenario {
-            edges: vec![ei],
-            timing: FaultTiming::Transient(0),
-        })
+        .map(|ei| ProtocolScenario::uniform(vec![ei], FaultTiming::Transient(0)))
         .collect();
     ScfiTarget::with_scenarios(h, scenarios)
 }

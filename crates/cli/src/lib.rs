@@ -10,11 +10,13 @@
 //!             [--emit verilog|dot|report]
 //! scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
 //!              [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-//!              [--protocol K] [--lanes 64|128|256] [--format text|csv|json]
+//!              [--protocol K] [--fuzz-inputs] [--fault-windows]
+//!              [--lanes 64|128|256] [--format text|csv|json]
 //!              [--timeout-secs T] [--max-injections K]
 //! scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
 //!              [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
-//!              [--expect-proof] [--timeout-secs T] [--max-bdd-nodes K]
+//!              [--joint] [--max-active K] [--expect-proof]
+//!              [--timeout-secs T] [--max-bdd-nodes K]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! ```
@@ -30,7 +32,8 @@ use scfi_faultsim::{
 use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
 use scfi_stdcell::Library;
 use scfi_symbolic::{
-    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, Verdict,
+    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, JointReport,
+    JointVerdict, Verdict,
 };
 
 /// A CLI failure: message for stderr plus the process exit code.
@@ -66,12 +69,14 @@ pub const USAGE: &str = "usage:
               [--emit verilog|dot|report]
   scfi analyze <fsm.dsl|-> [--level N] [--region all|diffusion|selector]
                [--pin-faults] [--stuck-at] [--rank] [--multi M --runs K]
-               [--protocol K] [--backend scalar|packed|simd]
+               [--protocol K] [--fuzz-inputs] [--fault-windows]
+               [--backend scalar|packed|simd]
                [--lanes 64|128|256] [--format text|csv|json]
                [--timeout-secs T] [--max-injections K]
   scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
                [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
-               [--expect-proof] [--timeout-secs T] [--max-bdd-nodes K]
+               [--joint] [--max-active K] [--expect-proof]
+               [--timeout-secs T] [--max-bdd-nodes K]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
 
@@ -87,12 +92,25 @@ engine, `simd` the fixed 512-lane vectorization-shaped wave engine.
 thread count, only throughput changes. `--format csv|json` streams the
 per-site vulnerability map instead of the text summary.
 
+`--fuzz-inputs` (requires `--protocol`) biases the protocol walks
+adversarially: each cycle's condition word is sampled toward valid
+codewords closest to a *wrong* edge's word, the inputs a glitch is most
+likely to confuse. `--fault-windows` (requires `--multi`) arms each
+drawn fault on its own independently sampled cycle of the schedule
+instead of one shared window — the paper's §3 temporal attacker.
+
 `scfi analyze` *samples* the detection claim with simulation campaigns
 over concrete scenarios; `scfi certify` *proves* it, building BDDs of
 every fault's escape condition over all reachable states and all valid
 encoded input words (and refuting it with a replayed witness where no
 proof exists — e.g. the unprotected configuration). `--expect-proof`
-exits non-zero unless every certified site is proven.
+exits non-zero unless every certified site is proven. `--joint` proves
+the claim *jointly*: one selector variable per fault site plus a
+cardinality constraint certify every combination of up to
+`--max-active` simultaneous faults (default: protection level minus
+one, the paper's N − 1 bound) in a single emptiness check. With
+`--all-gates`, escaping sites are additionally aggregated into a
+ranked per-cell designer report.
 
 Budgets: `--timeout-secs`/`--max-injections` stop an `analyze` campaign
 cleanly at the next wave boundary and print the completed prefix marked
@@ -309,6 +327,18 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
                 .ok_or_else(|| usage_err("--protocol must be a positive walk depth"))
         })
         .transpose()?;
+    let fuzz_inputs = flags.switch("--fuzz-inputs");
+    let fault_windows = flags.switch("--fault-windows");
+    if fuzz_inputs && protocol.is_none() {
+        return Err(usage_err(
+            "--fuzz-inputs biases protocol walks; it requires --protocol",
+        ));
+    }
+    if fault_windows && multi.is_none() {
+        return Err(usage_err(
+            "--fault-windows samples per-fault arming windows; it requires --multi",
+        ));
+    }
     let lane_words: usize = match flags.value("--lanes")? {
         Some("64") => 1,
         Some("128") => 2,
@@ -352,17 +382,28 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
     if pin_faults {
         config = config.with_pin_faults();
     }
+    if fault_windows {
+        config = config.with_fault_windows();
+    }
 
     let target = match protocol {
         // Walk seed fixed so repeated invocations analyze the same
         // protocol scenario set.
+        Some(depth) if fuzz_inputs => {
+            ScfiTarget::with_fuzzed_protocol(&hardened, depth, 0x5CF1_3007)
+        }
         Some(depth) => ScfiTarget::with_protocol(&hardened, depth, 0x5CF1_3007),
         None => ScfiTarget::new(&hardened),
     };
     if let Some(depth) = protocol {
         let _ = writeln!(
             out,
-            "multi-cycle campaign: depth-{depth} protocol walks, {} scenarios",
+            "multi-cycle campaign: depth-{depth} {}protocol walks, {} scenarios",
+            if fuzz_inputs {
+                "adversarially fuzzed "
+            } else {
+                ""
+            },
             scfi_faultsim::FaultTarget::scenario_count(&target)
         );
     }
@@ -536,6 +577,14 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
     let stuck_at = flags.switch("--stuck-at");
     let pin_faults = flags.switch("--pin-faults");
     let per_site = flags.switch("--per-site");
+    let joint = flags.switch("--joint");
+    let max_active: Option<usize> = flags
+        .value("--max-active")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| usage_err("--max-active must be a number"))
+        })
+        .transpose()?;
     let expect_proof = flags.switch("--expect-proof");
     let budget = parse_certify_budget(&mut flags)?;
     let Some(path) = flags.positional() else {
@@ -545,6 +594,61 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
     let scfi_config = parse_config(&mut flags)?;
     flags.finish()?;
     let level = scfi_config.protection_level();
+    if max_active.is_some() && !joint {
+        return Err(usage_err("--max-active sets the --joint fault bound"));
+    }
+    if joint && per_site {
+        return Err(usage_err(
+            "--per-site lists per-site verdicts; the --joint claim has a single verdict",
+        ));
+    }
+    if joint {
+        // The paper's §3 bound: up to N − 1 simultaneous faults.
+        let max_active = max_active.unwrap_or(level.saturating_sub(1));
+        let report = match config_kind.as_str() {
+            "scfi" => {
+                let hardened = harden(&fsm, &scfi_config).map_err(|e| CliError {
+                    message: format!("hardening failed: {e}"),
+                    code: 3,
+                })?;
+                certify_joint_model(
+                    &hardened, all_gates, stuck_at, pin_faults, max_active, budget, out,
+                )
+            }
+            "redundancy" => {
+                let r = redundancy(&fsm, level).map_err(|e| CliError {
+                    message: format!("redundancy transform failed: {e}"),
+                    code: 3,
+                })?;
+                certify_joint_model(&r, all_gates, stuck_at, pin_faults, max_active, budget, out)
+            }
+            "unprotected" => {
+                let lowered = lower_unprotected(&fsm).map_err(|e| CliError {
+                    message: format!("lowering failed: {e}"),
+                    code: 3,
+                })?;
+                certify_joint_model(
+                    &lowered, all_gates, stuck_at, pin_faults, max_active, budget, out,
+                )
+            }
+            other => return Err(usage_err(format!("unknown certify config `{other}`"))),
+        };
+        return match &report.verdict {
+            JointVerdict::Proved => Ok(()),
+            JointVerdict::Counterexample(_) if expect_proof => Err(CliError {
+                message: format!(
+                    "--expect-proof: a combination of at most {} fault(s) refutes the joint guarantee",
+                    report.max_active
+                ),
+                code: 3,
+            }),
+            JointVerdict::Counterexample(_) => Ok(()),
+            JointVerdict::Unknown { reason } => Err(CliError {
+                message: format!("joint certification budget exhausted: claim undecided ({reason})"),
+                code: if reason.contains("deadline") { 4 } else { 5 },
+            }),
+        };
+    }
 
     let report = match config_kind.as_str() {
         "scfi" => {
@@ -622,17 +726,14 @@ fn parse_certify_budget(flags: &mut Flags<'_>) -> Result<CertifyBudget, CliError
     Ok(budget)
 }
 
-/// Certifies one model's fault space and renders the report.
-fn certify_model<M: CertifyModel>(
-    model: &M,
+/// Enumerates the certification fault space — the shared definition used
+/// by the per-site and the joint engines.
+fn certify_fault_set(
+    module: &scfi_netlist::Module,
     all_gates: bool,
     stuck_at: bool,
     pin_faults: bool,
-    per_site: bool,
-    budget: CertifyBudget,
-    out: &mut String,
-) -> CertificationReport {
-    let module = model.module();
+) -> Vec<scfi_faultsim::Fault> {
     let mut effects = vec![FaultEffect::Flip];
     if stuck_at {
         effects.push(FaultEffect::Stuck0);
@@ -647,7 +748,71 @@ fn certify_model<M: CertifyModel>(
     if pin_faults {
         fault_config = fault_config.with_pin_faults();
     }
-    let faults = enumerate_faults(module, &fault_config);
+    enumerate_faults(module, &fault_config)
+}
+
+/// Certifies the joint multi-fault claim for one model and renders the
+/// report. A setup-phase budget overflow degrades the whole claim to
+/// UNKNOWN — never a fabricated proof.
+fn certify_joint_model<M: CertifyModel>(
+    model: &M,
+    all_gates: bool,
+    stuck_at: bool,
+    pin_faults: bool,
+    max_active: usize,
+    budget: CertifyBudget,
+    out: &mut String,
+) -> JointReport {
+    let module = model.module();
+    let faults = certify_fault_set(module, all_gates, stuck_at, pin_faults);
+    let report = match Certifier::with_budget(model, budget) {
+        Ok(mut certifier) => {
+            let report = certifier.certify_joint(&faults, max_active);
+            let _ = writeln!(out, "{report}");
+            if let JointVerdict::Counterexample(w) = &report.verdict {
+                let bits = |word: &[bool]| -> String {
+                    word.iter().map(|&v| if v { '1' } else { '0' }).collect()
+                };
+                let _ = writeln!(out, "  active: {}", certifier.describe_active(w));
+                let _ = writeln!(
+                    out,
+                    "  from state {} under inputs {}",
+                    bits(&w.regs),
+                    bits(&w.inputs)
+                );
+            }
+            report
+        }
+        Err(overflow) => {
+            let report = JointReport {
+                config: model.config_name(),
+                module: module.name().to_string(),
+                sites: faults.len(),
+                max_active,
+                reachable_states: 0,
+                verdict: JointVerdict::Unknown {
+                    reason: overflow.to_string(),
+                },
+            };
+            let _ = writeln!(out, "{report}");
+            report
+        }
+    };
+    report
+}
+
+/// Certifies one model's fault space and renders the report.
+fn certify_model<M: CertifyModel>(
+    model: &M,
+    all_gates: bool,
+    stuck_at: bool,
+    pin_faults: bool,
+    per_site: bool,
+    budget: CertifyBudget,
+    out: &mut String,
+) -> CertificationReport {
+    let module = model.module();
+    let faults = certify_fault_set(module, all_gates, stuck_at, pin_faults);
 
     // A budget overflow during setup means no certifier exists at all:
     // degrade every site to Unknown rather than fabricating a proof.
@@ -682,6 +847,11 @@ fn certify_model<M: CertifyModel>(
                 "NOT confirmed by replay — engine disagreement, please report"
             }
         );
+    }
+    if all_gates {
+        // The designer's view of `--all-gates`: which cells the escapes
+        // concentrate in, ranked like the campaign vulnerability map.
+        let _ = writeln!(out, "{}", report.escape_ranking());
     }
     if report.all_proven() {
         let _ = writeln!(
@@ -1072,6 +1242,152 @@ mod tests {
         assert!(out.contains("fault sites"), "{out}");
         let e = run_err(&["certify", p, "--config", "bogus"]);
         assert_eq!(e.code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_fuzzed_protocol_runs_and_requires_protocol() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&[
+            "analyze",
+            p,
+            "--level",
+            "2",
+            "--protocol",
+            "3",
+            "--fuzz-inputs",
+        ]);
+        assert!(out.contains("adversarially fuzzed protocol walks"), "{out}");
+        assert!(out.contains("injections"), "{out}");
+        let e = run_err(&["analyze", p, "--fuzz-inputs"]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("--protocol"), "{}", e.message);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_fault_windows_runs_and_requires_multi() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let out = run_ok(&[
+            "analyze",
+            p,
+            "--level",
+            "2",
+            "--protocol",
+            "3",
+            "--multi",
+            "2",
+            "--runs",
+            "200",
+            "--fault-windows",
+        ]);
+        assert!(out.contains("injections"), "{out}");
+        let e = run_err(&["analyze", p, "--fault-windows"]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("--multi"), "{}", e.message);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_joint_proves_the_scfi_demo_and_refutes_unprotected() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        // N = 3 ⇒ the joint claim covers any 2 simultaneous faults.
+        let out = run_ok(&["certify", p, "--joint", "--expect-proof"]);
+        assert!(out.contains("PROVED"), "{out}");
+        assert!(out.contains("at most 2 simultaneous faults"), "{out}");
+        // Unprotected: one fault suffices; the witness is replayed.
+        let out = run_ok(&["certify", p, "--joint", "--config", "unprotected"]);
+        assert!(out.contains("REFUTED"), "{out}");
+        assert!(out.contains("replay-confirmed"), "{out}");
+        assert!(out.contains("active:"), "{out}");
+        // --expect-proof turns the refutation into exit 3 with the report
+        // preserved in the output buffer.
+        let args: Vec<String> = [
+            "certify",
+            p,
+            "--joint",
+            "--config",
+            "unprotected",
+            "--expect-proof",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut report = String::new();
+        let e = run(&args, &mut report).expect_err("refutation fails --expect-proof");
+        assert_eq!(e.code, 3);
+        assert!(report.contains("REFUTED"), "{report}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_joint_budget_exits_5_with_unknown() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let args: Vec<String> = [
+            "certify",
+            p,
+            "--level",
+            "2",
+            "--joint",
+            "--expect-proof",
+            "--max-bdd-nodes",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = String::new();
+        let e = run(&args, &mut out).expect_err("8 BDD nodes cannot decide the joint claim");
+        assert_eq!(e.code, 5, "{}", e.message);
+        assert!(e.message.contains("undecided"), "{}", e.message);
+        assert!(out.contains("UNKNOWN"), "{out}");
+        assert!(
+            !out.contains("PROVED"),
+            "an exhausted budget must never claim the proof: {out}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_joint_flag_combinations_are_validated() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        assert_eq!(run_err(&["certify", p, "--max-active", "2"]).code, 1);
+        assert_eq!(run_err(&["certify", p, "--joint", "--per-site"]).code, 1);
+        assert_eq!(
+            run_err(&["certify", p, "--joint", "--max-active", "x"]).code,
+            1
+        );
+        // An explicit bound overrides the level-derived default.
+        let out = run_ok(&[
+            "certify",
+            p,
+            "--joint",
+            "--max-active",
+            "1",
+            "--expect-proof",
+        ]);
+        assert!(out.contains("at most 1 simultaneous faults"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_all_gates_ranks_escaping_cells() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        // Unprotected with the full gate space: escapes exist and the
+        // ranked per-cell report aggregates them.
+        let out = run_ok(&["certify", p, "--config", "unprotected", "--all-gates"]);
+        assert!(out.contains("escapes through"), "{out}");
+        assert!(out.contains("escapes /"), "{out}");
+        // A proved all-gates-free run still prints the (empty) ranking
+        // header for script-stable output.
+        let proved = run_ok(&["certify", p, "--level", "2", "--all-gates", "--stuck-at"]);
+        assert!(proved.contains("certified sites"), "{proved}");
         let _ = std::fs::remove_file(path);
     }
 

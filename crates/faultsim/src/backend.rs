@@ -211,6 +211,7 @@ impl CampaignBackend for ScalarBackend {
                             scenario,
                             sc,
                             faults,
+                            work.windows(start + k),
                             &mut outputs,
                         ));
                     }

@@ -7,7 +7,7 @@ use scfi_netlist::{CellId, CellKind, Module, Simulator};
 
 use crate::backend::{Backend, CampaignBackend, PackedBackend, ScalarBackend, SimdBackend};
 use crate::control::{CampaignError, LaneWidth, RunControl};
-use crate::target::FaultTarget;
+use crate::target::{FaultTarget, FaultTiming};
 use crate::wave::WorkList;
 
 /// The effect dimension of the fault model (§2.1: "transient, i.e.
@@ -93,6 +93,7 @@ pub struct CampaignConfig {
     lane_words: LaneWidth,
     seed: u64,
     backend: Backend,
+    fault_windows: bool,
 }
 
 impl CampaignConfig {
@@ -109,6 +110,7 @@ impl CampaignConfig {
             lane_words: LaneWidth::new(4).expect("4 words is a valid packed width"),
             seed: 0xFA17,
             backend: Backend::default(),
+            fault_windows: false,
         }
     }
 
@@ -196,6 +198,23 @@ impl CampaignConfig {
     /// The configured execution backend.
     pub fn backend_kind(&self) -> Backend {
         self.backend
+    }
+
+    /// Samples an independent transient arming window per drawn fault in
+    /// multi-fault campaigns — the §3 temporal attacker, who times each of
+    /// their glitches separately within the scenario's schedule.
+    ///
+    /// Off by default: without this knob the sampled draw stream (scenario
+    /// draw, then fault draws, one shared window) is bit-identical to the
+    /// historical one, so seeded campaign aggregates stay reproducible.
+    pub fn with_fault_windows(mut self) -> Self {
+        self.fault_windows = true;
+        self
+    }
+
+    /// Whether multi-fault campaigns draw per-fault arming windows.
+    pub fn fault_windows_enabled(&self) -> bool {
+        self.fault_windows
     }
 
     /// Restricts the campaign to `module`'s FT1 register fault space:
@@ -404,17 +423,25 @@ pub fn arm(sim: &mut Simulator<'_>, fault: Fault) {
 /// reference semantics the packed wave executor must reproduce:
 ///
 /// * registers preloaded, then cycles stepped in schedule order;
-/// * net/pin faults armed while [`FaultTiming::armed_at`] holds (armed
-///   once for `Permanent`, armed on entry / cleared on exit of the window
-///   for `Transient`);
-/// * register flips applied once, just before [`FaultTiming::flip_cycle`];
+/// * fault `j`'s effective window is [`Scenario::fault_window`] — the work
+///   item's per-fault override when present, the scenario's
+///   [`FaultSchedule`](crate::FaultSchedule) otherwise;
+/// * net/pin fault masks are rebuilt whenever any fault's window opens or
+///   closes (and at cycle 0), so each mask is live exactly while
+///   [`FaultTiming::armed_at`] holds for its own window;
+/// * register flips are applied once each, just before their window's
+///   [`FaultTiming::flip_cycle`];
 /// * per-cycle classifications folded with [`Outcome::fold`].
+///
+/// With a uniform schedule and no overrides this is step-for-step the
+/// legacy one-window loop: arm everything on window entry, clear on exit.
 pub(crate) fn run_item_scalar<T: FaultTarget>(
     target: &T,
     sim: &mut Simulator<'_>,
     index: usize,
     scenario: &crate::target::Scenario,
     faults: &[Fault],
+    windows: &[Option<FaultTiming>],
     outputs: &mut Vec<bool>,
 ) -> Outcome {
     assert!(
@@ -422,28 +449,40 @@ pub(crate) fn run_item_scalar<T: FaultTarget>(
         "scenario {index} has no cycles" // same rejection as the wave executor
     );
     debug_assert!(
-        scenario.timing.flip_cycle() < scenario.cycles(),
+        scenario
+            .schedule
+            .windows()
+            .iter()
+            .chain(windows.iter().flatten())
+            .all(|w| w.flip_cycle() < scenario.cycles()),
         "scenario {index}'s fault window lies past its schedule"
     );
+    let is_register = |f: &Fault| matches!(f.site, FaultSite::Register(_));
     sim.clear_faults();
     sim.reset_to(&scenario.regs);
     let mut verdict = Outcome::Masked;
     for (cycle, inputs) in scenario.inputs.iter().enumerate() {
-        match scenario.timing {
-            crate::target::FaultTiming::Permanent if cycle == 0 => {
-                for &f in faults {
+        // Register flips are direct state mutations (clear_faults cannot
+        // undo them), so each fires exactly once, at its own window start.
+        for (j, &f) in faults.iter().enumerate() {
+            if is_register(&f) && scenario.fault_window(windows, j).flip_cycle() == cycle {
+                arm(sim, f);
+            }
+        }
+        let moved = cycle == 0
+            || faults.iter().enumerate().any(|(j, f)| {
+                !is_register(f) && {
+                    let w = scenario.fault_window(windows, j);
+                    w.armed_at(cycle) != w.armed_at(cycle - 1)
+                }
+            });
+        if moved {
+            sim.clear_faults();
+            for (j, &f) in faults.iter().enumerate() {
+                if !is_register(&f) && scenario.fault_window(windows, j).armed_at(cycle) {
                     arm(sim, f);
                 }
             }
-            crate::target::FaultTiming::Transient(c) if cycle == c => {
-                for &f in faults {
-                    arm(sim, f);
-                }
-            }
-            crate::target::FaultTiming::Transient(c) if cycle == c + 1 => {
-                sim.clear_faults();
-            }
-            _ => {}
         }
         sim.step_into(inputs, outputs);
         verdict = verdict.fold(target.classify(index, cycle, sim.register_values(), outputs));
@@ -603,13 +642,17 @@ pub fn run_exhaustive_scalar<T: FaultTarget>(
 
 /// Draws the multi-fault work list: `runs` items of `faults_per_run`
 /// simultaneous faults each, from the config's seeded xorshift64* stream
-/// (scenario draw first, then the fault draws, per run).
+/// (scenario draw first, then the fault draws, then — only with
+/// [`CampaignConfig::with_fault_windows`] — one transient window draw per
+/// fault, per run). With windows off the stream is bit-identical to the
+/// historical one.
 fn multi_fault_work<T: FaultTarget>(
     target: &T,
     faults: &[Fault],
     faults_per_run: usize,
     runs: usize,
     seed: u64,
+    fault_windows: bool,
 ) -> Result<WorkList, CampaignError> {
     let mut rng = seed.max(1);
     let mut next = move || {
@@ -628,13 +671,25 @@ fn multi_fault_work<T: FaultTarget>(
     let mut draw = move |pool: usize| (next() % pool as u64) as usize;
     let mut work = WorkList::with_capacity(runs);
     let mut armed = Vec::with_capacity(faults_per_run);
+    let mut windows = Vec::with_capacity(faults_per_run);
+    let mut cycles_memo: Vec<Option<usize>> = vec![None; target.scenario_count()];
     for _ in 0..runs {
         let scenario = draw(target.scenario_count());
         armed.clear();
         for _ in 0..faults_per_run {
             armed.push(faults[draw(faults.len())]);
         }
-        work.try_push(scenario, &armed)?;
+        if fault_windows {
+            let cycles =
+                *cycles_memo[scenario].get_or_insert_with(|| target.scenario(scenario).cycles());
+            windows.clear();
+            for _ in 0..faults_per_run {
+                windows.push(FaultTiming::Transient(draw(cycles)));
+            }
+            work.try_push_scheduled(scenario, &armed, &windows)?;
+        } else {
+            work.try_push(scenario, &armed)?;
+        }
     }
     Ok(work)
 }
@@ -678,7 +733,14 @@ pub fn try_run_multi_fault<T: FaultTarget>(
     if faults.is_empty() || target.scenario_count() == 0 {
         return Ok(CampaignReport::empty());
     }
-    let work = multi_fault_work(target, &faults, faults_per_run, runs, config.seed)?;
+    let work = multi_fault_work(
+        target,
+        &faults,
+        faults_per_run,
+        runs,
+        config.seed,
+        config.fault_windows,
+    )?;
     let outcomes = try_execute_backend(target, &work, config, control)?;
     Ok(aggregate(&work, &outcomes))
 }
@@ -999,6 +1061,53 @@ mod tests {
                 &run_multi_fault(&t, 3, 300, &config),
                 &run_multi_fault_scalar(&t, 3, 300, &config),
                 &format!("seed {seed}"),
+            );
+        }
+    }
+
+    /// Per-fault window draws: every backend agrees per seed, the knob is
+    /// deterministic, and on a protocol target the drawn windows actually
+    /// spread faults across different cycles of the same walk.
+    #[test]
+    fn windowed_multi_fault_matches_scalar_per_seed() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::with_protocol(&h, 4, 0xB007);
+        for seed in [1, 42] {
+            let config = CampaignConfig::new()
+                .with_register_flips()
+                .with_fault_windows()
+                .seed(seed);
+            assert!(config.fault_windows_enabled());
+            let packed = run_multi_fault(&t, 3, 300, &config);
+            assert_eq!(packed.injections, 300);
+            assert_reports_identical(
+                &packed,
+                &run_multi_fault_scalar(&t, 3, 300, &config),
+                &format!("windowed seed {seed}"),
+            );
+            assert_eq!(packed, run_multi_fault(&t, 3, 300, &config));
+        }
+    }
+
+    /// The drawn per-fault windows are real overrides: the same seeded
+    /// campaign with and without them produces different worklists, and
+    /// the windowed one still agrees across the simd backend too.
+    #[test]
+    fn windowed_multi_fault_agrees_across_all_backends() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::with_protocol(&h, 3, 0xD0);
+        let config = CampaignConfig::new()
+            .with_register_flips()
+            .with_fault_windows()
+            .seed(7);
+        let packed = run_multi_fault(&t, 2, 200, &config);
+        for backend in Backend::ALL {
+            assert_reports_identical(
+                &packed,
+                &run_multi_fault(&t, 2, 200, &config.clone().backend(backend)),
+                backend.name(),
             );
         }
     }

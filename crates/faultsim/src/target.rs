@@ -48,6 +48,57 @@ impl FaultTiming {
     }
 }
 
+/// Per-fault arming windows for a scenario's fault group — the §3 temporal
+/// attacker, who may time each of their N−1 glitches independently.
+///
+/// The legacy one-window-per-scenario model lowers to
+/// [`FaultSchedule::Uniform`] with unchanged semantics; a
+/// [`FaultSchedule::PerFault`] schedule gives fault `j` of the injected
+/// group its own [`FaultTiming`], so two glitches can strike different
+/// steps of the same protocol walk. Work items can additionally override
+/// windows per fault (see
+/// [`WorkList::push_scheduled`](crate::WorkList::push_scheduled)), which
+/// is how sampled multi-fault campaigns draw independent timings per run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// Every fault in the group shares one window.
+    Uniform(FaultTiming),
+    /// Fault `j` of the group is armed during window `j`; groups larger
+    /// than the schedule reuse its last window.
+    PerFault(Vec<FaultTiming>),
+}
+
+impl FaultSchedule {
+    /// The arming window of fault `j` of the injected group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty [`FaultSchedule::PerFault`] schedule.
+    pub fn window(&self, fault: usize) -> FaultTiming {
+        match self {
+            FaultSchedule::Uniform(t) => *t,
+            FaultSchedule::PerFault(ws) => {
+                assert!(!ws.is_empty(), "per-fault schedule has no windows");
+                ws[fault.min(ws.len() - 1)]
+            }
+        }
+    }
+
+    /// All distinct windows of the schedule (one entry for `Uniform`).
+    pub fn windows(&self) -> &[FaultTiming] {
+        match self {
+            FaultSchedule::Uniform(t) => std::slice::from_ref(t),
+            FaultSchedule::PerFault(ws) => ws,
+        }
+    }
+}
+
+impl From<FaultTiming> for FaultSchedule {
+    fn from(t: FaultTiming) -> Self {
+        FaultSchedule::Uniform(t)
+    }
+}
+
 /// One N-cycle attack scenario: where the registers start, what drives the
 /// inputs on every cycle, and when the faults under test are live.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,8 +108,8 @@ pub struct Scenario {
     /// Input-port vector per cycle; `inputs.len()` is the trajectory length
     /// N ≥ 1.
     pub inputs: Vec<Vec<bool>>,
-    /// The fault window within the schedule.
-    pub timing: FaultTiming,
+    /// The per-fault arming windows within the schedule.
+    pub schedule: FaultSchedule,
 }
 
 impl Scenario {
@@ -68,7 +119,7 @@ impl Scenario {
         Scenario {
             regs,
             inputs: vec![inputs],
-            timing: FaultTiming::Permanent,
+            schedule: FaultSchedule::Uniform(FaultTiming::Permanent),
         }
     }
 
@@ -76,19 +127,59 @@ impl Scenario {
     pub fn cycles(&self) -> usize {
         self.inputs.len()
     }
+
+    /// The effective arming window of fault `j` of a work item: the item's
+    /// per-fault override when present, the scenario schedule otherwise.
+    pub fn fault_window(&self, overrides: &[Option<FaultTiming>], j: usize) -> FaultTiming {
+        overrides
+            .get(j)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| self.schedule.window(j))
+    }
 }
 
 /// A multi-cycle protocol scenario over a CFG: a connected walk of edge
-/// indices (each edge's target is the next edge's source) plus the fault
-/// window. [`protocol_scenarios`] generates the standard campaign set;
-/// hand-written schedules can be passed to the targets' `with_scenarios`
-/// constructors directly.
+/// indices (each edge's target is the next edge's source) plus the
+/// per-fault arming schedule. [`protocol_scenarios`] generates the
+/// standard campaign set; hand-written schedules can be passed to the
+/// targets' `with_scenarios` constructors directly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProtocolScenario {
     /// Indices into [`Cfg::edges`], connected head to tail.
     pub edges: Vec<usize>,
-    /// When during the walk the faults are armed.
-    pub timing: FaultTiming,
+    /// When during the walk each fault of the injected group is armed.
+    pub schedule: FaultSchedule,
+    /// Optional per-cycle raw-input override (adversarial input fuzzing):
+    /// when present, cycle `c` drives `inputs[c]` instead of edge `c`'s
+    /// representative input vector. The override must still drive the
+    /// walk's edge sequence — a fuzzed schedule changes *which* admissible
+    /// word drives each step, never the step itself.
+    pub inputs: Option<Vec<Vec<bool>>>,
+}
+
+impl ProtocolScenario {
+    /// A walk whose fault group follows `schedule`.
+    pub fn new(edges: Vec<usize>, schedule: FaultSchedule) -> Self {
+        ProtocolScenario {
+            edges,
+            schedule,
+            inputs: None,
+        }
+    }
+
+    /// A walk with one shared window for the whole fault group — the
+    /// legacy one-`FaultTiming`-per-scenario form.
+    pub fn uniform(edges: Vec<usize>, timing: FaultTiming) -> Self {
+        Self::new(edges, FaultSchedule::Uniform(timing))
+    }
+
+    /// Overrides the per-cycle input vectors (adversarial input fuzzing);
+    /// `inputs.len()` must equal the walk length.
+    pub fn with_inputs(mut self, inputs: Vec<Vec<bool>>) -> Self {
+        self.inputs = Some(inputs);
+        self
+    }
 }
 
 /// The standard multi-cycle campaign scenario set: seeded random CFG walks
@@ -109,13 +200,86 @@ fn expand_walks(walks: Vec<Vec<usize>>) -> Vec<ProtocolScenario> {
     let mut scenarios = Vec::new();
     for walk in walks {
         for cycle in 0..walk.len() {
-            scenarios.push(ProtocolScenario {
-                edges: walk.clone(),
-                timing: FaultTiming::Transient(cycle),
-            });
+            scenarios.push(ProtocolScenario::uniform(
+                walk.clone(),
+                FaultTiming::Transient(cycle),
+            ));
         }
     }
     scenarios
+}
+
+/// The seeded xorshift64* stream shared by the scenario generators (the
+/// same generator as [`Cfg::random_walks`] and the multi-fault draw).
+fn xorshift64star(seed: u64) -> impl FnMut() -> u64 {
+    let mut rng = seed.max(1);
+    move || {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// Adversarial protocol walks biased toward wrong-but-close codewords:
+/// at each step, with probability 1/2 the successor is the outgoing edge
+/// whose `word_of` codeword is Hamming-closest to the *previous* step's
+/// codeword (ties broken by edge index), otherwise it is drawn uniformly
+/// — so consecutive condition words tend to differ in as few bits as the
+/// CFG allows, the schedules a glitch is most likely to confuse. One walk
+/// per starting edge, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn adversarial_walks(
+    cfg: &Cfg,
+    depth: usize,
+    seed: u64,
+    word_of: impl Fn(usize) -> Vec<bool>,
+) -> Vec<Vec<usize>> {
+    assert!(depth > 0, "protocol walks need at least one edge");
+    let mut next = xorshift64star(seed);
+    let hamming = |a: &[bool], b: &[bool]| a.iter().zip(b).filter(|(x, y)| x != y).count();
+    let mut walks = Vec::with_capacity(cfg.edges().len());
+    for start in 0..cfg.edges().len() {
+        let mut walk = Vec::with_capacity(depth);
+        walk.push(start);
+        let mut at = cfg.edges()[start].to;
+        while walk.len() < depth {
+            let choices = cfg.out_edge_indices(at);
+            let prev_word = word_of(*walk.last().expect("walk is nonempty"));
+            let e = if next() & 1 == 0 {
+                *choices
+                    .iter()
+                    .min_by_key(|&&e| (hamming(&word_of(e), &prev_word), e))
+                    .expect("every state has an outgoing edge")
+            } else {
+                choices[(next() % choices.len() as u64) as usize]
+            };
+            walk.push(e);
+            at = cfg.edges()[e].to;
+        }
+        walks.push(walk);
+    }
+    walks
+}
+
+/// The adversarially fuzzed campaign scenario set: [`adversarial_walks`]
+/// expanded one scenario per injection cycle, exactly like
+/// [`protocol_scenarios`] but with the walk shapes biased toward
+/// close-codeword transitions.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn fuzzed_protocol_scenarios(
+    cfg: &Cfg,
+    depth: usize,
+    seed: u64,
+    word_of: impl Fn(usize) -> Vec<bool>,
+) -> Vec<ProtocolScenario> {
+    expand_walks(adversarial_walks(cfg, depth, seed, word_of))
 }
 
 /// A circuit (plus its oracle) a fault campaign can attack.
@@ -183,8 +347,9 @@ impl ScenarioSpace {
         ScenarioSpace { protocol: None }
     }
 
-    /// A protocol space; panics if a walk is empty, disconnected, or times
-    /// its fault window past the walk's end.
+    /// A protocol space; panics if a walk is empty, disconnected, times
+    /// any fault window past the walk's end, or overrides its inputs with
+    /// a schedule of the wrong length.
     fn protocol(cfg: &Cfg, scenarios: Vec<ProtocolScenario>) -> Self {
         for (i, s) in scenarios.iter().enumerate() {
             assert!(!s.edges.is_empty(), "protocol scenario {i} has no edges");
@@ -195,10 +360,25 @@ impl ScenarioSpace {
                     "protocol scenario {i} is not a connected walk"
                 );
             }
-            if let FaultTiming::Transient(c) = s.timing {
-                assert!(
-                    c < s.edges.len(),
-                    "protocol scenario {i} arms its fault at cycle {c}, past the {}-cycle walk",
+            assert!(
+                !s.schedule.windows().is_empty(),
+                "protocol scenario {i} has an empty per-fault schedule"
+            );
+            for w in s.schedule.windows() {
+                if let FaultTiming::Transient(c) = *w {
+                    assert!(
+                        c < s.edges.len(),
+                        "protocol scenario {i} arms its fault at cycle {c}, past the {}-cycle walk",
+                        s.edges.len()
+                    );
+                }
+            }
+            if let Some(inputs) = &s.inputs {
+                assert_eq!(
+                    inputs.len(),
+                    s.edges.len(),
+                    "protocol scenario {i} overrides inputs for {} cycles of a {}-cycle walk",
+                    inputs.len(),
                     s.edges.len()
                 );
             }
@@ -250,8 +430,11 @@ impl ScenarioSpace {
                 let p = &scenarios[index];
                 Scenario {
                     regs: regs_of(cfg.edges()[p.edges[0]].from),
-                    inputs: p.edges.iter().map(|&ei| inputs_of(ei)).collect(),
-                    timing: p.timing,
+                    inputs: match &p.inputs {
+                        Some(fuzzed) => fuzzed.clone(),
+                        None => p.edges.iter().map(|&ei| inputs_of(ei)).collect(),
+                    },
+                    schedule: p.schedule.clone(),
                 }
             }
         }
@@ -288,6 +471,28 @@ impl<'a> ScfiTarget<'a> {
     /// Panics if `depth` is zero.
     pub fn with_protocol(hardened: &'a HardenedFsm, depth: usize, seed: u64) -> Self {
         Self::with_scenarios(hardened, protocol_scenarios(hardened.cfg(), depth, seed))
+    }
+
+    /// Adversarially fuzzed multi-cycle target: walks biased toward
+    /// wrong-but-close condition codewords (see [`adversarial_walks`]),
+    /// so consecutive steps drive condition words a small glitch is most
+    /// likely to confuse. Every driven word stays a valid codeword — the
+    /// §5 interface assumption (and with it the certification
+    /// cross-oracle) is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_fuzzed_protocol(hardened: &'a HardenedFsm, depth: usize, seed: u64) -> Self {
+        let cfg = hardened.cfg();
+        let scenarios = fuzzed_protocol_scenarios(cfg, depth, seed, |ei| {
+            let edge = &cfg.edges()[ei];
+            hardened
+                .condition_word(edge.local_index(hardened.fsm()))
+                .iter()
+                .collect()
+        });
+        Self::with_scenarios(hardened, scenarios)
     }
 
     /// Multi-cycle target over hand-picked protocol scenarios.
@@ -405,6 +610,29 @@ impl<'a> RedundancyTarget<'a> {
                 redundant.cfg(),
                 protocol_scenarios(redundant.cfg(), depth, seed),
             ),
+        }
+    }
+
+    /// Adversarially fuzzed multi-cycle target (see
+    /// [`ScfiTarget::with_fuzzed_protocol`]): walks biased toward
+    /// close-codeword condition transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_fuzzed_protocol(redundant: &'a RedundantFsm, depth: usize, seed: u64) -> Self {
+        let cfg = redundant.cfg();
+        let scenarios = fuzzed_protocol_scenarios(cfg, depth, seed, |ei| {
+            let edge = &cfg.edges()[ei];
+            redundant
+                .cond_code()
+                .word(edge.local_index(redundant.fsm()))
+                .iter()
+                .collect()
+        });
+        RedundancyTarget {
+            redundant,
+            space: ScenarioSpace::protocol(cfg, scenarios),
         }
     }
 
@@ -568,6 +796,66 @@ impl<'a> UnprotectedTarget<'a> {
         target
     }
 
+    /// Adversarially fuzzed multi-cycle target: the same drivable random
+    /// walks as [`with_protocol`](Self::with_protocol), but every cycle of
+    /// every scenario samples its raw input word from *all* valuations
+    /// driving that edge (up to [`Self::INPUT_VARIANTS`] per edge) instead
+    /// of reusing the one on-walk representative — the attacker's free
+    /// choice of inputs from §3, restricted to words that keep the walk on
+    /// its edge sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (and inherits [`UnprotectedTarget::new`]'s
+    /// signal-count guard).
+    pub fn with_fuzzed_protocol(
+        fsm: &'a Fsm,
+        lowered: &'a LoweredFsm,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut target = Self::new(fsm, lowered);
+        let n = fsm.signals().len();
+        // Every admissible valuation per edge, capped per edge: the same
+        // enumeration as `new`, kept instead of first-hit-only.
+        let mut variants: Vec<Vec<Vec<bool>>> = vec![Vec::new(); target.cfg.edges().len()];
+        for bits in 0..(1u64 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            for s in fsm.states() {
+                let ei = target.cfg.matched_edge(s, &inputs);
+                if variants[ei].len() < Self::INPUT_VARIANTS {
+                    variants[ei].push(inputs.clone());
+                }
+            }
+        }
+        let walks = target
+            .cfg
+            .random_walks_where(depth, seed, |ei| target.representatives[ei].is_some());
+        let mut next = xorshift64star(seed ^ 0xF0_22_1E);
+        let mut scenarios = Vec::new();
+        for walk in walks {
+            for cycle in 0..walk.len() {
+                let fuzzed: Vec<Vec<bool>> = walk
+                    .iter()
+                    .map(|&ei| {
+                        let pool = &variants[ei];
+                        pool[(next() % pool.len() as u64) as usize].clone()
+                    })
+                    .collect();
+                scenarios.push(
+                    ProtocolScenario::uniform(walk.clone(), FaultTiming::Transient(cycle))
+                        .with_inputs(fuzzed),
+                );
+            }
+        }
+        target.space = ScenarioSpace::protocol(&target.cfg, scenarios);
+        target
+    }
+
+    /// Input valuations sampled per edge by
+    /// [`with_fuzzed_protocol`](Self::with_fuzzed_protocol).
+    pub const INPUT_VARIANTS: usize = 8;
+
     /// Multi-cycle target over hand-picked protocol scenarios. Every walk
     /// edge must be drivable (see
     /// [`UnprotectedTarget::scenario_edge_is_drivable`]) — an edge no input
@@ -687,7 +975,7 @@ mod tests {
         for i in 0..t.scenario_count() {
             let sc = t.scenario(i);
             assert_eq!(sc.cycles(), 1);
-            assert_eq!(sc.timing, FaultTiming::Permanent);
+            assert_eq!(sc.schedule, FaultSchedule::Uniform(FaultTiming::Permanent));
             assert_eq!(sc.regs.len(), h.state_code().width());
             assert_eq!(sc.inputs[0].len(), h.cond_code().width());
         }
@@ -763,7 +1051,7 @@ mod tests {
         assert_eq!(scenarios.len(), cfg.edges().len() * depth);
         for s in &scenarios {
             assert_eq!(s.edges.len(), depth);
-            match s.timing {
+            match s.schedule.window(0) {
                 FaultTiming::Transient(c) => assert!(c < depth),
                 FaultTiming::Permanent => panic!("generator emits transient windows"),
             }
@@ -801,10 +1089,10 @@ mod tests {
             .expect("some disconnected pair");
         let _ = ScfiTarget::with_scenarios(
             &h,
-            vec![ProtocolScenario {
-                edges: vec![e0, e1],
-                timing: FaultTiming::Permanent,
-            }],
+            vec![ProtocolScenario::uniform(
+                vec![e0, e1],
+                FaultTiming::Permanent,
+            )],
         );
     }
 
@@ -815,11 +1103,98 @@ mod tests {
         let h = harden(&f, &ScfiConfig::new(2)).unwrap();
         let _ = ScfiTarget::with_scenarios(
             &h,
-            vec![ProtocolScenario {
-                edges: vec![0],
-                timing: FaultTiming::Transient(1),
-            }],
+            vec![ProtocolScenario::uniform(
+                vec![0],
+                FaultTiming::Transient(1),
+            )],
         );
+    }
+
+    #[test]
+    fn per_fault_schedules_window_each_fault_and_clamp() {
+        let s = FaultSchedule::PerFault(vec![FaultTiming::Transient(0), FaultTiming::Transient(2)]);
+        assert_eq!(s.window(0), FaultTiming::Transient(0));
+        assert_eq!(s.window(1), FaultTiming::Transient(2));
+        // Groups larger than the schedule reuse the last window.
+        assert_eq!(s.window(5), FaultTiming::Transient(2));
+        assert_eq!(s.windows().len(), 2);
+        let u: FaultSchedule = FaultTiming::Permanent.into();
+        assert_eq!(u.window(3), FaultTiming::Permanent);
+        assert_eq!(u.windows(), &[FaultTiming::Permanent]);
+    }
+
+    #[test]
+    fn work_item_overrides_beat_the_scenario_schedule() {
+        let sc = Scenario::single(vec![], vec![]);
+        assert_eq!(sc.fault_window(&[], 0), FaultTiming::Permanent);
+        let ov = [None, Some(FaultTiming::Transient(0))];
+        assert_eq!(sc.fault_window(&ov, 0), FaultTiming::Permanent);
+        assert_eq!(sc.fault_window(&ov, 1), FaultTiming::Transient(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty per-fault schedule")]
+    fn empty_per_fault_schedules_are_rejected() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let _ = ScfiTarget::with_scenarios(
+            &h,
+            vec![ProtocolScenario::new(
+                vec![0],
+                FaultSchedule::PerFault(Vec::new()),
+            )],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn late_per_fault_windows_are_rejected() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let _ = ScfiTarget::with_scenarios(
+            &h,
+            vec![ProtocolScenario::new(
+                vec![0],
+                FaultSchedule::PerFault(vec![FaultTiming::Transient(0), FaultTiming::Transient(1)]),
+            )],
+        );
+    }
+
+    #[test]
+    fn fuzzed_unprotected_walks_stay_drivable_and_vary_words() {
+        let f = fsm();
+        let lowered = lower_unprotected(&f).unwrap();
+        let t = UnprotectedTarget::with_fuzzed_protocol(&f, &lowered, 3, 5);
+        let protocol = t.space.protocol.as_ref().unwrap();
+        assert!(t.scenario_count() > 0);
+        assert_eq!(protocol.len(), t.scenario_count());
+        let mut varied = false;
+        for (i, walk) in protocol.iter().enumerate() {
+            let sc = t.scenario(i);
+            let mut state = t.cfg.edges()[walk.edges[0]].from;
+            for (c, raw) in sc.inputs.iter().enumerate() {
+                let ei = t.cfg.matched_edge(state, raw);
+                assert_eq!(ei, walk.edges[c], "scenario {i} cycle {c}");
+                varied |= Some(raw) != t.representatives[ei].as_ref();
+                state = t.cfg.edges()[ei].to;
+            }
+        }
+        assert!(varied, "fuzzing never left the representative words");
+    }
+
+    #[test]
+    fn adversarial_walks_prefer_hamming_close_codewords() {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let t = ScfiTarget::with_fuzzed_protocol(&h, 4, 7);
+        // Every fuzzed walk is still a connected drivable walk with one
+        // transient scenario per injection cycle (validated on
+        // construction); the set is deterministic in the seed.
+        assert_eq!(t.scenario_count(), h.cfg().edges().len() * 4);
+        let again = ScfiTarget::with_fuzzed_protocol(&h, 4, 7);
+        for i in 0..t.scenario_count() {
+            assert_eq!(t.scenario(i), again.scenario(i));
+        }
     }
 
     #[test]

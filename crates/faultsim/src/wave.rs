@@ -75,7 +75,7 @@ use scfi_netlist::{
 
 use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
 use crate::control::{CampaignError, LaneWidth, PartialReport, RunControl, StopReason};
-use crate::target::{FaultTarget, Scenario};
+use crate::target::{FaultTarget, FaultTiming, Scenario};
 
 /// A flat `(scenario, faults)` work list: item `i` injects the fault group
 /// `faults(i)` into scenario `scenario(i)`. Single-fault campaigns store
@@ -92,6 +92,11 @@ pub struct WorkList {
     /// Prefix offsets into `faults`, one extra entry at the end.
     offsets: Vec<u32>,
     faults: Vec<Fault>,
+    /// Per-fault arming-window overrides, parallel to `faults`: `None`
+    /// falls through to the scenario's
+    /// [`FaultSchedule`](crate::FaultSchedule). Plain pushes fill `None`,
+    /// so single-window campaigns carry no per-item timing state.
+    windows: Vec<Option<FaultTiming>>,
 }
 
 impl WorkList {
@@ -101,6 +106,7 @@ impl WorkList {
             scenarios: Vec::with_capacity(items),
             offsets: Vec::with_capacity(items + 1),
             faults: Vec::with_capacity(items),
+            windows: Vec::with_capacity(items),
         };
         w.offsets.push(0);
         w
@@ -142,7 +148,48 @@ impl WorkList {
         };
         self.scenarios.push(scenario);
         self.faults.extend_from_slice(faults);
+        self.windows.resize(self.faults.len(), None);
         self.offsets.push(end);
+        Ok(())
+    }
+
+    /// Appends one item whose fault `j` overrides its arming window with
+    /// `windows[j]` — how sampled multi-fault campaigns give each drawn
+    /// glitch an independent timing without materializing a scenario per
+    /// draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows.len() != faults.len()`, or with the
+    /// [`CampaignError::WorkListOverflow`] description on overflow.
+    pub fn push_scheduled(&mut self, scenario: usize, faults: &[Fault], windows: &[FaultTiming]) {
+        self.try_push_scheduled(scenario, faults, windows)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`push_scheduled`](Self::push_scheduled) as a fallible push,
+    /// reporting [`CampaignError::WorkListOverflow`] like
+    /// [`try_push`](Self::try_push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows.len() != faults.len()`.
+    pub fn try_push_scheduled(
+        &mut self,
+        scenario: usize,
+        faults: &[Fault],
+        windows: &[FaultTiming],
+    ) -> Result<(), CampaignError> {
+        assert_eq!(
+            windows.len(),
+            faults.len(),
+            "one arming window per fault of the group"
+        );
+        self.try_push(scenario, faults)?;
+        let lo = self.faults.len() - faults.len();
+        for (slot, &w) in self.windows[lo..].iter_mut().zip(windows) {
+            *slot = Some(w);
+        }
         Ok(())
     }
 
@@ -162,6 +209,16 @@ impl WorkList {
         let hi = self.offsets[i + 1] as usize;
         (self.scenarios[i] as usize, &self.faults[lo..hi])
     }
+
+    /// Item `i`'s per-fault window overrides, parallel to its fault group
+    /// (`None` entries defer to the scenario's schedule). Resolve fault
+    /// `j`'s effective window with
+    /// [`Scenario::fault_window`](crate::Scenario::fault_window).
+    pub fn windows(&self, i: usize) -> &[Option<FaultTiming>] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.windows[lo..hi]
+    }
 }
 
 /// Execution counters from a wave run — observables for the cycle-skipping
@@ -173,6 +230,10 @@ pub(crate) struct WaveStats {
     pub stepped: u64,
     /// Cycles that cleared and re-armed the fault masks.
     pub rebuilds: u64,
+    /// Stepped cycles that kept the previous cycle's masks — no live
+    /// lane's window opened or closed and the live set held, so the
+    /// clear-and-re-arm sweep was skipped.
+    pub elided_rebuilds: u64,
 }
 
 /// Arms one fault in the selected lanes of a packed simulator. Mirrors the
@@ -400,6 +461,7 @@ fn execute_waves<T: FaultTarget, const W: usize>(
     for w in workers {
         stats.stepped += w.stats.stepped;
         stats.rebuilds += w.stats.rebuilds;
+        stats.elided_rebuilds += w.stats.elided_rebuilds;
         if stopped.is_none() {
             stopped = w.stopped;
         }
@@ -567,15 +629,17 @@ fn run_waves<T: FaultTarget, const W: usize>(
             slot_live.resize(scens.len(), [0u64; W]);
             let mut prev_live: Option<[u64; W]> = None;
             for cycle in 0..wave_cycles {
-                // Pass 1, every cycle: liveness, input words, register flips.
-                // Flips mutate stored state (not masks), so they fire at their
-                // window start whether or not the masks are rebuilt below.
+                // Pass 1, every cycle: liveness, input words, register flips,
+                // and per-fault window-movement detection. Flips mutate
+                // stored state (not masks), so they fire at their own
+                // window's start whether or not the masks are rebuilt below.
                 input_words.fill([0; W]);
                 for m in slot_live.iter_mut() {
                     *m = [0; W];
                 }
                 let mut live_words = [0u64; W];
                 let mut live = 0usize;
+                let mut windows_moved = cycle == 0;
                 for lane in 0..lanes {
                     let slot = lane_scen[lane];
                     let sc = &scens[slot].sc;
@@ -597,12 +661,18 @@ fn run_waves<T: FaultTarget, const W: usize>(
                             }
                         }
                     }
-                    if sc.timing.flip_cycle() == cycle {
-                        let (_, faults) = work.item(base + done + lane);
-                        for &f in faults {
-                            if matches!(f.site, FaultSite::Register(_)) {
+                    let (_, faults) = work.item(base + done + lane);
+                    let overrides = work.windows(base + done + lane);
+                    for (j, &f) in faults.iter().enumerate() {
+                        let w = sc.fault_window(overrides, j);
+                        if matches!(f.site, FaultSite::Register(_)) {
+                            if w.flip_cycle() == cycle {
                                 arm_lanes(&mut sim, f, bit);
                             }
+                        } else if !windows_moved && w.armed_at(cycle) != w.armed_at(cycle - 1) {
+                            // This live lane's net/pin window opened or
+                            // closed since the previous cycle.
+                            windows_moved = true;
                         }
                     }
                 }
@@ -612,34 +682,33 @@ fn run_waves<T: FaultTarget, const W: usize>(
                     break;
                 }
                 // Pass 2: rebuild the net/pin fault masks only when the armed
-                // set can have changed — the live set moved, or a live
-                // scenario's fault window opened or closed since the previous
-                // cycle. All-`Permanent` waves with a stable live set arm
-                // their masks exactly once.
-                let windows_moved = cycle == 0
-                    || scens.iter().zip(&slot_live).any(|(s, m)| {
-                        m.iter().any(|&w| w != 0)
-                            && s.sc.timing.armed_at(cycle) != s.sc.timing.armed_at(cycle - 1)
-                    });
+                // set can have changed — the live set moved, or some live
+                // lane's fault window opened or closed since the previous
+                // cycle (each fault of a group tracks its own window).
+                // All-`Permanent` waves with a stable live set arm their
+                // masks exactly once; every other stepped cycle elides the
+                // clear-and-re-arm sweep.
                 if windows_moved || prev_live != Some(live_words) {
                     stats.rebuilds += 1;
                     sim.clear_faults();
                     for lane in 0..lanes {
                         let sc = &scens[lane_scen[lane]].sc;
-                        if cycle >= sc.cycles()
-                            || verdicts[lane] == Outcome::Detected
-                            || !sc.timing.armed_at(cycle)
-                        {
+                        if cycle >= sc.cycles() || verdicts[lane] == Outcome::Detected {
                             continue;
                         }
                         let bit = lane_mask::<W>(lane);
                         let (_, faults) = work.item(base + done + lane);
-                        for &f in faults {
-                            if !matches!(f.site, FaultSite::Register(_)) {
+                        let overrides = work.windows(base + done + lane);
+                        for (j, &f) in faults.iter().enumerate() {
+                            if !matches!(f.site, FaultSite::Register(_))
+                                && sc.fault_window(overrides, j).armed_at(cycle)
+                            {
                                 arm_lanes(&mut sim, f, bit);
                             }
                         }
                     }
+                } else {
+                    stats.elided_rebuilds += 1;
                 }
                 prev_live = Some(live_words);
                 if sim.has_faults() {
@@ -806,6 +875,34 @@ mod tests {
         assert_eq!(w.item(0), (4, &[f][..]));
         assert_eq!(w.item(1), (9, &[f, g][..]));
         assert_eq!(w.item(2), (0, &[][..]));
+        // Plain pushes carry no per-fault window overrides…
+        assert!(w.windows(1).iter().all(Option::is_none));
+        // …while scheduled pushes override each fault of their group.
+        w.push_scheduled(
+            5,
+            &[f, g],
+            &[FaultTiming::Transient(1), FaultTiming::Permanent],
+        );
+        assert_eq!(w.item(3), (5, &[f, g][..]));
+        assert_eq!(
+            w.windows(3),
+            &[
+                Some(FaultTiming::Transient(1)),
+                Some(FaultTiming::Permanent)
+            ]
+        );
+        assert!(w.windows(0).iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "one arming window per fault")]
+    fn scheduled_pushes_require_one_window_per_fault() {
+        let f = Fault {
+            site: FaultSite::Register(scfi_netlist::CellId(0)),
+            effect: FaultEffect::Flip,
+        };
+        let mut w = WorkList::with_capacity(1);
+        w.push_scheduled(0, &[f, f], &[FaultTiming::Permanent]);
     }
 
     #[test]
@@ -869,10 +966,10 @@ mod tests {
                 edges.push(cfg.out_edge_indices(at)[0]);
             }
             for window in 0..len {
-                scenarios.push(ProtocolScenario {
-                    edges: edges.clone(),
-                    timing: FaultTiming::Transient(window),
-                });
+                scenarios.push(ProtocolScenario::uniform(
+                    edges.clone(),
+                    FaultTiming::Transient(window),
+                ));
             }
         }
         let t = ScfiTarget::with_scenarios(&h, scenarios);
@@ -891,7 +988,7 @@ mod tests {
             .map(|i| {
                 let (s, group) = work.item(i);
                 let sc = t.scenario(s);
-                run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs)
+                run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs)
             })
             .collect();
         for lane_words in [1, 2, 4, 8] {
@@ -913,10 +1010,10 @@ mod tests {
         let mut scenarios = Vec::new();
         for walk in &walks {
             for _ in 0..items_per_walk {
-                scenarios.push(ProtocolScenario {
-                    edges: walk.clone(),
-                    timing: FaultTiming::Transient(window(scenarios.len()) % 4),
-                });
+                scenarios.push(ProtocolScenario::uniform(
+                    walk.clone(),
+                    FaultTiming::Transient(window(scenarios.len()) % 4),
+                ));
             }
         }
         let faults: Vec<Fault> = h
@@ -967,7 +1064,7 @@ mod tests {
                 assert_eq!(verdict, Outcome::Detected, "item {i}");
                 assert_eq!(
                     verdict,
-                    run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs),
+                    run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs),
                     "item {i}"
                 );
             }
@@ -1013,7 +1110,7 @@ mod tests {
             let sc = t.scenario(s);
             assert_eq!(
                 verdict,
-                run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs),
+                run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs),
                 "item {i}"
             );
         }
@@ -1043,10 +1140,7 @@ mod tests {
             let scenarios: Vec<ProtocolScenario> = walks
                 .iter()
                 .enumerate()
-                .map(|(i, w)| ProtocolScenario {
-                    edges: w.clone(),
-                    timing: timing(i),
-                })
+                .map(|(i, w)| ProtocolScenario::uniform(w.clone(), timing(i)))
                 .collect();
             UnprotectedTarget::with_scenarios(&f, &lowered, scenarios)
         };
@@ -1067,7 +1161,7 @@ mod tests {
             let sc = t.scenario(s);
             assert_eq!(
                 verdict,
-                run_item_scalar(&t, &mut sim, s, &sc, group, &mut outputs),
+                run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs),
                 "item {i}"
             );
         }
@@ -1083,6 +1177,114 @@ mod tests {
             stats2.rebuilds,
             waves2
         );
+    }
+
+    /// Two faults of one group striking different steps of the same walk
+    /// ([`FaultSchedule::PerFault`]): the wave executor's per-lane×per-fault
+    /// arm/re-arm masks must match the scalar reference item for item, at
+    /// every width.
+    #[test]
+    fn per_fault_schedules_match_scalar_at_every_width() {
+        use crate::campaign::run_item_scalar;
+        use crate::target::{FaultSchedule, FaultTiming, ProtocolScenario};
+
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let scenarios: Vec<ProtocolScenario> = h
+            .cfg()
+            .random_walks(4, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, walk)| {
+                ProtocolScenario::new(
+                    walk,
+                    FaultSchedule::PerFault(vec![
+                        FaultTiming::Transient(i % 4),
+                        FaultTiming::Transient((i + 2) % 4),
+                    ]),
+                )
+            })
+            .collect();
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let faults = fault_list(&t, &CampaignConfig::new().with_register_flips());
+        let mut work = WorkList::with_capacity(t.scenario_count() * faults.len() / 2);
+        for s in 0..t.scenario_count() {
+            for pair in faults.chunks(2) {
+                work.push(s, pair);
+            }
+        }
+        let mut sim = scfi_netlist::Simulator::new(t.module());
+        let mut outputs = Vec::new();
+        let scalar: Vec<Outcome> = (0..work.len())
+            .map(|i| {
+                let (s, group) = work.item(i);
+                let sc = t.scenario(s);
+                run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs)
+            })
+            .collect();
+        for lane_words in [1, 2, 4, 8] {
+            assert_eq!(
+                execute(&t, &work, 1, lane_words),
+                scalar,
+                "lane_words {lane_words}"
+            );
+        }
+    }
+
+    /// Per-item window overrides ([`WorkList::push_scheduled`]) behave as
+    /// if the scenario carried those windows: wave verdicts match the
+    /// scalar reference, and cycles where no live window moves skip the
+    /// mask rebuild (the re-arm-elision counter fires).
+    #[test]
+    fn window_overrides_match_scalar_and_elide_rebuilds() {
+        use crate::campaign::run_item_scalar;
+        use crate::target::{FaultTiming, ProtocolScenario};
+
+        let f = target_fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).unwrap();
+        let depth = 4;
+        let walk = {
+            let cfg = h.cfg();
+            let mut edges = vec![0];
+            while edges.len() < depth {
+                let at = cfg.edges()[*edges.last().unwrap()].to;
+                edges.push(cfg.out_edge_indices(at)[0]);
+            }
+            edges
+        };
+        // The scenario says "whole walk"; every item narrows each fault to
+        // its own drawn window via overrides.
+        let t = ScfiTarget::with_scenarios(
+            &h,
+            vec![ProtocolScenario::uniform(walk, FaultTiming::Permanent)],
+        );
+        let faults = fault_list(&t, &CampaignConfig::new());
+        let mut work = WorkList::with_capacity(faults.len());
+        for pair in faults.chunks(2) {
+            // Every fault glitches cycle 2, so cycles 0–1 run mask-free:
+            // cycle 1 neither opens a window nor moves the live set, and
+            // must elide its rebuild.
+            let windows = vec![FaultTiming::Transient(2); pair.len()];
+            work.push_scheduled(0, pair, &windows);
+        }
+        let mut sim = scfi_netlist::Simulator::new(t.module());
+        let mut outputs = Vec::new();
+        let scalar: Vec<Outcome> = (0..work.len())
+            .map(|i| {
+                let (s, group) = work.item(i);
+                let sc = t.scenario(s);
+                run_item_scalar(&t, &mut sim, s, &sc, group, work.windows(i), &mut outputs)
+            })
+            .collect();
+        for lane_words in [1, 2, 4] {
+            let (packed, stats) = execute_counting(&t, &work, 1, lane_words);
+            assert_eq!(packed, scalar, "lane_words {lane_words}");
+            let waves = work.len().div_ceil(LANES * lane_words) as u64;
+            assert_eq!(
+                stats.elided_rebuilds, waves,
+                "lane_words {lane_words}: cycle 1 of every wave must keep its masks"
+            );
+        }
     }
 
     /// The word-parallel oracle path and the per-lane extraction fallback
@@ -1114,9 +1316,33 @@ mod tests {
             // wave_oracle deliberately left at the default None.
         }
 
+        use crate::target::{FaultSchedule, FaultTiming, ProtocolScenario};
+
         let f = target_fsm();
         let h = harden(&f, &ScfiConfig::new(2)).unwrap();
-        for t in [ScfiTarget::new(&h), ScfiTarget::with_protocol(&h, 3, 9)] {
+        // Multi-window waves (per-fault schedules) must keep the oracle
+        // path hot too — per-fault arming affects only the mask rebuilds,
+        // never the classification path.
+        let per_fault: Vec<ProtocolScenario> = h
+            .cfg()
+            .random_walks(3, 5)
+            .into_iter()
+            .enumerate()
+            .map(|(i, walk)| {
+                ProtocolScenario::new(
+                    walk,
+                    FaultSchedule::PerFault(vec![
+                        FaultTiming::Transient(i % 3),
+                        FaultTiming::Transient((i + 1) % 3),
+                    ]),
+                )
+            })
+            .collect();
+        for t in [
+            ScfiTarget::new(&h),
+            ScfiTarget::with_protocol(&h, 3, 9),
+            ScfiTarget::with_scenarios(&h, per_fault),
+        ] {
             assert!(t.wave_oracle().is_some());
             let faults = fault_list(
                 &t,

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use scfi_faultsim::{
-    CampaignBackend, CampaignConfig, Fault, FaultEffect, FaultSite, FaultTarget, FaultTiming,
-    Outcome, PackedBackend, ScalarBackend, Scenario, SimdBackend, WorkList,
+    CampaignBackend, CampaignConfig, Fault, FaultEffect, FaultSchedule, FaultSite, FaultTarget,
+    FaultTiming, Outcome, PackedBackend, ScalarBackend, Scenario, SimdBackend, WorkList,
 };
 use scfi_netlist::{CellId, Module, ModuleBuilder, NetId};
 
@@ -24,8 +24,9 @@ type GateSpec = (u8, usize, usize);
 type FaultSpec = (u8, usize, u8, u8);
 
 /// A recipe for one scenario: register preload bits, input schedule,
-/// permanent-vs-transient pick, window pick.
-type ScenarioSpec = (u64, Vec<u8>, bool, usize);
+/// permanent-vs-transient pick, window pick, per-fault window picks
+/// (empty = one shared window for the whole group).
+type ScenarioSpec = (u64, Vec<u8>, bool, usize, Vec<usize>);
 
 /// Builds a random sequential module: `n_regs` flip-flops, a random
 /// combinational DAG over inputs + register outputs, random register
@@ -143,7 +144,7 @@ fn decode_scenarios(module: &Module, specs: &[ScenarioSpec]) -> Vec<Scenario> {
     let n_regs = module.registers().len();
     specs
         .iter()
-        .map(|(reg_bits, schedule, permanent, window)| {
+        .map(|(reg_bits, schedule, permanent, window, per_fault)| {
             let cycles = schedule.len().max(1);
             let inputs = (0..cycles)
                 .map(|c| {
@@ -154,10 +155,17 @@ fn decode_scenarios(module: &Module, specs: &[ScenarioSpec]) -> Vec<Scenario> {
             Scenario {
                 regs: (0..n_regs).map(|i| (reg_bits >> i) & 1 == 1).collect(),
                 inputs,
-                timing: if *permanent {
-                    FaultTiming::Permanent
+                schedule: if *permanent {
+                    FaultSchedule::Uniform(FaultTiming::Permanent)
+                } else if per_fault.is_empty() {
+                    FaultSchedule::Uniform(FaultTiming::Transient(window % cycles))
                 } else {
-                    FaultTiming::Transient(window % cycles)
+                    FaultSchedule::PerFault(
+                        per_fault
+                            .iter()
+                            .map(|w| FaultTiming::Transient(w % cycles))
+                            .collect(),
+                    )
                 },
             }
         })
@@ -176,7 +184,13 @@ proptest! {
         n_regs in 1usize..5,
         dff_srcs in proptest::collection::vec(0usize..64, 4),
         scenario_specs in proptest::collection::vec(
-            (any::<u64>(), proptest::collection::vec(any::<u8>(), 1..4), any::<bool>(), any::<usize>()),
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 1..4),
+                any::<bool>(),
+                any::<usize>(),
+                proptest::collection::vec(any::<usize>(), 0..4),
+            ),
             1..4,
         ),
         fault_specs in proptest::collection::vec((any::<u8>(), 0usize..512, any::<u8>(), any::<u8>()), 1..24),
@@ -202,6 +216,19 @@ proptest! {
         }
         for (i, group) in faults.chunks(group_size).enumerate() {
             work.push(i % target.scenario_count(), group);
+        }
+        // A third block overrides each fault's window per item
+        // ([`WorkList::push_scheduled`]), exercising the per-fault re-arm
+        // masks across group sizes and wave boundaries.
+        for (i, group) in faults.chunks(group_size).enumerate() {
+            let s = i % target.scenario_count();
+            let cycles = target.scenarios[s].cycles();
+            let windows: Vec<FaultTiming> = group
+                .iter()
+                .enumerate()
+                .map(|(j, _)| FaultTiming::Transient((i * 31 + 7 * j) % cycles))
+                .collect();
+            work.push_scheduled(s, group, &windows);
         }
 
         let reference = ScalarBackend.execute(&target, &work, &CampaignConfig::new().threads(1));

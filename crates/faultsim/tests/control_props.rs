@@ -7,9 +7,9 @@
 
 use proptest::prelude::*;
 use scfi_faultsim::{
-    CampaignBackend, CampaignConfig, CampaignError, Fault, FaultEffect, FaultSite, FaultTarget,
-    FaultTiming, Outcome, PackedBackend, RunControl, ScalarBackend, Scenario, SimdBackend,
-    StopReason, WorkList,
+    CampaignBackend, CampaignConfig, CampaignError, Fault, FaultEffect, FaultSchedule, FaultSite,
+    FaultTarget, FaultTiming, Outcome, PackedBackend, RunControl, ScalarBackend, Scenario,
+    SimdBackend, StopReason, WorkList,
 };
 use scfi_netlist::{CellId, Module, ModuleBuilder, NetId};
 use std::time::Duration;
@@ -66,11 +66,11 @@ impl SyntheticTarget {
                 inputs: (0..2)
                     .map(|c| (0..N_INPUTS).map(|i| (s + c + i) % 3 == 0).collect())
                     .collect(),
-                timing: if s % 2 == 0 {
+                schedule: FaultSchedule::Uniform(if s % 2 == 0 {
                     FaultTiming::Permanent
                 } else {
                     FaultTiming::Transient(s % 2)
-                },
+                }),
             })
             .collect();
         SyntheticTarget {

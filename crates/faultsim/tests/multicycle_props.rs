@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use scfi_core::{harden, redundancy, ScfiConfig};
 use scfi_faultsim::{
     run_exhaustive, run_exhaustive_scalar, run_multi_fault, run_multi_fault_scalar, CampaignConfig,
-    FaultEffect, FaultTiming, ProtocolScenario, RedundancyTarget, ScfiTarget, UnprotectedTarget,
+    FaultEffect, FaultSchedule, FaultTiming, ProtocolScenario, RedundancyTarget, ScfiTarget,
+    UnprotectedTarget,
 };
 use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
 
@@ -130,10 +131,92 @@ proptest! {
             } else {
                 FaultTiming::Transient(window % len)
             };
-            scenarios.push(ProtocolScenario { edges, timing });
+            scenarios.push(ProtocolScenario::uniform(edges, timing));
         }
         let t = ScfiTarget::with_scenarios(&h, scenarios);
         let cfg = config(effects_pick, false, true, 1, width_pick, 1);
         prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+    }
+
+    /// Per-fault schedules ([`FaultSchedule::PerFault`]) over hand-built
+    /// walks: each scenario arms fault `j` of the group in its own random
+    /// window, and every engine×width×thread combination must agree with
+    /// the scalar reference.
+    #[test]
+    fn packed_matches_scalar_on_per_fault_schedules(
+        len in 2usize..5,
+        windows in proptest::collection::vec(any::<usize>(), 1..4),
+        effects_pick in any::<u8>(),
+        regs in any::<bool>(),
+        threads in any::<usize>(),
+        width_pick in any::<u8>(),
+    ) {
+        let f = fsm();
+        let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
+        let mut scenarios = Vec::new();
+        for start in 0..h.cfg().edges().len() {
+            let mut edges = vec![start];
+            while edges.len() < len {
+                let at = h.cfg().edges()[*edges.last().unwrap()].to;
+                edges.push(h.cfg().out_edge_indices(at)[0]);
+            }
+            let schedule = FaultSchedule::PerFault(
+                windows
+                    .iter()
+                    .enumerate()
+                    .map(|(j, w)| FaultTiming::Transient((w + j + start) % len))
+                    .collect(),
+            );
+            scenarios.push(ProtocolScenario::new(edges, schedule));
+        }
+        let t = ScfiTarget::with_scenarios(&h, scenarios);
+        let cfg = config(effects_pick, false, regs, threads, width_pick, 1);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+        // Multi-fault groups spread over the per-fault windows too.
+        prop_assert_eq!(
+            run_multi_fault(&t, 3, 150, &cfg),
+            run_multi_fault_scalar(&t, 3, 150, &cfg)
+        );
+    }
+
+    /// Sampled per-fault *window draws* (`with_fault_windows`) and
+    /// adversarially fuzzed input schedules (`with_fuzzed_protocol`) agree
+    /// packed-vs-scalar on every target configuration, draw for draw.
+    #[test]
+    fn packed_matches_scalar_on_windowed_fuzzed_campaigns(
+        depth in 1usize..5,
+        walk_seed in any::<u64>(),
+        draw_seed in any::<u64>(),
+        faults_per_run in 0usize..4,
+        runs in 1usize..150,
+        effects_pick in any::<u8>(),
+        threads in any::<usize>(),
+        width_pick in any::<u8>(),
+    ) {
+        let f = fsm();
+        let cfg = config(effects_pick, false, true, threads, width_pick, draw_seed)
+            .with_fault_windows();
+        let h = harden(&f, &ScfiConfig::new(2)).expect("harden");
+        let t = ScfiTarget::with_fuzzed_protocol(&h, depth, walk_seed);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+        prop_assert_eq!(
+            run_multi_fault(&t, faults_per_run, runs, &cfg),
+            run_multi_fault_scalar(&t, faults_per_run, runs, &cfg)
+        );
+
+        let r = redundancy(&f, 2).expect("redundancy");
+        let t = RedundancyTarget::with_fuzzed_protocol(&r, depth, walk_seed);
+        prop_assert_eq!(
+            run_multi_fault(&t, faults_per_run, runs, &cfg),
+            run_multi_fault_scalar(&t, faults_per_run, runs, &cfg)
+        );
+
+        let lowered = lower_unprotected(&f).expect("lowering");
+        let t = UnprotectedTarget::with_fuzzed_protocol(&f, &lowered, depth, walk_seed);
+        prop_assert_eq!(run_exhaustive(&t, &cfg), run_exhaustive_scalar(&t, &cfg));
+        prop_assert_eq!(
+            run_multi_fault(&t, faults_per_run, runs, &cfg),
+            run_multi_fault_scalar(&t, faults_per_run, runs, &cfg)
+        );
     }
 }

@@ -602,6 +602,58 @@ impl Bdd {
         Some(path)
     }
 
+    /// A *fewest-care* satisfying assignment of `f`: among all root→`TRUE`
+    /// paths, one constraining the fewest variables (ties broken toward
+    /// the low branch, so tied variables are pinned `false`). Same shape
+    /// and `None` contract as [`sat_one`](Self::sat_one).
+    ///
+    /// Every variable absent from the result is a don't-care, and
+    /// maximizing don't-cares minimizes what the witness *commits to* —
+    /// downstream decoders default don't-cares to `false`, so a joint
+    /// certification witness keeps every fault selector the escape does
+    /// not actually need switched off, and a k-step witness pins only the
+    /// state and input bits that matter.
+    pub fn sat_one_minimal(&self, f: BddRef) -> Option<Vec<(u32, bool)>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut memo = HashMap::new();
+        let mut path = Vec::new();
+        let mut n = f.0;
+        while n > 1 {
+            let Node { var, lo, hi } = self.nodes[n as usize];
+            let (cl, ch) = (self.min_care(lo, &mut memo), self.min_care(hi, &mut memo));
+            if cl <= ch {
+                path.push((var, false));
+                n = lo;
+            } else {
+                path.push((var, true));
+                n = hi;
+            }
+        }
+        Some(path)
+    }
+
+    /// Fewest variables constrained on any path from `f` to `TRUE`
+    /// (`u32::MAX` for the unsatisfiable terminal).
+    fn min_care(&self, f: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+        if f == 0 {
+            return u32::MAX;
+        }
+        if f == 1 {
+            return 0;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let Node { lo, hi, .. } = self.nodes[f as usize];
+        let lo_c = self.min_care(lo, memo);
+        let hi_c = self.min_care(hi, memo);
+        let c = lo_c.min(hi_c).saturating_add(1);
+        memo.insert(f, c);
+        c
+    }
+
     /// Number of satisfying assignments of `f` over the variable universe
     /// `vars` (sorted ascending). Returned as `f64`: exact for the sizes
     /// the engine reports, and overflow-free for pathological ones.
@@ -785,6 +837,45 @@ mod tests {
         let unsat = b.and(f, nx);
         assert_eq!(b.sat_one(unsat), None);
         assert_eq!(b.sat_one(BddRef::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn sat_one_minimal_constrains_the_fewest_variables() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        // (!x & !y & z) | x: plain sat_one walks the lo-first path and
+        // pins all three variables; the minimal witness needs only
+        // x = true.
+        let f = {
+            let nx = b.not(x);
+            let ny = b.not(y);
+            let cube = b.and(nx, ny);
+            let cube = b.and(cube, z);
+            b.or(cube, x)
+        };
+        assert_eq!(
+            b.sat_one(f).expect("satisfiable"),
+            vec![(0, false), (1, false), (2, true)]
+        );
+        let minimal = b.sat_one_minimal(f).expect("satisfiable");
+        assert_eq!(minimal, vec![(0, true)]);
+        // The minimal model still satisfies f under the default-false
+        // completion of its don't-cares.
+        let mut assignment = vec![false; 3];
+        for &(v, val) in &minimal {
+            assignment[v as usize] = val;
+        }
+        assert!(b.eval(f, &assignment));
+        // Ties break toward the low branch: xor needs one care either
+        // way, and the witness pins the tested variable false.
+        let g = b.xor(x, y);
+        let minimal = b.sat_one_minimal(g).expect("satisfiable");
+        assert_eq!(minimal, vec![(0, false), (1, true)]);
+        // Terminal contracts match sat_one.
+        assert_eq!(b.sat_one_minimal(BddRef::FALSE), None);
+        assert_eq!(b.sat_one_minimal(BddRef::TRUE), Some(vec![]));
     }
 
     #[test]

@@ -336,6 +336,71 @@ impl CertificationReport {
             _ => None,
         })
     }
+
+    /// Escaping sites grouped per cell: `(cell id, escapes, certified
+    /// sites)` for every cell with at least one counterexample, ranked
+    /// most escapes first (cell id breaks ties) — the same ordering
+    /// convention as
+    /// [`VulnerabilityMap::ranked_by_hijacks`](scfi_faultsim::VulnerabilityMap::ranked_by_hijacks),
+    /// so the designer's hardening worklist reads the same whether it
+    /// came from sampling or from proof.
+    pub fn ranked_escaping_cells(&self) -> Vec<(u32, usize, usize)> {
+        use std::cmp::Reverse;
+        use std::collections::HashMap;
+        let mut by_cell: HashMap<u32, (usize, usize)> = HashMap::new();
+        for site in &self.sites {
+            let cell = match site.fault.site {
+                FaultSite::CellOutput(c) | FaultSite::Pin(c, _) | FaultSite::Register(c) => c.0,
+            };
+            let entry = by_cell.entry(cell).or_default();
+            entry.1 += 1;
+            if matches!(site.verdict, Verdict::Counterexample(_)) {
+                entry.0 += 1;
+            }
+        }
+        let mut ranked: Vec<(u32, usize, usize)> = by_cell
+            .into_iter()
+            .filter(|&(_, (escapes, _))| escapes > 0)
+            .map(|(cell, (escapes, sites))| (cell, escapes, sites))
+            .collect();
+        ranked.sort_by_key(|&(cell, escapes, _)| (Reverse(escapes), cell));
+        ranked
+    }
+
+    /// A [`Display`](fmt::Display) adapter rendering the escaping-site
+    /// set as a ranked designer report (the `certify --all-gates` view):
+    /// one row per escaping cell, worst first, 16-row excerpt with an
+    /// explicit "… and K more" footer — the
+    /// [`VulnerabilityMap`](scfi_faultsim::VulnerabilityMap) conventions.
+    pub fn escape_ranking(&self) -> EscapeRanking<'_> {
+        EscapeRanking(self)
+    }
+}
+
+/// Ranked escaping-cell view of a [`CertificationReport`]; see
+/// [`CertificationReport::escape_ranking`].
+pub struct EscapeRanking<'r>(&'r CertificationReport);
+
+impl fmt::Display for EscapeRanking<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ranked = self.0.ranked_escaping_cells();
+        writeln!(
+            f,
+            "{} certified sites; {} escapes through {} cells",
+            self.0.sites.len(),
+            self.0.counterexamples(),
+            ranked.len()
+        )?;
+        for &(cell, escapes, sites) in ranked.iter().take(16) {
+            writeln!(f, "  c{cell:<6} {escapes:>4} escapes / {sites:>5} sites")?;
+        }
+        // The ranking is an excerpt; say so instead of silently dropping
+        // the tail of the escaping-cell list.
+        if ranked.len() > 16 {
+            writeln!(f, "  … and {} more escaping cells", ranked.len() - 16)?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for CertificationReport {
@@ -430,14 +495,14 @@ impl CertifyBudget {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Certifier<'m, M: CertifyModel> {
-    model: &'m M,
-    evaluator: SymbolicEvaluator<'m>,
-    bdd: Bdd,
-    base: SymStep,
-    reach: Reachability,
+    pub(crate) model: &'m M,
+    pub(crate) evaluator: SymbolicEvaluator<'m>,
+    pub(crate) bdd: Bdd,
+    pub(crate) base: SymStep,
+    pub(crate) reach: Reachability,
     /// The model's input-space assumption over the input variables.
-    assumption: BddRef,
-    detection_ports: Vec<usize>,
+    pub(crate) assumption: BddRef,
+    pub(crate) detection_ports: Vec<usize>,
 }
 
 impl<'m, M: CertifyModel> Certifier<'m, M> {
@@ -660,6 +725,12 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
     /// that differs from the fault-free run, with every detection line
     /// low.
     fn replay(&self, fault: Fault, regs: &[bool], inputs: &[bool]) -> bool {
+        self.replay_group(&[fault], regs, inputs)
+    }
+
+    /// [`replay`](Self::replay) for a whole fault group injected at once —
+    /// the joint certification's witness confirmation.
+    pub(crate) fn replay_group(&self, faults: &[Fault], regs: &[bool], inputs: &[bool]) -> bool {
         let module = self.model.module();
         let mut sim = Simulator::new(module);
 
@@ -672,7 +743,9 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
         sim.reset_to(regs);
         // Witness replay arms through the campaign layer's own `arm`, so
         // the two oracles can never drift on injection semantics.
-        scfi_faultsim::arm(&mut sim, fault);
+        for &fault in faults {
+            scfi_faultsim::arm(&mut sim, fault);
+        }
         let bad_out = sim.step(inputs);
         let bad_next = sim.register_values().to_vec();
 

@@ -236,6 +236,101 @@ impl FaultMasks {
     }
 }
 
+/// Selector-guarded fault set: every transform is armed by a BDD guard,
+/// so one evaluation covers *every subset* of the fault list at once
+/// (each fault active exactly where its guard holds).
+///
+/// The concrete-selector semantics match the scalar simulator's
+/// composition rules at every site: stuck transforms apply first in
+/// fault order (the last active one wins, like repeated
+/// `set_net_stuck` calls), flips toggle by the parity of the active
+/// flip guards (like repeated `set_net_flip`), and register flips
+/// negate the stored-bit source by the parity of their guards.
+#[derive(Default)]
+struct GuardedMasks {
+    nets: HashMap<u32, Vec<(FaultEffect, BddRef)>>,
+    pins: HashMap<(u32, u8), Vec<(FaultEffect, BddRef)>>,
+    /// Flip-guard parity per register *position*.
+    reg_flips: HashMap<usize, Vec<BddRef>>,
+}
+
+impl GuardedMasks {
+    fn compile(module: &Module, faults: &[(Fault, BddRef)]) -> Self {
+        let mut masks = GuardedMasks::default();
+        for &(fault, guard) in faults {
+            match fault.site {
+                FaultSite::CellOutput(c) => masks
+                    .nets
+                    .entry(c.0)
+                    .or_default()
+                    .push((fault.effect, guard)),
+                FaultSite::Pin(c, p) => masks
+                    .pins
+                    .entry((c.0, p))
+                    .or_default()
+                    .push((fault.effect, guard)),
+                FaultSite::Register(c) => {
+                    let pos = module
+                        .register_position(c)
+                        .unwrap_or_else(|| panic!("{c:?} is not a register"));
+                    masks.reg_flips.entry(pos).or_default().push(guard);
+                }
+            }
+        }
+        masks
+    }
+
+    /// Applies one site's guarded transform list to a raw value.
+    fn apply(
+        b: &mut Bdd,
+        raw: BddRef,
+        transforms: &[(FaultEffect, BddRef)],
+    ) -> Result<BddRef, BddOverflow> {
+        let mut v = raw;
+        for &(effect, guard) in transforms {
+            match effect {
+                FaultEffect::Stuck0 => {
+                    let keep = b.try_not(guard)?;
+                    v = b.try_and(v, keep)?;
+                }
+                FaultEffect::Stuck1 => v = b.try_or(v, guard)?,
+                FaultEffect::Flip => {}
+            }
+        }
+        let mut parity = BddRef::FALSE;
+        for &(effect, guard) in transforms {
+            if matches!(effect, FaultEffect::Flip) {
+                parity = b.try_xor(parity, guard)?;
+            }
+        }
+        b.try_xor(v, parity)
+    }
+
+    fn net(&self, b: &mut Bdd, net: u32, raw: BddRef) -> Result<BddRef, BddOverflow> {
+        match self.nets.get(&net) {
+            Some(t) => Self::apply(b, raw, t),
+            None => Ok(raw),
+        }
+    }
+
+    fn pin(&self, b: &mut Bdd, cell: u32, pin: usize, raw: BddRef) -> Result<BddRef, BddOverflow> {
+        match self.pins.get(&(cell, pin as u8)) {
+            Some(t) => Self::apply(b, raw, t),
+            None => Ok(raw),
+        }
+    }
+
+    fn reg_source(&self, b: &mut Bdd, pos: usize, raw: BddRef) -> Result<BddRef, BddOverflow> {
+        let mut v = raw;
+        if let Some(guards) = self.reg_flips.get(&pos) {
+            for &g in guards {
+                v = b.try_xor(v, g)?;
+            }
+        }
+        Ok(v)
+    }
+}
+
 /// Symbolic single-cycle evaluator for a [`Module`].
 ///
 /// Construction precomputes the variable order and the fanout adjacency
@@ -357,6 +452,135 @@ impl<'m> SymbolicEvaluator<'m> {
         }
 
         self.finish_step(b, nets, &masks)
+    }
+
+    /// Evaluates one symbolic cycle from *explicit sources* under a
+    /// *selector-guarded* fault set: register position `i` reads the
+    /// function `regs[i]`, input port `i` reads `inputs[i]`, and each
+    /// fault applies only where its guard BDD holds.
+    ///
+    /// This is the generalized step the temporal certifications are built
+    /// from. The k-step unrolling feeds the previous step's `next_regs`
+    /// back in as `regs` (with fresh input variables per cycle) instead of
+    /// renaming; the joint multi-fault certification passes the whole
+    /// fault list with one selector variable per site, so a single
+    /// evaluation covers every fault subset at once. With the identity
+    /// sources and constant-`TRUE` guards this computes exactly
+    /// [`eval`](Self::eval)'s functions (asserted by the differential
+    /// tests); with no faults it is the plain transition step from the
+    /// given sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a register- or input-count mismatch.
+    pub fn try_eval_guarded(
+        &self,
+        b: &mut Bdd,
+        regs: &[BddRef],
+        inputs: &[BddRef],
+        faults: &[(Fault, BddRef)],
+    ) -> Result<SymStep, BddOverflow> {
+        let m = self.module;
+        assert_eq!(regs.len(), m.registers().len(), "register count mismatch");
+        assert_eq!(inputs.len(), m.inputs().len(), "input count mismatch");
+        let masks = GuardedMasks::compile(m, faults);
+        let mut nets = vec![BddRef::FALSE; m.len()];
+
+        // Phase 0: source nets (inputs, constants, register outputs).
+        for (i, &net) in m.inputs().iter().enumerate() {
+            nets[net.index()] = masks.net(b, net.0, inputs[i])?;
+        }
+        for (i, cell) in m.cells().iter().enumerate() {
+            if let CellKind::Const(c) = cell.kind {
+                let raw = b.constant(c);
+                nets[i] = masks.net(b, i as u32, raw)?;
+            }
+        }
+        for (pos, &r) in m.registers().iter().enumerate() {
+            let raw = masks.reg_source(b, pos, regs[pos])?;
+            nets[r.index()] = masks.net(b, r.0, raw)?;
+        }
+
+        // Phase 1: combinational settle in topological order.
+        for &c in m.topo_order() {
+            let v = self.eval_cell_guarded(b, c.index(), &nets, &masks)?;
+            nets[c.index()] = v;
+        }
+
+        // Phase 2: sample outputs and the (guarded) register commit path.
+        let next_regs = m
+            .registers()
+            .iter()
+            .map(|&r| {
+                let pin_net = m.cell(r).pins[0];
+                let raw = nets[pin_net.index()];
+                masks.pin(b, r.0, 0, raw)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let outputs = m
+            .outputs()
+            .iter()
+            .map(|&(_, net): &(String, NetId)| nets[net.index()])
+            .collect();
+        Ok(SymStep {
+            nets,
+            next_regs,
+            outputs,
+        })
+    }
+
+    /// [`eval_cell`](Self::eval_cell) under guarded masks.
+    fn eval_cell_guarded(
+        &self,
+        b: &mut Bdd,
+        index: usize,
+        nets: &[BddRef],
+        masks: &GuardedMasks,
+    ) -> Result<BddRef, BddOverflow> {
+        let cell = &self.module.cells()[index];
+        let read = |b: &mut Bdd, pin: usize| -> Result<BddRef, BddOverflow> {
+            let raw = nets[cell.pins[pin].index()];
+            masks.pin(b, index as u32, pin, raw)
+        };
+        let raw = match cell.kind {
+            CellKind::Buf => read(b, 0)?,
+            CellKind::Not => {
+                let a = read(b, 0)?;
+                b.try_not(a)?
+            }
+            CellKind::And => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_and(x, y)?
+            }
+            CellKind::Or => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_or(x, y)?
+            }
+            CellKind::Xor => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_xor(x, y)?
+            }
+            CellKind::Nand => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_nand(x, y)?
+            }
+            CellKind::Nor => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_nor(x, y)?
+            }
+            CellKind::Xnor => {
+                let (x, y) = (read(b, 0)?, read(b, 1)?);
+                b.try_xnor(x, y)?
+            }
+            CellKind::Mux => {
+                let (sel, x, y) = (read(b, 0)?, read(b, 1)?, read(b, 2)?);
+                b.try_mux(sel, x, y)?
+            }
+            CellKind::Input | CellKind::Const(_) | CellKind::Dff { .. } => {
+                unreachable!("topo order contains only combinational cells")
+            }
+        };
+        masks.net(b, index as u32, raw)
     }
 
     /// Cone-incremental re-evaluation: recomputes only the transitive
@@ -680,6 +904,174 @@ mod tests {
                 assert_eq!(full.next_regs, inc.next_regs, "fault {fault:?}");
                 assert_eq!(full.outputs, inc.outputs, "fault {fault:?}");
                 assert_eq!(full.nets, inc.nets, "fault {fault:?}");
+            }
+        }
+    }
+
+    /// Identity sources: every register reads its own current-state
+    /// variable and every input its input variable — the configuration
+    /// under which guarded evaluation must reproduce [`eval`].
+    fn identity_sources(ev: &SymbolicEvaluator<'_>, b: &mut Bdd) -> (Vec<BddRef>, Vec<BddRef>) {
+        let regs = (0..ev.module().registers().len())
+            .map(|i| b.var(ev.varmap().reg_current(i)))
+            .collect();
+        let inputs = (0..ev.module().inputs().len())
+            .map(|i| b.var(ev.varmap().input(i)))
+            .collect();
+        (regs, inputs)
+    }
+
+    #[test]
+    fn guarded_eval_with_true_guards_equals_plain_eval() {
+        let m = counter();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let mut faults: Vec<Fault> = vec![Fault {
+            site: FaultSite::Register(m.registers()[0]),
+            effect: FaultEffect::Flip,
+        }];
+        for (i, cell) in m.cells().iter().enumerate() {
+            if matches!(cell.kind, CellKind::Input | CellKind::Const(_)) {
+                continue;
+            }
+            for effect in [FaultEffect::Flip, FaultEffect::Stuck0, FaultEffect::Stuck1] {
+                faults.push(Fault {
+                    site: FaultSite::CellOutput(CellId(i as u32)),
+                    effect,
+                });
+            }
+            for pin in 0..cell.pins.len() {
+                faults.push(Fault {
+                    site: FaultSite::Pin(CellId(i as u32), pin as u8),
+                    effect: FaultEffect::Flip,
+                });
+            }
+        }
+        for &fault in &faults {
+            let plain = ev.eval(&mut b, &[fault]);
+            let (regs, inputs) = identity_sources(&ev, &mut b);
+            let guarded = ev
+                .try_eval_guarded(&mut b, &regs, &inputs, &[(fault, BddRef::TRUE)])
+                .expect("unbudgeted");
+            // Canonicity: equal functions are handle-equal.
+            assert_eq!(plain.next_regs, guarded.next_regs, "fault {fault:?}");
+            assert_eq!(plain.outputs, guarded.outputs, "fault {fault:?}");
+        }
+        // FALSE guards make every fault vanish.
+        let base = ev.eval(&mut b, &[]);
+        let off: Vec<(Fault, BddRef)> = faults.iter().map(|&f| (f, BddRef::FALSE)).collect();
+        let (regs, inputs) = identity_sources(&ev, &mut b);
+        let guarded = ev
+            .try_eval_guarded(&mut b, &regs, &inputs, &off)
+            .expect("unbudgeted");
+        assert_eq!(base.next_regs, guarded.next_regs);
+        assert_eq!(base.outputs, guarded.outputs);
+    }
+
+    #[test]
+    fn guarded_eval_selects_every_fault_subset_at_once() {
+        // One evaluation with symbolic selectors, cofactored on each
+        // concrete selector assignment, must match the unguarded
+        // evaluation of exactly that fault subset.
+        let m = counter();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let faults = [
+            Fault {
+                site: FaultSite::Register(m.registers()[1]),
+                effect: FaultEffect::Flip,
+            },
+            Fault {
+                site: FaultSite::CellOutput(CellId(m.registers()[0].0)),
+                effect: FaultEffect::Stuck1,
+            },
+            Fault {
+                site: FaultSite::Pin(m.topo_order()[0], 0),
+                effect: FaultEffect::Flip,
+            },
+        ];
+        let sel_base = ev.varmap().var_count();
+        let guarded_faults: Vec<(Fault, BddRef)> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, b.var(sel_base + i as u32)))
+            .collect();
+        let (regs, inputs) = identity_sources(&ev, &mut b);
+        let joint = ev
+            .try_eval_guarded(&mut b, &regs, &inputs, &guarded_faults)
+            .expect("unbudgeted");
+        let n_in = m.inputs().len();
+        let n_reg = m.registers().len();
+        for subset in 0u32..1 << faults.len() {
+            let active: Vec<Fault> = faults
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| subset >> i & 1 == 1)
+                .map(|(_, &f)| f)
+                .collect();
+            let expect = ev.eval(&mut b, &active);
+            for bits in 0u64..1 << (n_in + n_reg) {
+                let mut assignment = vec![false; (sel_base + faults.len() as u32) as usize];
+                for i in 0..n_in {
+                    assignment[ev.varmap().input(i) as usize] = bits >> i & 1 == 1;
+                }
+                for i in 0..n_reg {
+                    assignment[ev.varmap().reg_current(i) as usize] = bits >> (n_in + i) & 1 == 1;
+                }
+                for i in 0..faults.len() {
+                    assignment[(sel_base + i as u32) as usize] = subset >> i & 1 == 1;
+                }
+                for (r, (&j, &e)) in joint.next_regs.iter().zip(&expect.next_regs).enumerate() {
+                    assert_eq!(
+                        b.eval(j, &assignment),
+                        b.eval(e, &assignment),
+                        "next reg {r}, subset {subset:03b}, bits {bits:b}"
+                    );
+                }
+                for (p, (&j, &e)) in joint.outputs.iter().zip(&expect.outputs).enumerate() {
+                    assert_eq!(
+                        b.eval(j, &assignment),
+                        b.eval(e, &assignment),
+                        "output {p}, subset {subset:03b}, bits {bits:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_eval_chains_steps_without_renaming() {
+        // Feeding one step's next-state functions back as the next step's
+        // register sources composes the transition function: two chained
+        // steps of the counter add the two enable inputs.
+        let m = counter();
+        let ev = SymbolicEvaluator::new(&m);
+        let mut b = Bdd::new();
+        let (regs, inputs) = identity_sources(&ev, &mut b);
+        let s1 = ev
+            .try_eval_guarded(&mut b, &regs, &inputs, &[])
+            .expect("unbudgeted");
+        let en2 = vec![b.var(ev.varmap().var_count())]; // fresh second-cycle input
+        let s2 = ev
+            .try_eval_guarded(&mut b, &s1.next_regs, &en2, &[])
+            .expect("unbudgeted");
+        let mut sim = Simulator::new(&m);
+        for bits in 0u64..1 << 4 {
+            let (r0, r1, e1, e2) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4, bits & 8 == 8);
+            sim.reset_to(&[r0, r1]);
+            sim.step(&[e1]);
+            sim.step(&[e2]);
+            let mut assignment = vec![false; ev.varmap().var_count() as usize + 1];
+            assignment[ev.varmap().input(0) as usize] = e1;
+            assignment[ev.varmap().reg_current(0) as usize] = r0;
+            assignment[ev.varmap().reg_current(1) as usize] = r1;
+            assignment[ev.varmap().var_count() as usize] = e2;
+            for (r, &f) in s2.next_regs.iter().enumerate() {
+                assert_eq!(
+                    b.eval(f, &assignment),
+                    sim.register_values()[r],
+                    "two-step state bit {r} at bits {bits:b}"
+                );
             }
         }
     }

@@ -58,11 +58,13 @@ mod bdd;
 mod certify;
 mod eval;
 mod reach;
+mod unroll;
 
 pub use bdd::{Bdd, BddOverflow, BddRef};
 pub use certify::{
-    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, SiteReport,
-    Verdict, Witness,
+    describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, EscapeRanking,
+    SiteReport, Verdict, Witness,
 };
 pub use eval::{SymStep, SymbolicEvaluator, VarMap};
 pub use reach::{reachable_states, state_cube, try_reachable_states, try_state_cube, Reachability};
+pub use unroll::{JointReport, JointVerdict, JointWitness, KStepVerdict, KStepWitness};

@@ -531,6 +531,102 @@ fn budget_exhausted_certification_falls_back_to_campaign_sampling() {
     }
 }
 
+/// The *joint* form of the paper's §3 claim, proved over the whole suite:
+/// with protection level N, no combination of up to N − 1 simultaneous
+/// register-space faults — each site guarded by its own BDD selector
+/// variable under a cardinality constraint — silently hijacks any
+/// reachable transition. Per-site certification (above) shows each fault
+/// alone is caught; this shows the *conjunction* attack the temporal
+/// attacker actually mounts is caught too. The unprotected lowering is
+/// refuted with a fewest-care witness whose active set replays to a
+/// concrete hijack on the scalar simulator.
+#[test]
+fn joint_certification_proves_the_n_minus_one_claim_on_every_table1_fsm() {
+    use scfi_symbolic::JointVerdict;
+    for b in scfi_opentitan::all() {
+        for n in [2usize, 3] {
+            let h = harden(&b.fsm, &ScfiConfig::new(n)).expect("harden");
+            let faults = enumerate_faults(h.module(), &register_fault_space(h.module()));
+            let report = Certifier::new(&h).certify_joint(&faults, n - 1);
+            assert!(
+                matches!(report.verdict, JointVerdict::Proved),
+                "{} SCFI N={n}: the joint ≤N−1 claim must be proved: {report}",
+                b.name
+            );
+        }
+
+        let lowered = lower_unprotected(&b.fsm).expect("lowering");
+        let faults = enumerate_faults(lowered.module(), &register_fault_space(lowered.module()));
+        let report = Certifier::new(&lowered).certify_joint(&faults, 1);
+        match &report.verdict {
+            JointVerdict::Counterexample(w) => {
+                assert_eq!(w.active.len(), 1, "{}: minimal witness", b.name);
+                assert!(
+                    w.confirmed,
+                    "{}: the joint witness must replay to a concrete hijack",
+                    b.name
+                );
+            }
+            other => panic!(
+                "{}: unprotected must be jointly refutable, got {other:?}",
+                b.name
+            ),
+        }
+    }
+}
+
+/// The temporal attacker's campaign — multi-fault draws where every fault
+/// carries its *own* sampled arming window over adversarially fuzzed
+/// protocol walks — must produce byte-identical reports on every backend,
+/// wave width and thread count. This pins the per-fault `FaultSchedule`
+/// lowering and the word-parallel multi-window classification against the
+/// scalar reference across all three §6.1 configurations.
+#[test]
+fn multiwindow_fuzzed_campaigns_agree_across_engines_and_threads() {
+    use scfi_faultsim::{run_multi_fault, run_multi_fault_scalar};
+    let fsm = scfi_opentitan::secure_boot_fsm();
+    let depth = 3;
+    let seed = 0x7E4A_0001;
+    let (m, runs) = (3, 400);
+
+    let lowered = lower_unprotected(&fsm).expect("lowering");
+    let unprot = UnprotectedTarget::with_fuzzed_protocol(&fsm, &lowered, depth, seed);
+    let r = redundancy(&fsm, 2).expect("redundancy");
+    let red = RedundancyTarget::with_fuzzed_protocol(&r, depth, seed);
+    let h = harden(&fsm, &ScfiConfig::new(2)).expect("harden");
+    let scfi = ScfiTarget::with_fuzzed_protocol(&h, depth, seed);
+
+    fn check<T: FaultTarget>(target: &T, m: usize, runs: usize, what: &str) {
+        let base = CampaignConfig::new()
+            .with_register_flips()
+            .with_fault_windows();
+        let scalar = run_multi_fault_scalar(target, m, runs, &base);
+        assert!(scalar.injections > 0, "{what}: empty campaign");
+        for lane_words in [1, 2, 4] {
+            for threads in [1, 3] {
+                let config = base.clone().lane_words(lane_words).threads(threads);
+                let packed = run_multi_fault(target, m, runs, &config);
+                assert_eq!(
+                    packed, scalar,
+                    "{what}: packed W={lane_words} threads={threads} diverged from scalar"
+                );
+            }
+        }
+        for backend in [Backend::Scalar, Backend::Simd] {
+            let report = run_multi_fault(target, m, runs, &base.clone().backend(backend));
+            assert_eq!(report, scalar, "{what}: {backend} diverged from scalar");
+        }
+    }
+    check(
+        &unprot,
+        m,
+        runs,
+        "secure_boot unprotected fuzzed multi-window",
+    );
+    check(&red, m, runs, "secure_boot redundancy fuzzed multi-window");
+    check(&scfi, m, runs, "secure_boot SCFI fuzzed multi-window");
+}
+
 /// Whole-module single-fault campaign on the smallest Table-1 FSM: the
 /// accounting must balance and the escape rate must stay in the sub-percent
 /// regime the paper reports (0.42 % in §6.4).
