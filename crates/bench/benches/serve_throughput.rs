@@ -1,0 +1,311 @@
+//! `scfi serve` end-to-end job throughput: how many complete analyze
+//! jobs per second the HTTP server delivers — submission, queueing,
+//! campaign, result retrieval — against the direct in-process rate for
+//! the identical experiment.
+//!
+//! The workload is the warm-cache steady state (analyze `aes_control` at
+//! N = 3 on the packed backend): the first submission compiles and
+//! populates the model cache, every following job reuses the compiled
+//! netlist. Three rates are measured: `direct` (the engine called
+//! in-process, the ceiling), `serial` (one HTTP client at a time) and
+//! `concurrent` (4 clients against the 2-worker pool).
+//!
+//! The committed baseline lives in `BENCH_serve.json` at the workspace
+//! root; regenerate with `cargo bench --bench serve_throughput -- --save`.
+//!
+//! CI runs this bench with `--test`: every served result is asserted
+//! byte-identical to the direct run, the cache counters must show
+//! exactly one miss (everything else hits), and the serial served rate
+//! must stay above half the committed baseline. The serial rate is
+//! dominated by the server's fixed accept/poll sleeps rather than by
+//! campaign CPU time, so it is nearly machine-speed-independent — the
+//! gate catches latency regressions in the HTTP and queueing path (the
+//! overhead ratio is recorded as context, not gated).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use scfi_faultsim::RunControl;
+use scfi_serve::cache::prepare;
+use scfi_serve::jobs::{run_job, JobOutcome, JobSpec};
+use scfi_serve::json::parse;
+use scfi_serve::{Server, ServerOptions};
+
+/// The benchmarked job: a warm-cache analyze on a mid-size Table-1 FSM.
+const JOB: &str = r#"{"kind": "analyze", "suite": "aes_control", "level": 3}"#;
+
+/// Jobs per measured batch.
+const BATCH: usize = 8;
+
+/// Concurrent client threads in the `concurrent` point.
+const CLIENTS: usize = 4;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn save_mode() -> bool {
+    std::env::args().any(|a| a == "--save")
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+// -------------------------------------------------------------------
+// Minimal blocking HTTP client (the bench speaks to the server exactly
+// like an external client: raw TCP, one request per connection).
+// -------------------------------------------------------------------
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+/// Submits one job and blocks until its result is served, returning the
+/// result bytes.
+fn served_job(addr: SocketAddr) -> String {
+    let (status, body) = http(addr, "POST", "/v1/jobs", JOB);
+    assert_eq!(status, 202, "submit: {body}");
+    let id = parse(&body)
+        .expect("submit reply")
+        .get("id")
+        .and_then(|v| v.as_u64())
+        .expect("job id");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let state = parse(&body)
+            .expect("status reply")
+            .get("status")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .expect("status string");
+        match state.as_str() {
+            "done" => break,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} stuck in {state}");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            other => panic!("job {id} ended as `{other}`: {body}"),
+        }
+    }
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+struct Metrics {
+    direct_jobs_per_s: f64,
+    serial_jobs_per_s: f64,
+    concurrent_jobs_per_s: f64,
+    /// `serial ÷ direct` — the machine-independent overhead gate.
+    overhead_ratio: f64,
+}
+
+fn measure() -> (Metrics, Server) {
+    // Direct in-process ceiling: same spec, same prepared model reuse as
+    // the server's warm path, no HTTP and no queue.
+    let spec = JobSpec::from_json(&parse(JOB).expect("job body")).expect("valid job");
+    let prepared = prepare(&spec.fsm, spec.config, spec.level).expect("prepare");
+    let direct_body = match run_job(&spec, &prepared, &RunControl::unlimited()) {
+        JobOutcome::Done { body, .. } => body,
+        _ => panic!("direct warm-up run did not complete"),
+    };
+    let start = Instant::now();
+    for _ in 0..BATCH {
+        match run_job(&spec, &prepared, &RunControl::unlimited()) {
+            JobOutcome::Done { .. } => {}
+            _ => panic!("direct run did not complete"),
+        }
+    }
+    let direct_jobs_per_s = BATCH as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Cold submission: compiles once, populates the cache.
+    let cold = served_job(addr);
+    assert_eq!(
+        cold, direct_body,
+        "served result diverged from the direct run"
+    );
+
+    // Warm serial rate.
+    let start = Instant::now();
+    for _ in 0..BATCH {
+        let body = served_job(addr);
+        assert_eq!(body, direct_body, "warm served result diverged");
+    }
+    let serial_jobs_per_s = BATCH as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Warm concurrent rate: CLIENTS threads, BATCH jobs each.
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..BATCH {
+                    served_job(addr);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let concurrent_jobs_per_s = (CLIENTS * BATCH) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // The model compiled exactly once; every other lookup hit.
+    let (status, health) = http(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    let doc = parse(&health).expect("healthz");
+    let cache = doc.get("cache").expect("cache section");
+    assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        cache.get("hits").and_then(|v| v.as_u64()),
+        Some((1 + BATCH + CLIENTS * BATCH) as u64 - 1),
+        "every warm job must hit the compile cache"
+    );
+
+    let metrics = Metrics {
+        direct_jobs_per_s,
+        serial_jobs_per_s,
+        concurrent_jobs_per_s,
+        overhead_ratio: serial_jobs_per_s / direct_jobs_per_s.max(1e-9),
+    };
+    println!("\n=== scfi serve throughput (warm cache, analyze aes_control N=3) ===");
+    println!("direct      {:>10.1} jobs/s", metrics.direct_jobs_per_s);
+    println!(
+        "serial      {:>10.1} jobs/s  (overhead ratio {:.3})",
+        metrics.serial_jobs_per_s, metrics.overhead_ratio
+    );
+    println!(
+        "concurrent  {:>10.1} jobs/s  ({CLIENTS} clients, 2 workers)\n",
+        metrics.concurrent_jobs_per_s
+    );
+    (metrics, server)
+}
+
+fn write_baseline(m: &Metrics) {
+    let json = format!(
+        "{{\n  \"workload\": \"analyze aes_control N=3, packed backend, warm compile cache, 2 workers\",\n  \
+           \"direct_jobs_per_s\": {:.1},\n  \
+           \"serial_jobs_per_s\": {:.1},\n  \
+           \"concurrent_jobs_per_s\": {:.1},\n  \
+           \"serve_overhead_ratio\": {:.4}\n}}\n",
+        m.direct_jobs_per_s, m.serial_jobs_per_s, m.concurrent_jobs_per_s, m.overhead_ratio
+    );
+    let path = baseline_path();
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("baseline written to {}", path.display());
+}
+
+fn baseline_serial_rate(text: &str) -> f64 {
+    text.lines()
+        .find(|l| l.contains("\"serial_jobs_per_s\""))
+        .and_then(|l| {
+            l.split(':')
+                .nth(1)?
+                .trim()
+                .trim_end_matches([',', '}'])
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "BENCH_serve.json has no serial_jobs_per_s key; regenerate \
+                 with `cargo bench --bench serve_throughput -- --save`"
+            )
+        })
+}
+
+fn check_against_baseline(m: &Metrics) {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); regenerate with \
+             `cargo bench --bench serve_throughput -- --save`",
+            path.display()
+        )
+    });
+    let baseline = baseline_serial_rate(&text);
+    let floor = 0.5 * baseline;
+    println!(
+        "serial served rate {:.1} jobs/s vs baseline {baseline:.1} (floor {floor:.1})",
+        m.serial_jobs_per_s
+    );
+    assert!(
+        m.serial_jobs_per_s >= floor,
+        "serving latency regressed: serial rate {:.1} jobs/s fell below half \
+         the committed baseline {baseline:.1}; investigate the HTTP/queue path, \
+         or regenerate BENCH_serve.json with \
+         `cargo bench --bench serve_throughput -- --save` if intentional",
+        m.serial_jobs_per_s
+    );
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let _warm = served_job(addr);
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("warm_job_roundtrip_aes_n3", |b| b.iter(|| served_job(addr)));
+    group.finish();
+    drop(server);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_serve
+}
+
+fn main() {
+    let (metrics, server) = measure();
+    drop(server);
+    if save_mode() {
+        write_baseline(&metrics);
+        return;
+    }
+    if test_mode() {
+        check_against_baseline(&metrics);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

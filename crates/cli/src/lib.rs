@@ -19,6 +19,8 @@
 //!              [--timeout-secs T] [--max-bdd-nodes K]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
+//! scfi serve [--addr HOST:PORT] [--workers N] [--queue-capacity K]
+//!            [--cache-capacity K]
 //! ```
 
 use std::fmt::Write as _;
@@ -26,8 +28,8 @@ use std::time::Duration;
 
 use scfi_core::{harden, redundancy, PadPolicy, ScfiConfig};
 use scfi_faultsim::{
-    enumerate_faults, try_run_exhaustive, try_run_multi_fault, CampaignConfig, CampaignError,
-    FaultEffect, RunControl, ScfiTarget, StopReason,
+    try_run_exhaustive, try_run_multi_fault, CampaignConfig, CampaignError, FaultEffect,
+    RunControl, ScfiTarget, StopReason,
 };
 use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
 use scfi_stdcell::Library;
@@ -79,6 +81,15 @@ pub const USAGE: &str = "usage:
                [--timeout-secs T] [--max-bdd-nodes K]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
+  scfi serve [--addr HOST:PORT] [--workers N] [--queue-capacity K]
+             [--cache-capacity K]
+
+`scfi serve` runs the campaign-as-a-service HTTP job server (default
+address 127.0.0.1:3007): POST /v1/jobs submits an analyze or certify
+job, GET /v1/jobs/{id} polls status, GET /v1/jobs/{id}/result fetches
+the result document, DELETE /v1/jobs/{id} cancels cooperatively, and
+GET /v1/healthz reports queue depth and compile-cache counters. Served
+results are byte-identical to the corresponding CLI output.
 
 `-` reads the FSM DSL from standard input. `scfi suite` lists the bundled
 OpenTitan-like benchmark FSMs; `scfi suite <name>` prints one as DSL.
@@ -136,6 +147,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         Some("certify") => cmd_certify(&args.cloned().collect::<Vec<_>>(), out),
         Some("area") => cmd_area(&args.cloned().collect::<Vec<_>>(), out),
         Some("suite") => cmd_suite(&args.cloned().collect::<Vec<_>>(), out),
+        Some("serve") => cmd_serve(&args.cloned().collect::<Vec<_>>()),
         Some("--help") | Some("-h") | Some("help") => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -445,9 +457,9 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
             let map = scfi_faultsim::VulnerabilityMap::try_analyze(&target, &config, &control)
                 .map_err(|e| campaign_error(e, out))?;
             if format == "csv" {
-                write_sites_csv(out, hardened.module(), &map);
+                scfi_serve::wire::write_sites_csv(out, hardened.module(), &map);
             } else {
-                write_sites_json(out, hardened.module(), &map);
+                scfi_serve::wire::write_sites_json(out, hardened.module(), &map);
             }
         }
         other => return Err(usage_err(format!("unknown format `{other}`"))),
@@ -504,68 +516,48 @@ fn campaign_error(e: CampaignError, out: &mut String) -> CliError {
     }
 }
 
-/// Streams the per-site vulnerability map as CSV (one row per fault
-/// cell, header first).
-fn write_sites_csv(
-    out: &mut String,
-    module: &scfi_netlist::Module,
-    map: &scfi_faultsim::VulnerabilityMap,
-) {
-    let _ = writeln!(
-        out,
-        "cell,kind,name,masked,detected,hijacked,total,hijack_rate"
-    );
-    for (cell, stats) in map.sites() {
-        let c = module.cell(cell);
-        let rate = if stats.total() == 0 {
-            0.0
-        } else {
-            stats.hijacked as f64 / stats.total() as f64
-        };
-        let _ = writeln!(
-            out,
-            "c{},{},{},{},{},{},{},{:.6}",
-            cell.0,
-            c.kind.mnemonic(),
-            c.name.as_deref().unwrap_or(""),
-            stats.masked,
-            stats.detected,
-            stats.hijacked,
-            stats.total(),
-            rate
-        );
+/// `scfi serve`: boots the campaign-as-a-service HTTP job server and
+/// blocks until the process is killed. The listening line is printed
+/// straight to stdout (not the deferred output buffer) so scripts can
+/// scrape the actual bound port before the server blocks.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::new(args);
+    let addr = flags
+        .value("--addr")?
+        .unwrap_or("127.0.0.1:3007")
+        .to_string();
+    let mut options = scfi_serve::ServerOptions::default();
+    if let Some(v) = flags.value("--workers")? {
+        options.workers = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| usage_err("--workers must be a positive number"))?;
     }
-}
-
-/// Streams the per-site vulnerability map as JSON.
-fn write_sites_json(
-    out: &mut String,
-    module: &scfi_netlist::Module,
-    map: &scfi_faultsim::VulnerabilityMap,
-) {
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"module\": \"{}\",", module.name());
-    let _ = writeln!(out, "  \"injections\": {},", map.total_injections());
-    let _ = writeln!(out, "  \"hijacks\": {},", map.total_hijacks());
-    let _ = writeln!(out, "  \"sites\": [");
-    let sites: Vec<_> = map.sites().collect();
-    for (i, (cell, stats)) in sites.iter().enumerate() {
-        let c = module.cell(*cell);
-        let comma = if i + 1 < sites.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"cell\": {}, \"kind\": \"{}\", \"name\": \"{}\", \
-             \"masked\": {}, \"detected\": {}, \"hijacked\": {}}}{comma}",
-            cell.0,
-            c.kind.mnemonic(),
-            c.name.as_deref().unwrap_or(""),
-            stats.masked,
-            stats.detected,
-            stats.hijacked
-        );
+    if let Some(v) = flags.value("--queue-capacity")? {
+        options.queue_capacity = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| usage_err("--queue-capacity must be a positive number"))?;
     }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
+    if let Some(v) = flags.value("--cache-capacity")? {
+        options.cache_capacity = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| usage_err("--cache-capacity must be a positive number"))?;
+    }
+    flags.finish()?;
+    let server = scfi_serve::Server::bind(&addr, options).map_err(|e| CliError {
+        message: format!("binding {addr}: {e}"),
+        code: 2,
+    })?;
+    println!("scfi serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
 }
 
 /// `scfi certify`: formal per-site fault certification via the
@@ -726,30 +718,10 @@ fn parse_certify_budget(flags: &mut Flags<'_>) -> Result<CertifyBudget, CliError
     Ok(budget)
 }
 
-/// Enumerates the certification fault space — the shared definition used
-/// by the per-site and the joint engines.
-fn certify_fault_set(
-    module: &scfi_netlist::Module,
-    all_gates: bool,
-    stuck_at: bool,
-    pin_faults: bool,
-) -> Vec<scfi_faultsim::Fault> {
-    let mut effects = vec![FaultEffect::Flip];
-    if stuck_at {
-        effects.push(FaultEffect::Stuck0);
-        effects.push(FaultEffect::Stuck1);
-    }
-    let mut fault_config = CampaignConfig::new().effects(effects).with_register_flips();
-    if !all_gates {
-        // The paper's FT1 claim: the state registers (stored-bit flips
-        // plus the register-region nets).
-        fault_config = fault_config.register_region(module);
-    }
-    if pin_faults {
-        fault_config = fault_config.with_pin_faults();
-    }
-    enumerate_faults(module, &fault_config)
-}
+// The certification fault-space definition is shared with the job
+// server (`scfi serve` certifies the identical fault set for the same
+// knobs), so it lives in `scfi_serve::jobs`.
+use scfi_serve::jobs::certify_fault_set;
 
 /// Certifies the joint multi-fault claim for one model and renders the
 /// report. A setup-phase budget overflow degrades the whole claim to
@@ -1586,6 +1558,21 @@ mod tests {
         assert_eq!(run_err(&["harden"]).code, 1);
         assert_eq!(run_err(&["harden", "/nonexistent/x.dsl"]).code, 2);
         let _ = std::fs::remove_file(path);
+    }
+
+    /// `scfi serve` validates its flags before binding; a bad address is
+    /// an input error (the server itself is exercised by the scfi-serve
+    /// integration suites, not through the blocking CLI entry point).
+    #[test]
+    fn serve_flags_are_validated() {
+        assert_eq!(run_err(&["serve", "--workers", "0"]).code, 1);
+        assert_eq!(run_err(&["serve", "--workers", "x"]).code, 1);
+        assert_eq!(run_err(&["serve", "--queue-capacity", "0"]).code, 1);
+        assert_eq!(run_err(&["serve", "--cache-capacity", "-1"]).code, 1);
+        assert_eq!(run_err(&["serve", "--bogus"]).code, 1);
+        let e = run_err(&["serve", "--addr", "not-an-address"]);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("not-an-address"), "{}", e.message);
     }
 
     #[test]

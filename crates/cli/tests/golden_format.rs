@@ -44,6 +44,31 @@ fn analyze_csv_matches_the_golden_file() {
     );
 }
 
+/// The JSON export was captured *before* the writer moved from this
+/// crate into `scfi_serve::wire`; matching it byte for byte proves the
+/// hoist changed nothing. It is also the layout the job server streams,
+/// so any drift here would desynchronize served and CLI results.
+#[test]
+fn analyze_json_matches_the_golden_file() {
+    let path = std::env::temp_dir().join(format!("scfi_golden_json_g_{}.dsl", std::process::id()));
+    std::fs::write(&path, DEMO).expect("writable temp dir");
+    let json = run(&[
+        "analyze",
+        path.to_str().expect("utf8"),
+        "--level",
+        "2",
+        "--format",
+        "json",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    let golden = include_str!("golden/analyze_demo_sites.json");
+    assert_eq!(
+        json, golden,
+        "per-site JSON drifted from the golden file captured before the \
+         writer was hoisted into scfi-serve"
+    );
+}
+
 #[test]
 fn analyze_json_agrees_with_the_csv_totals() {
     let path = std::env::temp_dir().join(format!("scfi_golden_json_{}.dsl", std::process::id()));

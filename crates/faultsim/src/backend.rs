@@ -296,6 +296,7 @@ impl CampaignBackend for PackedBackend {
             work,
             config.thread_count(),
             config.lane_width(),
+            config.precompiled_for(target.module()),
             control,
         )
     }
@@ -318,6 +319,7 @@ impl CampaignBackend for SimdBackend {
             work,
             config.thread_count(),
             LaneWidth::SIMD,
+            config.precompiled_for(target.module()),
             control,
         )
     }

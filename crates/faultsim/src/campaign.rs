@@ -94,6 +94,7 @@ pub struct CampaignConfig {
     seed: u64,
     backend: Backend,
     fault_windows: bool,
+    precompiled: Option<std::sync::Arc<scfi_netlist::PackedNetlist>>,
 }
 
 impl CampaignConfig {
@@ -111,6 +112,7 @@ impl CampaignConfig {
             seed: 0xFA17,
             backend: Backend::default(),
             fault_windows: false,
+            precompiled: None,
         }
     }
 
@@ -245,6 +247,34 @@ impl CampaignConfig {
         self.region = Some(lo..hi + 1);
         self.include_register_flips = true;
         self
+    }
+
+    /// Supplies a pre-compiled [`PackedNetlist`](scfi_netlist::PackedNetlist)
+    /// for the wave backends, skipping the per-campaign
+    /// `PackedNetlist::compile` of the target's module.
+    ///
+    /// This is the seam behind compile caches (the `scfi serve` job
+    /// server compiles each distinct `(FSM, config, N)` once and reuses
+    /// the artifact across repeat submissions). The netlist **must** be
+    /// the compilation of the campaign target's module: backends verify
+    /// the structural shape (cell, input, output and register counts)
+    /// and silently fall back to a fresh compile on any mismatch, so a
+    /// stale hint can cost the speedup but never correctness. The scalar
+    /// backend ignores the hint entirely.
+    pub fn precompiled(mut self, net: std::sync::Arc<scfi_netlist::PackedNetlist>) -> Self {
+        self.precompiled = Some(net);
+        self
+    }
+
+    /// The pre-compiled netlist hint, if [`precompiled`](Self::precompiled)
+    /// supplied one matching `module`'s shape.
+    pub(crate) fn precompiled_for(&self, module: &Module) -> Option<&scfi_netlist::PackedNetlist> {
+        let net = self.precompiled.as_deref()?;
+        let matches = net.len() == module.len()
+            && net.input_count() == module.inputs().len()
+            && net.output_count() == module.outputs().len()
+            && net.register_count() == module.registers().len();
+        matches.then_some(net)
     }
 
     /// Configured worker thread count.

@@ -207,8 +207,8 @@ impl RunControl {
                 return Err(StopReason::DeadlineExpired);
             }
         }
+        let items = items as u64;
         if let Some(budget) = self.inner.injection_budget {
-            let items = items as u64;
             let mut current = self.inner.injected.load(Ordering::Relaxed);
             loop {
                 if current.saturating_add(items) > budget {
@@ -224,8 +224,20 @@ impl RunControl {
                     Err(actual) => current = actual,
                 }
             }
+        } else {
+            // No budget to guard, but keep the counter live: `admitted`
+            // is the progress observable of long-running campaigns (the
+            // job server reports it while a campaign is in flight).
+            self.inner.injected.fetch_add(items, Ordering::Relaxed);
         }
         Ok(())
+    }
+
+    /// Total injections admitted so far across all clones — a monotone
+    /// progress counter updated at wave boundaries, suitable for live
+    /// status reporting of a campaign in flight.
+    pub fn admitted(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
     }
 }
 

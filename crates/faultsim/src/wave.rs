@@ -359,22 +359,27 @@ pub(crate) fn execute_counting<T: FaultTarget>(
     lane_words: usize,
 ) -> (Vec<Outcome>, WaveStats) {
     let width = width_from_words(lane_words);
-    try_execute_counting(target, work, threads, width, &RunControl::unlimited())
+    try_execute_counting(target, work, threads, width, None, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The controlled entry point behind the packed and SIMD backends: runs
 /// under `control`, admitting one wave at a time, and returns either the
 /// complete slot-ordered outcome vector or the typed error carrying the
-/// completed portion.
+/// completed portion. `precompiled`, when supplied (e.g. from a compile
+/// cache via [`CampaignConfig::precompiled`](crate::CampaignConfig::precompiled)),
+/// must be the compilation of `target.module()` and replaces the
+/// per-run [`PackedNetlist::compile`].
 pub(crate) fn try_execute<T: FaultTarget>(
     target: &T,
     work: &WorkList,
     threads: usize,
     width: LaneWidth,
+    precompiled: Option<&PackedNetlist>,
     control: &RunControl,
 ) -> Result<Vec<Outcome>, CampaignError> {
-    try_execute_counting(target, work, threads, width, control).map(|(outcomes, _)| outcomes)
+    try_execute_counting(target, work, threads, width, precompiled, control)
+        .map(|(outcomes, _)| outcomes)
 }
 
 /// [`try_execute`] with the [`WaveStats`] counters.
@@ -383,13 +388,14 @@ pub(crate) fn try_execute_counting<T: FaultTarget>(
     work: &WorkList,
     threads: usize,
     width: LaneWidth,
+    precompiled: Option<&PackedNetlist>,
     control: &RunControl,
 ) -> Result<(Vec<Outcome>, WaveStats), CampaignError> {
     let run = match width.words() {
-        1 => execute_waves::<T, 1>(target, work, threads, control),
-        2 => execute_waves::<T, 2>(target, work, threads, control),
-        4 => execute_waves::<T, 4>(target, work, threads, control),
-        8 => execute_waves::<T, 8>(target, work, threads, control),
+        1 => execute_waves::<T, 1>(target, work, threads, precompiled, control),
+        2 => execute_waves::<T, 2>(target, work, threads, precompiled, control),
+        4 => execute_waves::<T, 4>(target, work, threads, precompiled, control),
+        8 => execute_waves::<T, 8>(target, work, threads, precompiled, control),
         _ => unreachable!("LaneWidth admits only 1, 2, 4 or 8 words"),
     };
     finish_run(work, run)
@@ -408,6 +414,7 @@ fn execute_waves<T: FaultTarget, const W: usize>(
     target: &T,
     work: &WorkList,
     threads: usize,
+    precompiled: Option<&PackedNetlist>,
     control: &RunControl,
 ) -> RunOutput {
     let n = work.len();
@@ -420,14 +427,24 @@ fn execute_waves<T: FaultTarget, const W: usize>(
             panics: Vec::new(),
         };
     }
-    let compiled = PackedNetlist::compile(target.module());
+    // A cached compile (validated against the module shape by the
+    // backend) replaces the per-run compilation; `PackedNetlist` is
+    // immutable, so sharing it across concurrent campaigns is sound.
+    let owned;
+    let compiled = match precompiled {
+        Some(net) => net,
+        None => {
+            owned = PackedNetlist::compile(target.module());
+            &owned
+        }
+    };
     let wave_lanes = LANES * W;
     let waves = n.div_ceil(wave_lanes);
     let threads = threads.max(1).min(waves);
     let workers: Vec<WorkerRun> = if threads <= 1 {
         vec![run_waves::<T, W>(
             target,
-            &compiled,
+            compiled,
             work,
             0,
             &mut outcomes,
@@ -443,7 +460,6 @@ fn execute_waves<T: FaultTarget, const W: usize>(
                 .chunks_mut(per)
                 .enumerate()
                 .map(|(t, chunk)| {
-                    let compiled = &compiled;
                     scope.spawn(move || {
                         run_waves::<T, W>(target, compiled, work, t * per, chunk, control)
                     })

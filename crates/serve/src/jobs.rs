@@ -1,0 +1,716 @@
+//! Job specifications and execution for the `scfi serve` HTTP API.
+//!
+//! A [`JobSpec`] is the validated form of a `POST /v1/jobs` body: which
+//! experiment to run (`analyze` or `certify`), on which FSM (inline DSL
+//! or a bundled suite name), under which configuration and knobs. Parsing
+//! is strict — unknown fields, contradictory knobs and malformed values
+//! are typed 4xx [`ApiError`]s, never silent defaults — because a job
+//! server that guesses runs the wrong experiment at a distance.
+//!
+//! [`run_job`] then executes a spec against a cached [`Prepared`] model
+//! under a [`RunControl`] handle. The rendered result bytes are exactly
+//! what the CLI would print for the same experiment (the [`wire`]
+//! writers are shared), which is what the determinism conformance suite
+//! pins.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scfi_faultsim::{
+    enumerate_faults, CampaignConfig, CampaignError, Fault, FaultEffect, FaultTarget,
+    RedundancyTarget, RunControl, ScfiTarget, StopReason, UnprotectedTarget, VulnerabilityMap,
+};
+use scfi_fsm::{parse_fsm, Fsm};
+use scfi_netlist::Module;
+use scfi_symbolic::{Certifier, CertifyBudget, CertifyModel, JointReport, JointVerdict};
+
+use crate::cache::{ConfigKind, Prepared, PreparedModel};
+use crate::json::{obj, Json};
+use crate::wire;
+
+/// The CLI's fixed protocol-walk seed, mirrored here so a served
+/// protocol campaign analyzes the identical scenario set as
+/// `scfi analyze --protocol K` on the same FSM.
+pub const WALK_SEED: u64 = 0x5CF1_3007;
+
+/// A typed request failure: HTTP status plus a stable machine-readable
+/// code and a human message, rendered as
+/// `{"error": {"code": …, "message": …}}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Stable error code for clients to branch on.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given code.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error body.
+    pub fn body(&self) -> String {
+        let doc = obj(vec![(
+            "error",
+            obj(vec![
+                ("code", Json::Str(self.code.to_string())),
+                ("message", Json::Str(self.message.clone())),
+            ]),
+        )]);
+        let mut s = doc.encode();
+        s.push('\n');
+        s
+    }
+}
+
+/// Which experiment a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Exhaustive campaign → per-site vulnerability map.
+    Analyze,
+    /// BDD certification → per-site or joint verdicts.
+    Certify,
+}
+
+impl JobKind {
+    /// The canonical name used in job status documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Analyze => "analyze",
+            JobKind::Certify => "certify",
+        }
+    }
+}
+
+/// Output rendering for analyze results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// The pinned `scfi analyze --format json` layout.
+    Json,
+    /// The pinned `scfi analyze --format csv` layout.
+    Csv,
+}
+
+/// A validated job request.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Experiment kind.
+    pub kind: JobKind,
+    /// The FSM to run against.
+    pub fsm: Fsm,
+    /// Protection configuration.
+    pub config: ConfigKind,
+    /// Protection level N.
+    pub level: usize,
+    /// Campaign backend (analyze).
+    pub backend: scfi_faultsim::Backend,
+    /// Packed-engine lane words (analyze).
+    pub lane_words: usize,
+    /// Multi-cycle protocol walk depth (analyze).
+    pub protocol: Option<usize>,
+    /// Adversarial input fuzzing over protocol walks (analyze).
+    pub fuzz_inputs: bool,
+    /// Analyze result rendering.
+    pub format: Format,
+    /// Include stuck-at effects in the fault space.
+    pub stuck_at: bool,
+    /// Include per-pin faults in the fault space.
+    pub pin_faults: bool,
+    /// Joint multi-fault certification instead of per-site (certify).
+    pub joint: bool,
+    /// Cardinality bound for `joint` (default: N − 1).
+    pub max_active: Option<usize>,
+    /// Certify the whole gate space instead of the register region.
+    pub all_gates: bool,
+    /// Wall-clock deadline, armed when the job starts running.
+    pub timeout_secs: Option<u64>,
+    /// Injection budget (analyze).
+    pub max_injections: Option<u64>,
+    /// BDD node budget (certify).
+    pub max_bdd_nodes: Option<usize>,
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<Option<String>, ApiError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ApiError::bad_request("bad_field", format!("`{key}` must be a string"))),
+    }
+}
+
+fn field_uint(doc: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ApiError::bad_request(
+                "bad_field",
+                format!("`{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn field_bool(doc: &Json, key: &str) -> Result<bool, ApiError> {
+    match doc.get(key) {
+        None => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            ApiError::bad_request("bad_field", format!("`{key}` must be a boolean"))
+        }),
+    }
+}
+
+/// Every field name `POST /v1/jobs` accepts.
+const KNOWN_FIELDS: &[&str] = &[
+    "kind",
+    "fsm",
+    "suite",
+    "config",
+    "level",
+    "backend",
+    "lanes",
+    "protocol",
+    "fuzz_inputs",
+    "format",
+    "stuck_at",
+    "pin_faults",
+    "joint",
+    "max_active",
+    "all_gates",
+    "timeout_secs",
+    "max_injections",
+    "max_bdd_nodes",
+];
+
+impl JobSpec {
+    /// Parses and validates a `POST /v1/jobs` body.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, ApiError> {
+        let fields = doc.as_obj().ok_or_else(|| {
+            ApiError::bad_request("bad_body", "request body must be a JSON object")
+        })?;
+        for (key, _) in fields {
+            if !KNOWN_FIELDS.contains(&key.as_str()) {
+                return Err(ApiError::bad_request(
+                    "unknown_field",
+                    format!("unknown field `{key}`"),
+                ));
+            }
+        }
+
+        let kind = match field_str(doc, "kind")?.as_deref() {
+            Some("analyze") => JobKind::Analyze,
+            Some("certify") => JobKind::Certify,
+            Some(other) => {
+                return Err(ApiError::bad_request(
+                    "bad_kind",
+                    format!("`kind` must be analyze or certify (got `{other}`)"),
+                ))
+            }
+            None => return Err(ApiError::bad_request("bad_kind", "missing `kind`")),
+        };
+
+        let fsm = match (field_str(doc, "fsm")?, field_str(doc, "suite")?) {
+            (Some(_), Some(_)) => {
+                return Err(ApiError::bad_request(
+                    "bad_fsm",
+                    "`fsm` and `suite` are mutually exclusive",
+                ))
+            }
+            (Some(dsl), None) => parse_fsm(&dsl)
+                .map_err(|e| ApiError::bad_request("bad_dsl", format!("parsing `fsm`: {e}")))?,
+            (None, Some(name)) => scfi_opentitan::by_name(&name)
+                .map(|b| b.fsm)
+                .or_else(|| {
+                    scfi_opentitan::protocol_workloads()
+                        .into_iter()
+                        .find(|f| f.name() == name)
+                })
+                .ok_or(ApiError {
+                    status: 404,
+                    code: "unknown_suite",
+                    message: format!("no bundled FSM named `{name}`"),
+                })?,
+            (None, None) => {
+                return Err(ApiError::bad_request(
+                    "bad_fsm",
+                    "one of `fsm` (inline DSL) or `suite` (bundled name) is required",
+                ))
+            }
+        };
+
+        let config = match field_str(doc, "config")?.as_deref() {
+            None => ConfigKind::Scfi,
+            Some(name) => ConfigKind::parse(name).ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad_config",
+                    format!("`config` must be scfi, redundancy or unprotected (got `{name}`)"),
+                )
+            })?,
+        };
+        let level = field_uint(doc, "level")?.unwrap_or(3) as usize;
+
+        let backend = match field_str(doc, "backend")?.as_deref() {
+            None => scfi_faultsim::Backend::default(),
+            Some(name) => scfi_faultsim::Backend::parse(name).ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad_backend",
+                    format!("`backend` must be scalar, packed or simd (got `{name}`)"),
+                )
+            })?,
+        };
+        let lane_words = match field_uint(doc, "lanes")? {
+            None | Some(256) => 4,
+            Some(64) => 1,
+            Some(128) => 2,
+            Some(other) => {
+                return Err(ApiError::bad_request(
+                    "bad_lanes",
+                    format!("`lanes` must be 64, 128 or 256 (got {other})"),
+                ))
+            }
+        };
+        let protocol = match field_uint(doc, "protocol")? {
+            None => None,
+            Some(0) => {
+                return Err(ApiError::bad_request(
+                    "bad_protocol",
+                    "`protocol` must be a positive walk depth",
+                ))
+            }
+            Some(depth) => Some(depth as usize),
+        };
+        let fuzz_inputs = field_bool(doc, "fuzz_inputs")?;
+        if fuzz_inputs && protocol.is_none() {
+            return Err(ApiError::bad_request(
+                "bad_knobs",
+                "`fuzz_inputs` biases protocol walks; it requires `protocol`",
+            ));
+        }
+        let format = match field_str(doc, "format")?.as_deref() {
+            None | Some("json") => Format::Json,
+            Some("csv") => Format::Csv,
+            Some(other) => {
+                return Err(ApiError::bad_request(
+                    "bad_format",
+                    format!("`format` must be json or csv (got `{other}`)"),
+                ))
+            }
+        };
+        let joint = field_bool(doc, "joint")?;
+        let max_active = field_uint(doc, "max_active")?.map(|v| v as usize);
+
+        // Per-kind knob validation: a knob that silently did nothing
+        // would make the served experiment diverge from what the client
+        // believes it requested.
+        match kind {
+            JobKind::Analyze => {
+                if joint || max_active.is_some() || field_bool(doc, "all_gates")? {
+                    return Err(ApiError::bad_request(
+                        "bad_knobs",
+                        "`joint`, `max_active` and `all_gates` are certify knobs",
+                    ));
+                }
+                if doc.get("max_bdd_nodes").is_some() {
+                    return Err(ApiError::bad_request(
+                        "bad_knobs",
+                        "`max_bdd_nodes` bounds certification, not campaigns",
+                    ));
+                }
+            }
+            JobKind::Certify => {
+                if doc.get("backend").is_some()
+                    || doc.get("lanes").is_some()
+                    || protocol.is_some()
+                    || fuzz_inputs
+                    || doc.get("format").is_some()
+                    || doc.get("max_injections").is_some()
+                {
+                    return Err(ApiError::bad_request(
+                        "bad_knobs",
+                        "`backend`, `lanes`, `protocol`, `fuzz_inputs`, `format` and \
+                         `max_injections` are analyze knobs",
+                    ));
+                }
+                if max_active.is_some() && !joint {
+                    return Err(ApiError::bad_request(
+                        "bad_knobs",
+                        "`max_active` sets the `joint` fault bound",
+                    ));
+                }
+            }
+        }
+
+        Ok(JobSpec {
+            kind,
+            fsm,
+            config,
+            level,
+            backend,
+            lane_words,
+            protocol,
+            fuzz_inputs,
+            format,
+            stuck_at: field_bool(doc, "stuck_at")?,
+            pin_faults: field_bool(doc, "pin_faults")?,
+            joint,
+            max_active,
+            all_gates: field_bool(doc, "all_gates")?,
+            timeout_secs: field_uint(doc, "timeout_secs")?,
+            max_injections: field_uint(doc, "max_injections")?,
+            max_bdd_nodes: field_uint(doc, "max_bdd_nodes")?.map(|v| v as usize),
+        })
+    }
+
+    /// Builds the run-control handle for this job, arming the deadline
+    /// now (at run start, not at submission).
+    pub fn run_control(&self) -> RunControl {
+        let mut control = RunControl::unlimited();
+        if let Some(secs) = self.timeout_secs {
+            control = control.with_deadline(Duration::from_secs(secs));
+        }
+        if let Some(budget) = self.max_injections {
+            control = control.with_injection_budget(budget);
+        }
+        control
+    }
+}
+
+/// Enumerates the certification fault space — the shared definition used
+/// by the per-site and the joint engines (and by `scfi certify`).
+pub fn certify_fault_set(
+    module: &Module,
+    all_gates: bool,
+    stuck_at: bool,
+    pin_faults: bool,
+) -> Vec<Fault> {
+    let mut effects = vec![FaultEffect::Flip];
+    if stuck_at {
+        effects.push(FaultEffect::Stuck0);
+        effects.push(FaultEffect::Stuck1);
+    }
+    let mut fault_config = CampaignConfig::new().effects(effects).with_register_flips();
+    if !all_gates {
+        // The paper's FT1 claim: the state registers (stored-bit flips
+        // plus the register-region nets).
+        fault_config = fault_config.register_region(module);
+    }
+    if pin_faults {
+        fault_config = fault_config.with_pin_faults();
+    }
+    enumerate_faults(module, &fault_config)
+}
+
+/// How a job run ended.
+pub enum JobOutcome {
+    /// Completed; `body` is the full result document.
+    Done {
+        /// Result bytes.
+        body: String,
+        /// `application/json` or `text/csv`.
+        content_type: &'static str,
+    },
+    /// Interrupted at a wave boundary; `body` is the clearly marked
+    /// partial-result document.
+    Stopped {
+        /// Which limit stopped the run.
+        reason: StopReason,
+        /// Partial-result bytes.
+        body: String,
+    },
+    /// The run failed outright (no result document).
+    Failed {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Executes a validated spec against its prepared model under `control`.
+///
+/// Analyze campaigns honor `control` cooperatively at wave boundaries
+/// (cancellation, deadline, injection budget → [`JobOutcome::Stopped`]
+/// with the completed prefix). Certification maps `timeout_secs` and
+/// `max_bdd_nodes` onto its [`CertifyBudget`]; cancellation of a certify
+/// job is queue-granular (a certification already in flight runs to its
+/// budget).
+pub fn run_job(spec: &JobSpec, prepared: &Prepared, control: &RunControl) -> JobOutcome {
+    match spec.kind {
+        JobKind::Analyze => run_analyze(spec, prepared, control),
+        JobKind::Certify => run_certify(spec, prepared),
+    }
+}
+
+fn run_analyze(spec: &JobSpec, prepared: &Prepared, control: &RunControl) -> JobOutcome {
+    let mut effects = vec![FaultEffect::Flip];
+    if spec.stuck_at {
+        effects.push(FaultEffect::Stuck0);
+        effects.push(FaultEffect::Stuck1);
+    }
+    let mut config = CampaignConfig::new()
+        .effects(effects)
+        .threads(2)
+        .lane_words(spec.lane_words)
+        .backend(spec.backend)
+        .precompiled(Arc::clone(&prepared.packed));
+    if spec.pin_faults {
+        config = config.with_pin_faults();
+    }
+
+    let result = match &prepared.model {
+        PreparedModel::Scfi(hardened) => {
+            let target = match (spec.protocol, spec.fuzz_inputs) {
+                (Some(depth), true) => ScfiTarget::with_fuzzed_protocol(hardened, depth, WALK_SEED),
+                (Some(depth), false) => ScfiTarget::with_protocol(hardened, depth, WALK_SEED),
+                (None, _) => ScfiTarget::new(hardened),
+            };
+            analyze_target(&target, spec, prepared.module(), &config, control)
+        }
+        PreparedModel::Redundancy(redundant) => {
+            let target = match (spec.protocol, spec.fuzz_inputs) {
+                (Some(depth), true) => {
+                    RedundancyTarget::with_fuzzed_protocol(redundant, depth, WALK_SEED)
+                }
+                (Some(depth), false) => {
+                    RedundancyTarget::with_protocol(redundant, depth, WALK_SEED)
+                }
+                (None, _) => RedundancyTarget::new(redundant),
+            };
+            analyze_target(&target, spec, prepared.module(), &config, control)
+        }
+        PreparedModel::Unprotected(u) => {
+            let target = match (spec.protocol, spec.fuzz_inputs) {
+                (Some(depth), true) => {
+                    UnprotectedTarget::with_fuzzed_protocol(&u.fsm, &u.lowered, depth, WALK_SEED)
+                }
+                (Some(depth), false) => {
+                    UnprotectedTarget::with_protocol(&u.fsm, &u.lowered, depth, WALK_SEED)
+                }
+                (None, _) => UnprotectedTarget::new(&u.fsm, &u.lowered),
+            };
+            analyze_target(&target, spec, prepared.module(), &config, control)
+        }
+    };
+    match result {
+        Ok(outcome) => outcome,
+        Err(e) => JobOutcome::Failed {
+            message: format!("campaign failed: {e}"),
+        },
+    }
+}
+
+fn analyze_target<T: FaultTarget>(
+    target: &T,
+    spec: &JobSpec,
+    module: &Module,
+    config: &CampaignConfig,
+    control: &RunControl,
+) -> Result<JobOutcome, CampaignError> {
+    match VulnerabilityMap::try_analyze(target, config, control) {
+        Ok(map) => {
+            let mut body = String::new();
+            let content_type = match spec.format {
+                Format::Json => {
+                    wire::write_sites_json(&mut body, module, &map);
+                    "application/json"
+                }
+                Format::Csv => {
+                    wire::write_sites_csv(&mut body, module, &map);
+                    "text/csv"
+                }
+            };
+            Ok(JobOutcome::Done { body, content_type })
+        }
+        Err(CampaignError::Interrupted { reason, partial }) => {
+            let mut body = String::new();
+            wire::write_partial_json(&mut body, reason, &partial);
+            Ok(JobOutcome::Stopped { reason, body })
+        }
+        Err(other) => Err(other),
+    }
+}
+
+fn run_certify(spec: &JobSpec, prepared: &Prepared) -> JobOutcome {
+    match &prepared.model {
+        PreparedModel::Scfi(h) => certify_model(h.as_ref(), spec),
+        PreparedModel::Redundancy(r) => certify_model(r.as_ref(), spec),
+        PreparedModel::Unprotected(u) => certify_model(&u.lowered, spec),
+    }
+}
+
+fn certify_model<M: CertifyModel>(model: &M, spec: &JobSpec) -> JobOutcome {
+    let module = model.module();
+    let faults = certify_fault_set(module, spec.all_gates, spec.stuck_at, spec.pin_faults);
+    let mut budget = CertifyBudget::unlimited();
+    if let Some(secs) = spec.timeout_secs {
+        budget = budget.timeout(Duration::from_secs(secs));
+    }
+    if let Some(nodes) = spec.max_bdd_nodes {
+        budget = budget.max_nodes(nodes);
+    }
+    let mut body = String::new();
+    if spec.joint {
+        // The paper's §3 bound: up to N − 1 simultaneous faults.
+        let max_active = spec.max_active.unwrap_or(spec.level.saturating_sub(1));
+        let report = match Certifier::with_budget(model, budget) {
+            Ok(mut certifier) => certifier.certify_joint(&faults, max_active),
+            Err(overflow) => JointReport {
+                config: model.config_name(),
+                module: module.name().to_string(),
+                sites: faults.len(),
+                max_active,
+                reachable_states: 0,
+                verdict: JointVerdict::Unknown {
+                    reason: overflow.to_string(),
+                },
+            },
+        };
+        wire::write_joint_json(&mut body, &report);
+    } else {
+        let report = match Certifier::with_budget(model, budget) {
+            Ok(mut certifier) => certifier.certify_all(&faults),
+            Err(overflow) => Certifier::degraded_report(model, &faults, overflow),
+        };
+        wire::write_certify_json(&mut body, module, &report);
+    }
+    JobOutcome::Done {
+        body,
+        content_type: "application/json",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const DEMO: &str = "fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }";
+
+    fn spec(body: &str) -> Result<JobSpec, ApiError> {
+        JobSpec::from_json(&parse(body).expect("test body parses"))
+    }
+
+    #[test]
+    fn minimal_analyze_spec_gets_the_cli_defaults() {
+        let s = spec(&format!(r#"{{"kind": "analyze", "fsm": {}}}"#, dsl_lit())).unwrap();
+        assert_eq!(s.kind, JobKind::Analyze);
+        assert_eq!(s.config, ConfigKind::Scfi);
+        assert_eq!(s.level, 3);
+        assert_eq!(s.backend, scfi_faultsim::Backend::Packed);
+        assert_eq!(s.lane_words, 4);
+        assert_eq!(s.format, Format::Json);
+        assert_eq!(s.fsm.name(), "demo");
+    }
+
+    fn dsl_lit() -> String {
+        Json::Str(DEMO.to_string()).encode()
+    }
+
+    #[test]
+    fn suite_names_resolve_and_unknown_is_404() {
+        let s = spec(r#"{"kind": "certify", "suite": "aes_control"}"#).unwrap();
+        assert_eq!(s.fsm.name(), "aes_control");
+        let e = spec(r#"{"kind": "certify", "suite": "ghost"}"#).unwrap_err();
+        assert_eq!(e.status, 404);
+        assert_eq!(e.code, "unknown_suite");
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_values_are_typed_400s() {
+        for (body, code) in [
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "turbo": true}"#,
+                "unknown_field",
+            ),
+            (r#"{"suite": "aes_control"}"#, "bad_kind"),
+            (
+                r#"{"kind": "meditate", "suite": "aes_control"}"#,
+                "bad_kind",
+            ),
+            (r#"{"kind": "analyze"}"#, "bad_fsm"),
+            (
+                r#"{"kind": "analyze", "fsm": "x", "suite": "aes_control"}"#,
+                "bad_fsm",
+            ),
+            (r#"{"kind": "analyze", "fsm": "not a dsl"}"#, "bad_dsl"),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "config": "tmr"}"#,
+                "bad_config",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "backend": "gpu"}"#,
+                "bad_backend",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "lanes": 96}"#,
+                "bad_lanes",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "protocol": 0}"#,
+                "bad_protocol",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "fuzz_inputs": true}"#,
+                "bad_knobs",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "format": "xml"}"#,
+                "bad_format",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "joint": true}"#,
+                "bad_knobs",
+            ),
+            (
+                r#"{"kind": "analyze", "suite": "aes_control", "max_bdd_nodes": 8}"#,
+                "bad_knobs",
+            ),
+            (
+                r#"{"kind": "certify", "suite": "aes_control", "backend": "simd"}"#,
+                "bad_knobs",
+            ),
+            (
+                r#"{"kind": "certify", "suite": "aes_control", "max_active": 2}"#,
+                "bad_knobs",
+            ),
+            (
+                r#"{"kind": "certify", "suite": "aes_control", "level": "three"}"#,
+                "bad_field",
+            ),
+            (
+                r#"{"kind": "certify", "suite": "aes_control", "joint": "yes"}"#,
+                "bad_field",
+            ),
+            (r#"[1, 2]"#, "bad_body"),
+        ] {
+            let e = spec(body).expect_err(body);
+            assert_eq!(e.code, code, "body: {body} → {e:?}");
+            assert!(e.status == 400, "body: {body} → {e:?}");
+            // Error bodies are valid JSON with the documented shape.
+            let doc = parse(&ApiError::bad_request(e.code, e.message.clone()).body()).unwrap();
+            assert_eq!(
+                doc.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(e.code)
+            );
+        }
+    }
+
+    #[test]
+    fn run_control_maps_the_budget_knobs() {
+        let s = spec(&format!(
+            r#"{{"kind": "analyze", "fsm": {}, "max_injections": 5}}"#,
+            dsl_lit()
+        ))
+        .unwrap();
+        let control = s.run_control();
+        assert!(control.admit(5).is_ok());
+        assert!(control.admit(1).is_err());
+    }
+}

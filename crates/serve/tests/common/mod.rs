@@ -1,0 +1,133 @@
+//! Shared black-box HTTP client for the `scfi serve` integration
+//! suites: a raw [`TcpStream`] HTTP/1.1 client (one request per
+//! connection, exactly like the server speaks) plus polling helpers.
+
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use scfi_serve::json::{parse, Json};
+
+/// One HTTP exchange: status code, lower-cased header map, body.
+pub struct Reply {
+    pub status: u16,
+    pub headers: HashMap<String, String>,
+    pub body: String,
+}
+
+impl Reply {
+    /// Parses the body as JSON (panics with the body on failure).
+    pub fn json(&self) -> Json {
+        parse(&self.body).unwrap_or_else(|e| panic!("unparseable body ({e}): {}", self.body))
+    }
+}
+
+/// Performs one request against the server over a fresh connection.
+pub fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect to scfi serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\
+         Content-Type: application/json\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in: {raw}"));
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// Submits a job body, asserting the 202 and returning the job id.
+pub fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let reply = http(addr, "POST", "/v1/jobs", Some(body));
+    assert_eq!(reply.status, 202, "submit failed: {}", reply.body);
+    reply.json().get("id").unwrap().as_u64().expect("job id")
+}
+
+/// The job's current status string.
+pub fn job_status(addr: SocketAddr, id: u64) -> String {
+    let reply = http(addr, "GET", &format!("/v1/jobs/{id}"), None);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    reply
+        .json()
+        .get("status")
+        .unwrap()
+        .as_str()
+        .expect("status string")
+        .to_string()
+}
+
+/// Polls until the job reaches `wanted`, panicking if it reaches a
+/// different terminal state or `timeout` passes first.
+pub fn await_status(addr: SocketAddr, id: u64, wanted: &str, timeout: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let status = job_status(addr, id);
+        if status == wanted {
+            return status;
+        }
+        let terminal = matches!(status.as_str(), "done" | "failed" | "cancelled");
+        assert!(
+            !terminal,
+            "job {id} ended as `{status}` while waiting for `{wanted}`"
+        );
+        assert!(
+            start.elapsed() < timeout,
+            "job {id} still `{status}` after {timeout:?} waiting for `{wanted}`"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls until the job reaches any terminal state, returning it.
+pub fn await_terminal(addr: SocketAddr, id: u64, timeout: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let status = job_status(addr, id);
+        if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+            return status;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "job {id} still `{status}` after {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Submits, waits for completion, asserts `done`, and returns the
+/// result body.
+pub fn run_to_result(addr: SocketAddr, body: &str) -> String {
+    let id = submit(addr, body);
+    let status = await_terminal(addr, id, Duration::from_secs(300));
+    assert_eq!(status, "done", "job for body {body} ended as {status}");
+    let reply = http(addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    reply.body
+}

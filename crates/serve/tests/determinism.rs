@@ -1,0 +1,321 @@
+//! Determinism conformance: results served by `scfi serve` must be
+//! **byte-identical** to direct library runs of the same experiment.
+//!
+//! The server adds machinery between the client and the engines — the
+//! compile cache with its [`precompiled`](scfi_faultsim::CampaignConfig::precompiled)
+//! hint, worker threads, the HTTP layer — and none of it may perturb a
+//! single result byte. Each test therefore computes the expected document
+//! through the plain library path (fresh hardening, *no* precompiled
+//! netlist, same knobs as the job defaults) and compares it against what
+//! the wire delivers, on first submission (cache miss) and on
+//! resubmission (cache hit).
+//!
+//! The property test at the bottom drives a server with many concurrent
+//! clients submitting a random mix of jobs and cancellations, and checks
+//! every completed result against its serial replay.
+
+mod common;
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use common::{await_terminal, http, submit};
+use scfi_core::{harden, redundancy, ScfiConfig};
+use scfi_faultsim::{Backend, CampaignConfig, FaultEffect, VulnerabilityMap};
+use scfi_faultsim::{RedundancyTarget, ScfiTarget, UnprotectedTarget};
+use scfi_fsm::{lower_unprotected, parse_fsm, Fsm};
+use scfi_serve::jobs::certify_fault_set;
+use scfi_serve::{wire, ConfigKind, Server, ServerOptions};
+use scfi_symbolic::{Certifier, CertifyBudget, CertifyModel};
+
+const DEMO: &str = "fsm demo { inputs go; state A { if go -> B; } state B { goto A; } }";
+
+/// Table-1 FSMs exercised by the analyze conformance sweep (a spread of
+/// sizes; the full bundle is covered by the opentitan suite itself).
+const ANALYZE_SUITES: &[&str] = &["aes_control", "otbn_controller", "pwrmgr_fsm"];
+
+/// Table-1 FSMs exercised by the (more expensive) certify sweep.
+const CERTIFY_SUITES: &[&str] = &["aes_control", "otbn_controller"];
+
+const CONFIGS: &[ConfigKind] = &[
+    ConfigKind::Scfi,
+    ConfigKind::Redundancy,
+    ConfigKind::Unprotected,
+];
+
+fn suite_fsm(name: &str) -> Fsm {
+    scfi_opentitan::by_name(name).expect("bundled suite").fsm
+}
+
+/// The campaign knobs a default analyze job runs under — mirrored from
+/// the job defaults, but *without* the precompiled-netlist hint, so this
+/// is a genuinely independent path to the result.
+fn direct_campaign_config() -> CampaignConfig {
+    CampaignConfig::new()
+        .effects(vec![FaultEffect::Flip])
+        .threads(2)
+        .lane_words(4)
+        .backend(Backend::default())
+}
+
+/// `scfi analyze --format json` through the library, no server, no cache.
+fn direct_analyze_json(fsm: &Fsm, kind: ConfigKind, level: usize) -> String {
+    let config = direct_campaign_config();
+    let mut body = String::new();
+    match kind {
+        ConfigKind::Scfi => {
+            let hardened = harden(fsm, &ScfiConfig::new(level)).expect("hardening succeeds");
+            hardened.check_all_edges().expect("hardened FSM verifies");
+            let map = VulnerabilityMap::analyze(&ScfiTarget::new(&hardened), &config);
+            wire::write_sites_json(&mut body, hardened.module(), &map);
+        }
+        ConfigKind::Redundancy => {
+            let redundant = redundancy(fsm, level).expect("redundancy succeeds");
+            let map = VulnerabilityMap::analyze(&RedundancyTarget::new(&redundant), &config);
+            wire::write_sites_json(&mut body, redundant.module(), &map);
+        }
+        ConfigKind::Unprotected => {
+            let lowered = lower_unprotected(fsm).expect("lowering succeeds");
+            let map = VulnerabilityMap::analyze(&UnprotectedTarget::new(fsm, &lowered), &config);
+            wire::write_sites_json(&mut body, lowered.module(), &map);
+        }
+    }
+    body
+}
+
+fn certify_bytes<M: CertifyModel>(model: &M) -> String {
+    let module = model.module();
+    let faults = certify_fault_set(module, false, false, false);
+    let report = match Certifier::with_budget(model, CertifyBudget::unlimited()) {
+        Ok(mut certifier) => certifier.certify_all(&faults),
+        Err(overflow) => Certifier::degraded_report(model, &faults, overflow),
+    };
+    let mut body = String::new();
+    wire::write_certify_json(&mut body, module, &report);
+    body
+}
+
+/// `scfi certify` (per-site, default fault space) through the library.
+fn direct_certify_json(fsm: &Fsm, kind: ConfigKind, level: usize) -> String {
+    match kind {
+        ConfigKind::Scfi => {
+            let hardened = harden(fsm, &ScfiConfig::new(level)).expect("hardening succeeds");
+            hardened.check_all_edges().expect("hardened FSM verifies");
+            certify_bytes(&hardened)
+        }
+        ConfigKind::Redundancy => {
+            certify_bytes(&redundancy(fsm, level).expect("redundancy succeeds"))
+        }
+        ConfigKind::Unprotected => {
+            certify_bytes(&lower_unprotected(fsm).expect("lowering succeeds"))
+        }
+    }
+}
+
+/// Submits the job twice: the first run must miss the compile cache, the
+/// second must hit it, and both must serve byte-identical results.
+fn served_twice(server: &Server, body: &str) -> String {
+    let addr = server.local_addr();
+    let first = submit(addr, body);
+    assert_eq!(
+        await_terminal(addr, first, Duration::from_secs(300)),
+        "done"
+    );
+    let miss = http(addr, "GET", &format!("/v1/jobs/{first}"), None).json();
+    assert_eq!(
+        miss.get("cache_hit").unwrap().as_bool(),
+        Some(false),
+        "first submission of {body} should compile"
+    );
+    let result = http(addr, "GET", &format!("/v1/jobs/{first}/result"), None);
+    assert_eq!(result.status, 200);
+
+    let second = submit(addr, body);
+    assert_eq!(
+        await_terminal(addr, second, Duration::from_secs(300)),
+        "done"
+    );
+    let hit = http(addr, "GET", &format!("/v1/jobs/{second}"), None).json();
+    assert_eq!(
+        hit.get("cache_hit").unwrap().as_bool(),
+        Some(true),
+        "resubmission of {body} should hit the cache"
+    );
+    let rerun = http(addr, "GET", &format!("/v1/jobs/{second}/result"), None);
+    assert_eq!(
+        rerun.body, result.body,
+        "cache hit changed the result for {body}"
+    );
+    result.body
+}
+
+#[test]
+fn served_analyze_is_byte_identical_to_direct_runs() {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+    for &suite in ANALYZE_SUITES {
+        let fsm = suite_fsm(suite);
+        for &config in CONFIGS {
+            let expected = direct_analyze_json(&fsm, config, 3);
+            let body = format!(
+                r#"{{"kind": "analyze", "suite": "{suite}", "config": "{}", "level": 3}}"#,
+                config.name()
+            );
+            let served = served_twice(&server, &body);
+            assert_eq!(
+                served,
+                expected,
+                "served analyze diverged from the direct run: {suite} / {}",
+                config.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn served_certify_is_byte_identical_to_direct_runs() {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+    for &suite in CERTIFY_SUITES {
+        let fsm = suite_fsm(suite);
+        for &config in CONFIGS {
+            let expected = direct_certify_json(&fsm, config, 3);
+            let body = format!(
+                r#"{{"kind": "certify", "suite": "{suite}", "config": "{}", "level": 3}}"#,
+                config.name()
+            );
+            let served = served_twice(&server, &body);
+            assert_eq!(
+                served,
+                expected,
+                "served certify diverged from the direct run: {suite} / {}",
+                config.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn served_csv_rendering_matches_the_direct_writer() {
+    let fsm = parse_fsm(DEMO).expect("demo parses");
+    let hardened = harden(&fsm, &ScfiConfig::new(2)).expect("hardening succeeds");
+    hardened.check_all_edges().expect("hardened FSM verifies");
+    let map = VulnerabilityMap::analyze(&ScfiTarget::new(&hardened), &direct_campaign_config());
+    let mut expected = String::new();
+    wire::write_sites_csv(&mut expected, hardened.module(), &map);
+
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let body = format!(
+        r#"{{"kind": "analyze", "fsm": {}, "level": 2, "format": "csv"}}"#,
+        scfi_serve::json::Json::Str(DEMO.to_string()).encode()
+    );
+    let id = submit(server.local_addr(), &body);
+    assert_eq!(
+        await_terminal(server.local_addr(), id, Duration::from_secs(120)),
+        "done"
+    );
+    let reply = http(
+        server.local_addr(),
+        "GET",
+        &format!("/v1/jobs/{id}/result"),
+        None,
+    );
+    assert_eq!(
+        reply.headers.get("content-type").map(String::as_str),
+        Some("text/csv")
+    );
+    assert_eq!(reply.body, expected);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent-clients property test
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// The randomized job menu: small demo-FSM experiments covering both
+/// kinds, both analyze formats and two configurations.
+const MENU: usize = 4;
+
+fn menu_body(pick: usize) -> String {
+    let dsl = scfi_serve::json::Json::Str(DEMO.to_string()).encode();
+    match pick {
+        0 => format!(r#"{{"kind": "analyze", "fsm": {dsl}, "level": 2}}"#),
+        1 => format!(r#"{{"kind": "analyze", "fsm": {dsl}, "level": 2, "format": "csv"}}"#),
+        2 => format!(r#"{{"kind": "analyze", "fsm": {dsl}, "level": 2, "config": "redundancy"}}"#),
+        _ => format!(r#"{{"kind": "certify", "fsm": {dsl}, "level": 2}}"#),
+    }
+}
+
+/// Serial replays of the menu, computed once through the direct library
+/// path (shared across property cases — the replay is deterministic).
+fn menu_expected(pick: usize) -> &'static str {
+    static EXPECTED: OnceLock<[String; MENU]> = OnceLock::new();
+    &EXPECTED.get_or_init(|| {
+        let fsm = parse_fsm(DEMO).expect("demo parses");
+        let hardened = harden(&fsm, &ScfiConfig::new(2)).expect("hardening succeeds");
+        hardened.check_all_edges().expect("hardened FSM verifies");
+        let map = VulnerabilityMap::analyze(&ScfiTarget::new(&hardened), &direct_campaign_config());
+        let mut csv = String::new();
+        wire::write_sites_csv(&mut csv, hardened.module(), &map);
+        [
+            direct_analyze_json(&fsm, ConfigKind::Scfi, 2),
+            csv,
+            direct_analyze_json(&fsm, ConfigKind::Redundancy, 2),
+            direct_certify_json(&fsm, ConfigKind::Scfi, 2),
+        ]
+    })[pick]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// N concurrent clients submit a random mix of jobs, some racing a
+    /// cancellation right behind the submission. Every job that reports
+    /// `done` must serve exactly its serial replay; every cancelled job
+    /// must carry the documented early-stop marker.
+    #[test]
+    fn concurrent_random_jobs_match_their_serial_replays(
+        plan in proptest::collection::vec((0usize..MENU, any::<bool>()), 1..9),
+    ) {
+        let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+        let addr = server.local_addr();
+        let clients: Vec<_> = plan
+            .into_iter()
+            .map(|(pick, cancel)| {
+                std::thread::spawn(move || {
+                    let id = submit(addr, &menu_body(pick));
+                    if cancel {
+                        let reply = http(addr, "DELETE", &format!("/v1/jobs/{id}"), None);
+                        assert_eq!(reply.status, 202);
+                    }
+                    let status = await_terminal(addr, id, Duration::from_secs(300));
+                    match status.as_str() {
+                        "done" => {
+                            let reply =
+                                http(addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+                            assert_eq!(reply.status, 200);
+                            assert_eq!(
+                                reply.body,
+                                menu_expected(pick),
+                                "job {id} (menu {pick}) diverged from its serial replay"
+                            );
+                        }
+                        "cancelled" => {
+                            assert!(cancel, "job {id} cancelled without a request");
+                            let doc = http(addr, "GET", &format!("/v1/jobs/{id}"), None).json();
+                            let error = doc.get("error").unwrap().as_str().unwrap().to_string();
+                            assert!(
+                                error == "cancelled while queued"
+                                    || error == "stopped early: cancelled",
+                                "job {id}: unexpected cancel marker `{error}`"
+                            );
+                        }
+                        other => panic!("job {id} (menu {pick}) ended as `{other}`"),
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            prop_assert!(client.join().is_ok(), "a client thread failed");
+        }
+    }
+}
