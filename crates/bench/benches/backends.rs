@@ -16,10 +16,13 @@
 //! divergence fails CI), and each backend's geometric-mean speedup over
 //! the scalar reference is compared against the committed baseline — a
 //! drop below 0.8× the baseline speedup (a >20 % relative regression)
-//! fails CI. Test mode also pins the execution-control layer: running
-//! the exhaustive W=4 row under an armed-but-never-tripping
+//! fails CI. Test mode also pins two hot-path overhead budgets on the
+//! exhaustive W=4 row: running under an armed-but-never-tripping
 //! [`RunControl`] must stay within the baseline's
-//! `control_overhead_budget` fraction of the uncontrolled throughput.
+//! `control_overhead_budget` fraction of the uncontrolled throughput,
+//! and running with a recording [`Telemetry`] handle installed must
+//! stay within `telemetry_overhead_budget` of the uninstrumented
+//! throughput.
 
 use std::time::{Duration, Instant};
 
@@ -29,6 +32,7 @@ use scfi_faultsim::{
     run_exhaustive, try_run_exhaustive, Backend, CampaignConfig, CampaignReport, FaultTarget,
     FaultTiming, ProtocolScenario, RunControl, ScfiTarget,
 };
+use scfi_telemetry::Telemetry;
 
 /// Small / medium / large rows of Table 1 (7, 13 and 30 states).
 const FSMS: [&str; 3] = ["aes_control", "adc_ctrl_fsm", "i2c_fsm"];
@@ -163,7 +167,7 @@ fn geomean_speedup(points: &[Point], column: &str) -> f64 {
 }
 
 fn write_baseline(points: &[Point]) {
-    let mut json = String::from("{\n  \"grid\": \"Table-1 {aes_control, adc_ctrl_fsm, i2c_fsm} x N in {2,3,4}, exhaustive flips + register flips, 1 thread\",\n  \"control_overhead_budget\": 0.02,\n  \"points\": [\n");
+    let mut json = String::from("{\n  \"grid\": \"Table-1 {aes_control, adc_ctrl_fsm, i2c_fsm} x N in {2,3,4}, exhaustive flips + register flips, 1 thread\",\n  \"control_overhead_budget\": 0.02,\n  \"telemetry_overhead_budget\": 0.02,\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"fsm\": \"{}\", \"level\": {}, \"backend\": \"{}\", \"inj_per_s\": {:.0}, \"speedup_vs_scalar\": {:.2}}}{}\n",
@@ -232,11 +236,12 @@ fn check_against_baseline(points: &[Point]) {
     }
 }
 
-/// Pulls the top-level `control_overhead_budget` fraction out of the
-/// committed baseline.
-fn control_overhead_budget(text: &str) -> f64 {
+/// Pulls one top-level budget fraction (`control_overhead_budget`,
+/// `telemetry_overhead_budget`) out of the committed baseline.
+fn budget_fraction(text: &str, key: &str) -> f64 {
+    let quoted = format!("\"{key}\"");
     text.lines()
-        .find(|l| l.contains("\"control_overhead_budget\""))
+        .find(|l| l.contains(&quoted))
         .and_then(|l| {
             l.split(':')
                 .nth(1)?
@@ -247,7 +252,7 @@ fn control_overhead_budget(text: &str) -> f64 {
         })
         .unwrap_or_else(|| {
             panic!(
-                "BENCH_backends.json has no control_overhead_budget key; \
+                "BENCH_backends.json has no {key} key; \
                  regenerate with `cargo bench --bench backends -- --save`"
             )
         })
@@ -262,7 +267,7 @@ fn control_overhead_budget(text: &str) -> f64 {
 /// from the committed baseline.
 fn check_control_overhead() {
     let text = std::fs::read_to_string(baseline_path()).expect("committed baseline");
-    let budget = control_overhead_budget(&text);
+    let budget = budget_fraction(&text, "control_overhead_budget");
     let h = hardened("i2c_fsm", 4);
     let target = ScfiTarget::new(&h);
     let cfg = config(Backend::Packed, 4);
@@ -289,6 +294,42 @@ fn check_control_overhead() {
         ratio >= 1.0 - budget,
         "per-wave control checks cost {:.1}% throughput on the exhaustive W=4 row, \
          over the {:.1}% budget (BENCH_backends.json control_overhead_budget)",
+        (1.0 - ratio) * 100.0,
+        budget * 100.0
+    );
+}
+
+/// Satellite check for the telemetry layer: a recording [`Telemetry`]
+/// handle on the campaign config costs per-worker plain-integer counts
+/// merged once per run — it must be free at campaign scale. Runs the
+/// same heaviest exhaustive W=4 row with a recording handle installed
+/// against the uninstrumented config, best-of-3 each, and asserts the
+/// throughput ratio stays above `1 - telemetry_overhead_budget` from
+/// the committed baseline.
+fn check_telemetry_overhead() {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed baseline");
+    let budget = budget_fraction(&text, "telemetry_overhead_budget");
+    let h = hardened("i2c_fsm", 4);
+    let target = ScfiTarget::new(&h);
+    let plain_cfg = config(Backend::Packed, 4);
+    let recording_cfg = plain_cfg.clone().telemetry(Telemetry::recording());
+    let (mut plain, mut recorded) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        let (_, rate) = run_point(&target, &plain_cfg);
+        plain = plain.max(rate);
+        let (_, rate) = run_point(&target, &recording_cfg);
+        recorded = recorded.max(rate);
+    }
+    let ratio = recorded / plain.max(1e-9);
+    println!(
+        "telemetry overhead (i2c_fsm N=4, packed-256): recording {recorded:.0} vs off \
+         {plain:.0} inj/s, ratio {ratio:.3} (floor {:.3})",
+        1.0 - budget
+    );
+    assert!(
+        ratio >= 1.0 - budget,
+        "a recording telemetry handle costs {:.1}% throughput on the exhaustive W=4 row, \
+         over the {:.1}% budget (BENCH_backends.json telemetry_overhead_budget)",
         (1.0 - ratio) * 100.0,
         budget * 100.0
     );
@@ -366,6 +407,7 @@ fn main() {
     if test_mode() {
         check_against_baseline(&points);
         check_control_overhead();
+        check_telemetry_overhead();
         return;
     }
     benches();

@@ -13,10 +13,12 @@
 //!              [--protocol K] [--fuzz-inputs] [--fault-windows]
 //!              [--lanes 64|128|256] [--format text|csv|json]
 //!              [--timeout-secs T] [--max-injections K]
+//!              [--stats [text|json]] [--trace-out FILE]
 //! scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
 //!              [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
 //!              [--joint] [--max-active K] [--expect-proof]
 //!              [--timeout-secs T] [--max-bdd-nodes K]
+//!              [--stats [text|json]] [--trace-out FILE]
 //! scfi area <fsm.dsl|-> [--level N]
 //! scfi suite [name]
 //! scfi serve [--addr HOST:PORT] [--workers N] [--queue-capacity K]
@@ -37,6 +39,7 @@ use scfi_symbolic::{
     describe_fault, CertificationReport, Certifier, CertifyBudget, CertifyModel, JointReport,
     JointVerdict, Verdict,
 };
+use scfi_telemetry::Telemetry;
 
 /// A CLI failure: message for stderr plus the process exit code.
 #[derive(Debug)]
@@ -75,10 +78,12 @@ pub const USAGE: &str = "usage:
                [--backend scalar|packed|simd]
                [--lanes 64|128|256] [--format text|csv|json]
                [--timeout-secs T] [--max-injections K]
+               [--stats [text|json]] [--trace-out FILE]
   scfi certify <fsm.dsl|-> [--level N] [--config scfi|redundancy|unprotected]
                [--all-gates] [--stuck-at] [--pin-faults] [--per-site]
                [--joint] [--max-active K] [--expect-proof]
                [--timeout-secs T] [--max-bdd-nodes K]
+               [--stats [text|json]] [--trace-out FILE]
   scfi area <fsm.dsl|-> [--level N]
   scfi suite [name]
   scfi serve [--addr HOST:PORT] [--workers N] [--queue-capacity K]
@@ -122,6 +127,14 @@ cardinality constraint certify every combination of up to
 one, the paper's N − 1 bound) in a single emptiness check. With
 `--all-gates`, escaping sites are additionally aggregated into a
 ranked per-cell designer report.
+
+Observability: `--stats` appends a per-run telemetry block (counters,
+gauges, histograms) after the report — `--stats text` is human-readable,
+`--stats json` a strict-JSON document; a bare `--stats` means text.
+`--trace-out FILE` writes the run's phase spans as a chrome://tracing
+JSON document (load it at chrome://tracing or ui.perfetto.dev). Neither
+flag changes the report itself: campaign and certification output is
+byte-identical with telemetry on or off.
 
 Budgets: `--timeout-secs`/`--max-injections` stop an `analyze` campaign
 cleanly at the next wave boundary and print the completed prefix marked
@@ -204,6 +217,27 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(None)
+    }
+
+    /// A flag whose value is optional: consumes the flag itself, and the
+    /// following argument only when it is one of `allowed` exactly (so
+    /// `--stats --rank` treats `--rank` as the next flag, not a value).
+    /// Returns `None` when the flag is absent, `Some(None)` when it is
+    /// present bare, `Some(Some(v))` when an accepted value follows.
+    fn optional_value(&mut self, name: &str, allowed: &[&str]) -> Option<Option<&'a str>> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                if let Some(v) = self.args.get(i + 1) {
+                    if !self.used[i + 1] && allowed.contains(&v.as_str()) {
+                        self.used[i + 1] = true;
+                        return Some(Some(v));
+                    }
+                }
+                return Some(None);
+            }
+        }
+        None
     }
 
     fn finish(&self) -> Result<(), CliError> {
@@ -371,6 +405,7 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
     };
     let format = flags.value("--format")?.unwrap_or("text").to_string();
     let control = parse_run_control(&mut flags)?;
+    let stats = parse_stats_options(&mut flags)?;
     let (_fsm, hardened) = harden_from(&mut flags)?;
     flags.finish()?;
 
@@ -383,7 +418,8 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         .effects(effects)
         .threads(2)
         .lane_words(lane_words)
-        .backend(backend);
+        .backend(backend)
+        .telemetry(stats.telemetry.clone());
     let regions = hardened.regions();
     config = match region.as_str() {
         "all" => config,
@@ -464,6 +500,7 @@ fn cmd_analyze(args: &[String], out: &mut String) -> Result<(), CliError> {
         }
         other => return Err(usage_err(format!("unknown format `{other}`"))),
     }
+    stats.emit(out)?;
     Ok(())
 }
 
@@ -514,6 +551,53 @@ fn campaign_error(e: CampaignError, out: &mut String) -> CliError {
             code: 3,
         },
     }
+}
+
+/// Parsed observability flags (`--stats [text|json]`, `--trace-out FILE`)
+/// plus the telemetry handle they imply: recording when either flag is
+/// present, the free no-op handle otherwise.
+struct StatsOptions {
+    stats: Option<String>,
+    trace_out: Option<String>,
+    telemetry: Telemetry,
+}
+
+impl StatsOptions {
+    /// Appends the requested stats block to `out` and writes the
+    /// chrome://tracing document. Called after the report is complete so
+    /// the report bytes themselves are never perturbed.
+    fn emit(&self, out: &mut String) -> Result<(), CliError> {
+        match self.stats.as_deref() {
+            Some("json") => out.push_str(&self.telemetry.render_stats_json()),
+            Some(_) => out.push_str(&self.telemetry.render_stats_text()),
+            None => {}
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, self.telemetry.render_chrome_trace()).map_err(|e| CliError {
+                message: format!("writing trace file {path}: {e}"),
+                code: 2,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses the shared observability flags for `analyze` and `certify`.
+fn parse_stats_options(flags: &mut Flags<'_>) -> Result<StatsOptions, CliError> {
+    let stats = flags
+        .optional_value("--stats", &["text", "json"])
+        .map(|v| v.unwrap_or("text").to_string());
+    let trace_out = flags.value("--trace-out")?.map(str::to_string);
+    let telemetry = if stats.is_some() || trace_out.is_some() {
+        Telemetry::recording()
+    } else {
+        Telemetry::off()
+    };
+    Ok(StatsOptions {
+        stats,
+        trace_out,
+        telemetry,
+    })
 }
 
 /// `scfi serve`: boots the campaign-as-a-service HTTP job server and
@@ -579,6 +663,7 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
         .transpose()?;
     let expect_proof = flags.switch("--expect-proof");
     let budget = parse_certify_budget(&mut flags)?;
+    let stats = parse_stats_options(&mut flags)?;
     let Some(path) = flags.positional() else {
         return Err(usage_err("missing FSM input file"));
     };
@@ -604,7 +689,7 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                     code: 3,
                 })?;
                 certify_joint_model(
-                    &hardened, all_gates, stuck_at, pin_faults, max_active, budget, out,
+                    &hardened, all_gates, stuck_at, pin_faults, max_active, budget, &stats, out,
                 )
             }
             "redundancy" => {
@@ -612,7 +697,9 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                     message: format!("redundancy transform failed: {e}"),
                     code: 3,
                 })?;
-                certify_joint_model(&r, all_gates, stuck_at, pin_faults, max_active, budget, out)
+                certify_joint_model(
+                    &r, all_gates, stuck_at, pin_faults, max_active, budget, &stats, out,
+                )
             }
             "unprotected" => {
                 let lowered = lower_unprotected(&fsm).map_err(|e| CliError {
@@ -620,11 +707,12 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                     code: 3,
                 })?;
                 certify_joint_model(
-                    &lowered, all_gates, stuck_at, pin_faults, max_active, budget, out,
+                    &lowered, all_gates, stuck_at, pin_faults, max_active, budget, &stats, out,
                 )
             }
             other => return Err(usage_err(format!("unknown certify config `{other}`"))),
         };
+        stats.emit(out)?;
         return match &report.verdict {
             JointVerdict::Proved => Ok(()),
             JointVerdict::Counterexample(_) if expect_proof => Err(CliError {
@@ -649,7 +737,7 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                 code: 3,
             })?;
             certify_model(
-                &hardened, all_gates, stuck_at, pin_faults, per_site, budget, out,
+                &hardened, all_gates, stuck_at, pin_faults, per_site, budget, &stats, out,
             )
         }
         "redundancy" => {
@@ -657,7 +745,9 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                 message: format!("redundancy transform failed: {e}"),
                 code: 3,
             })?;
-            certify_model(&r, all_gates, stuck_at, pin_faults, per_site, budget, out)
+            certify_model(
+                &r, all_gates, stuck_at, pin_faults, per_site, budget, &stats, out,
+            )
         }
         "unprotected" => {
             let lowered = lower_unprotected(&fsm).map_err(|e| CliError {
@@ -665,11 +755,12 @@ fn cmd_certify(args: &[String], out: &mut String) -> Result<(), CliError> {
                 code: 3,
             })?;
             certify_model(
-                &lowered, all_gates, stuck_at, pin_faults, per_site, budget, out,
+                &lowered, all_gates, stuck_at, pin_faults, per_site, budget, &stats, out,
             )
         }
         other => return Err(usage_err(format!("unknown certify config `{other}`"))),
     };
+    stats.emit(out)?;
     if expect_proof && report.counterexamples() > 0 {
         return Err(CliError {
             message: format!(
@@ -726,6 +817,7 @@ use scfi_serve::jobs::certify_fault_set;
 /// Certifies the joint multi-fault claim for one model and renders the
 /// report. A setup-phase budget overflow degrades the whole claim to
 /// UNKNOWN — never a fabricated proof.
+#[allow(clippy::too_many_arguments)]
 fn certify_joint_model<M: CertifyModel>(
     model: &M,
     all_gates: bool,
@@ -733,11 +825,12 @@ fn certify_joint_model<M: CertifyModel>(
     pin_faults: bool,
     max_active: usize,
     budget: CertifyBudget,
+    stats: &StatsOptions,
     out: &mut String,
 ) -> JointReport {
     let module = model.module();
     let faults = certify_fault_set(module, all_gates, stuck_at, pin_faults);
-    let report = match Certifier::with_budget(model, budget) {
+    let report = match Certifier::with_instruments(model, budget, stats.telemetry.clone(), None) {
         Ok(mut certifier) => {
             let report = certifier.certify_joint(&faults, max_active);
             let _ = writeln!(out, "{report}");
@@ -774,6 +867,7 @@ fn certify_joint_model<M: CertifyModel>(
 }
 
 /// Certifies one model's fault space and renders the report.
+#[allow(clippy::too_many_arguments)]
 fn certify_model<M: CertifyModel>(
     model: &M,
     all_gates: bool,
@@ -781,6 +875,7 @@ fn certify_model<M: CertifyModel>(
     pin_faults: bool,
     per_site: bool,
     budget: CertifyBudget,
+    stats: &StatsOptions,
     out: &mut String,
 ) -> CertificationReport {
     let module = model.module();
@@ -788,7 +883,7 @@ fn certify_model<M: CertifyModel>(
 
     // A budget overflow during setup means no certifier exists at all:
     // degrade every site to Unknown rather than fabricating a proof.
-    let report = match Certifier::with_budget(model, budget) {
+    let report = match Certifier::with_instruments(model, budget, stats.telemetry.clone(), None) {
         Ok(mut certifier) => certifier.certify_all(&faults),
         Err(overflow) => Certifier::degraded_report(model, &faults, overflow),
     };
@@ -1260,6 +1355,95 @@ mod tests {
         assert_eq!(e.code, 1);
         assert!(e.message.contains("--multi"), "{}", e.message);
         let _ = std::fs::remove_file(path);
+    }
+
+    /// `--stats` appends the telemetry block *after* the report, without
+    /// perturbing a single report byte; `--stats json` emits the JSON
+    /// document instead.
+    #[test]
+    fn analyze_stats_appends_after_an_unchanged_report() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let plain = run_ok(&["analyze", p, "--level", "2"]);
+        let with_stats = run_ok(&["analyze", p, "--level", "2", "--stats"]);
+        assert!(
+            with_stats.starts_with(&plain),
+            "--stats must only append, never change the report"
+        );
+        let block = &with_stats[plain.len()..];
+        assert!(block.starts_with("run stats:"), "{block}");
+        assert!(block.contains("scfi_campaign_waves_total"), "{block}");
+        assert!(block.contains("scfi_campaign_injections_total"), "{block}");
+        // Explicit `--stats text` is the same as bare `--stats`.
+        let text = run_ok(&["analyze", p, "--level", "2", "--stats", "text"]);
+        assert_eq!(text, with_stats);
+        let json = run_ok(&["analyze", p, "--level", "2", "--stats", "json"]);
+        assert!(json.starts_with(&plain));
+        let block = &json[plain.len()..];
+        assert!(block.starts_with("{\n  \"counters\": {"), "{block}");
+        assert!(
+            block.contains("\"scfi_campaign_injections_total\":"),
+            "{block}"
+        );
+        assert!(block.contains("\"histograms\""), "{block}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A value that is not `text`/`json` is left for `finish()` to reject
+    /// — `--stats` never swallows the next flag as its value.
+    #[test]
+    fn stats_value_must_be_text_or_json() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let e = run_err(&["analyze", p, "--stats", "xml"]);
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("xml"), "{}", e.message);
+        // `--stats` followed by another flag still parses that flag.
+        let out = run_ok(&["analyze", p, "--level", "2", "--stats", "--rank"]);
+        assert!(out.contains("cells"), "{out}");
+        assert!(out.contains("run stats:"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn certify_stats_reports_bdd_counters() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let plain = run_ok(&["certify", p, "--level", "2"]);
+        let with_stats = run_ok(&["certify", p, "--level", "2", "--stats"]);
+        assert!(
+            with_stats.starts_with(&plain),
+            "--stats must only append, never change the report"
+        );
+        let block = &with_stats[plain.len()..];
+        assert!(block.contains("scfi_bdd_ite_cache_hits_total"), "{block}");
+        assert!(block.contains("scfi_bdd_nodes_high_water"), "{block}");
+        assert!(block.contains("scfi_certify_site_ns"), "{block}");
+        // The joint path is instrumented through the same certifier.
+        let joint = run_ok(&["certify", p, "--joint", "--stats"]);
+        assert!(joint.contains("scfi_bdd_ite_cache_hits_total"), "{joint}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace() {
+        let path = write_demo();
+        let p = path.to_str().expect("utf8");
+        let trace =
+            std::env::temp_dir().join(format!("scfi_cli_trace_{}.json", std::process::id()));
+        let t = trace.to_str().expect("utf8");
+        let out = run_ok(&["certify", p, "--level", "2", "--trace-out", t]);
+        // --trace-out alone does not print a stats block.
+        assert!(!out.contains("run stats:"), "{out}");
+        let doc = std::fs::read_to_string(&trace).expect("trace file written");
+        assert!(doc.starts_with("{\"traceEvents\": ["), "{doc}");
+        assert!(doc.contains("\"certify_setup\""), "{doc}");
+        assert!(doc.contains("\"certify_site\""), "{doc}");
+        assert!(doc.contains("\"ph\": \"X\""), "{doc}");
+        let e = run_err(&["certify", p, "--trace-out", "/nonexistent-dir/t.json"]);
+        assert_eq!(e.code, 2);
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(trace);
     }
 
     #[test]

@@ -183,6 +183,9 @@ impl CampaignBackend for ScalarBackend {
         // are chunked at the wave granularity ([`LANES`] items) so the
         // scalar backend honors the same wave-boundary contract as the
         // packed engines.
+        let telemetry = config.telemetry_handle();
+        let waves_total = telemetry.counter("scfi_campaign_waves_total");
+        let injections_total = telemetry.counter("scfi_campaign_injections_total");
         let run_range = |start: usize,
                          out: &mut [Option<Outcome>]|
          -> (Option<StopReason>, Vec<(Range<usize>, String)>) {
@@ -198,6 +201,8 @@ impl CampaignBackend for ScalarBackend {
                     stopped = Some(reason);
                     break;
                 }
+                waves_total.inc();
+                injections_total.add(chunk as u64);
                 let wave = catch_unwind(AssertUnwindSafe(|| {
                     for (k, slot) in out.iter_mut().enumerate().skip(done).take(chunk) {
                         let (scenario, faults) = work.item(start + k);
@@ -298,6 +303,7 @@ impl CampaignBackend for PackedBackend {
             config.lane_width(),
             config.precompiled_for(target.module()),
             control,
+            config.telemetry_handle(),
         )
     }
 }
@@ -321,6 +327,7 @@ impl CampaignBackend for SimdBackend {
             LaneWidth::SIMD,
             config.precompiled_for(target.module()),
             control,
+            config.telemetry_handle(),
         )
     }
 }

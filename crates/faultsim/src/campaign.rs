@@ -95,6 +95,7 @@ pub struct CampaignConfig {
     backend: Backend,
     fault_windows: bool,
     precompiled: Option<std::sync::Arc<scfi_netlist::PackedNetlist>>,
+    telemetry: scfi_telemetry::Telemetry,
 }
 
 impl CampaignConfig {
@@ -113,7 +114,25 @@ impl CampaignConfig {
             backend: Backend::default(),
             fault_windows: false,
             precompiled: None,
+            telemetry: scfi_telemetry::Telemetry::off(),
         }
+    }
+
+    /// Installs a telemetry recorder: backends report execution counters
+    /// (waves, injections, cycle skips, mask-rebuild elisions, oracle
+    /// path ratios, re-simulation cone sizes) into it at wave/run
+    /// granularity. The default is the disabled handle; recording never
+    /// changes campaign results — reports are byte-identical with
+    /// telemetry on or off (the observability suites assert this).
+    pub fn telemetry(mut self, telemetry: scfi_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`telemetry`](Self::telemetry) was called).
+    pub(crate) fn telemetry_handle(&self) -> &scfi_telemetry::Telemetry {
+        &self.telemetry
     }
 
     /// Which fault effects to inject.

@@ -72,6 +72,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use scfi_netlist::{
     extract_lane, lane_mask, NetId, PackedNetlist, PackedSimulator, Simulator, LANES,
 };
+use scfi_telemetry::{Histogram, Telemetry};
 
 use crate::campaign::{Fault, FaultEffect, FaultSite, Outcome};
 use crate::control::{CampaignError, LaneWidth, PartialReport, RunControl, StopReason};
@@ -226,14 +227,74 @@ impl WorkList {
 /// differential tests use them to pin that the cuts actually fire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub(crate) struct WaveStats {
+    /// Waves admitted and executed.
+    pub waves: u64,
+    /// Injections (lanes) carried by the executed waves.
+    pub injections: u64,
     /// Wave clock edges actually stepped.
     pub stepped: u64,
+    /// Scheduled wave cycles never stepped because every lane's verdict
+    /// settled first (the wave-level early exit).
+    pub skipped: u64,
     /// Cycles that cleared and re-armed the fault masks.
     pub rebuilds: u64,
     /// Stepped cycles that kept the previous cycle's masks — no live
     /// lane's window opened or closed and the live set held, so the
     /// clear-and-re-arm sweep was skipped.
     pub elided_rebuilds: u64,
+    /// Stepped cycles classified word-parallel through the target's
+    /// [`WaveOracle`](crate::WaveOracle).
+    pub oracle_fastpath_cycles: u64,
+    /// Stepped cycles classified through the per-lane `extract_lane`
+    /// fallback (targets without an oracle).
+    pub oracle_fallback_cycles: u64,
+}
+
+impl WaveStats {
+    /// Accumulates another worker's counters.
+    pub fn merge(&mut self, other: &WaveStats) {
+        self.waves += other.waves;
+        self.injections += other.injections;
+        self.stepped += other.stepped;
+        self.skipped += other.skipped;
+        self.rebuilds += other.rebuilds;
+        self.elided_rebuilds += other.elided_rebuilds;
+        self.oracle_fastpath_cycles += other.oracle_fastpath_cycles;
+        self.oracle_fallback_cycles += other.oracle_fallback_cycles;
+    }
+
+    /// Flushes the counters into their telemetry series (one relaxed
+    /// `fetch_add` per series; a no-op on a disabled handle). Called once
+    /// per run, off the wave hot path.
+    pub fn flush(&self, telemetry: &Telemetry) {
+        if !telemetry.enabled() {
+            return;
+        }
+        telemetry
+            .counter("scfi_campaign_waves_total")
+            .add(self.waves);
+        telemetry
+            .counter("scfi_campaign_injections_total")
+            .add(self.injections);
+        telemetry
+            .counter("scfi_campaign_cycles_stepped_total")
+            .add(self.stepped);
+        telemetry
+            .counter("scfi_campaign_cycles_skipped_total")
+            .add(self.skipped);
+        telemetry
+            .counter("scfi_campaign_mask_rebuilds_total")
+            .add(self.rebuilds);
+        telemetry
+            .counter("scfi_campaign_mask_rebuild_elisions_total")
+            .add(self.elided_rebuilds);
+        telemetry
+            .counter("scfi_campaign_oracle_fastpath_cycles_total")
+            .add(self.oracle_fastpath_cycles);
+        telemetry
+            .counter("scfi_campaign_oracle_fallback_cycles_total")
+            .add(self.oracle_fallback_cycles);
+    }
 }
 
 /// Arms one fault in the selected lanes of a packed simulator. Mirrors the
@@ -359,8 +420,16 @@ pub(crate) fn execute_counting<T: FaultTarget>(
     lane_words: usize,
 ) -> (Vec<Outcome>, WaveStats) {
     let width = width_from_words(lane_words);
-    try_execute_counting(target, work, threads, width, None, &RunControl::unlimited())
-        .unwrap_or_else(|e| panic!("{e}"))
+    try_execute_counting(
+        target,
+        work,
+        threads,
+        width,
+        None,
+        &RunControl::unlimited(),
+        &Telemetry::off(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The controlled entry point behind the packed and SIMD backends: runs
@@ -377,12 +446,22 @@ pub(crate) fn try_execute<T: FaultTarget>(
     width: LaneWidth,
     precompiled: Option<&PackedNetlist>,
     control: &RunControl,
+    telemetry: &Telemetry,
 ) -> Result<Vec<Outcome>, CampaignError> {
-    try_execute_counting(target, work, threads, width, precompiled, control)
-        .map(|(outcomes, _)| outcomes)
+    try_execute_counting(
+        target,
+        work,
+        threads,
+        width,
+        precompiled,
+        control,
+        telemetry,
+    )
+    .map(|(outcomes, _)| outcomes)
 }
 
 /// [`try_execute`] with the [`WaveStats`] counters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_execute_counting<T: FaultTarget>(
     target: &T,
     work: &WorkList,
@@ -390,12 +469,13 @@ pub(crate) fn try_execute_counting<T: FaultTarget>(
     width: LaneWidth,
     precompiled: Option<&PackedNetlist>,
     control: &RunControl,
+    telemetry: &Telemetry,
 ) -> Result<(Vec<Outcome>, WaveStats), CampaignError> {
     let run = match width.words() {
-        1 => execute_waves::<T, 1>(target, work, threads, precompiled, control),
-        2 => execute_waves::<T, 2>(target, work, threads, precompiled, control),
-        4 => execute_waves::<T, 4>(target, work, threads, precompiled, control),
-        8 => execute_waves::<T, 8>(target, work, threads, precompiled, control),
+        1 => execute_waves::<T, 1>(target, work, threads, precompiled, control, telemetry),
+        2 => execute_waves::<T, 2>(target, work, threads, precompiled, control, telemetry),
+        4 => execute_waves::<T, 4>(target, work, threads, precompiled, control, telemetry),
+        8 => execute_waves::<T, 8>(target, work, threads, precompiled, control, telemetry),
         _ => unreachable!("LaneWidth admits only 1, 2, 4 or 8 words"),
     };
     finish_run(work, run)
@@ -416,6 +496,7 @@ fn execute_waves<T: FaultTarget, const W: usize>(
     threads: usize,
     precompiled: Option<&PackedNetlist>,
     control: &RunControl,
+    telemetry: &Telemetry,
 ) -> RunOutput {
     let n = work.len();
     let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
@@ -427,6 +508,10 @@ fn execute_waves<T: FaultTarget, const W: usize>(
             panics: Vec::new(),
         };
     }
+    // The only live (non-flushed) telemetry sink of the executor: the
+    // distribution of incremental-resim cone sizes is observed as pruned
+    // cycles step. The handle is a shared no-op when telemetry is off.
+    let cone_sizes = telemetry.histogram("scfi_campaign_resim_cone_gates");
     // A cached compile (validated against the module shape by the
     // backend) replaces the per-run compilation; `PackedNetlist` is
     // immutable, so sharing it across concurrent campaigns is sound.
@@ -449,6 +534,7 @@ fn execute_waves<T: FaultTarget, const W: usize>(
             0,
             &mut outcomes,
             control,
+            &cone_sizes,
         )]
     } else {
         // Contiguous blocks of whole waves per worker; each worker writes
@@ -460,8 +546,17 @@ fn execute_waves<T: FaultTarget, const W: usize>(
                 .chunks_mut(per)
                 .enumerate()
                 .map(|(t, chunk)| {
+                    let cone_sizes = &cone_sizes;
                     scope.spawn(move || {
-                        run_waves::<T, W>(target, compiled, work, t * per, chunk, control)
+                        run_waves::<T, W>(
+                            target,
+                            compiled,
+                            work,
+                            t * per,
+                            chunk,
+                            control,
+                            cone_sizes,
+                        )
                     })
                 })
                 .collect();
@@ -475,14 +570,13 @@ fn execute_waves<T: FaultTarget, const W: usize>(
     let mut stopped = None;
     let mut panics = Vec::new();
     for w in workers {
-        stats.stepped += w.stats.stepped;
-        stats.rebuilds += w.stats.rebuilds;
-        stats.elided_rebuilds += w.stats.elided_rebuilds;
+        stats.merge(&w.stats);
         if stopped.is_none() {
             stopped = w.stopped;
         }
         panics.extend(w.panics);
     }
+    stats.flush(telemetry);
     RunOutput {
         outcomes,
         stats,
@@ -544,6 +638,7 @@ fn baseline_trace(sim: &mut Simulator<'_>, sc: &Scenario, n_nets: usize) -> Vec<
 /// — its slots stay `None`, the simulator scratch is wiped, and the next
 /// wave rebuilds cleanly (every wave reloads registers, re-fills its
 /// verdict buffer and re-arms masks from scratch by construction).
+#[allow(clippy::too_many_arguments)]
 fn run_waves<T: FaultTarget, const W: usize>(
     target: &T,
     compiled: &PackedNetlist,
@@ -551,6 +646,7 @@ fn run_waves<T: FaultTarget, const W: usize>(
     base: usize,
     out: &mut [Option<Outcome>],
     control: &RunControl,
+    cone_sizes: &Histogram,
 ) -> WorkerRun {
     let wave_lanes = LANES * W;
     let oracle = target.wave_oracle();
@@ -583,6 +679,8 @@ fn run_waves<T: FaultTarget, const W: usize>(
             stopped = Some(reason);
             break;
         }
+        stats.waves += 1;
+        stats.injections += lanes as u64;
         let wave = catch_unwind(AssertUnwindSafe(|| {
             reg_words.fill([0; W]);
             let mut wave_cycles = 0usize;
@@ -695,6 +793,7 @@ fn run_waves<T: FaultTarget, const W: usize>(
                 if live == 0 {
                     // Every lane's verdict is settled: skip the wave's
                     // remaining cycles outright.
+                    stats.skipped += (wave_cycles - cycle) as u64;
                     break;
                 }
                 // Pass 2: rebuild the net/pin fault masks only when the armed
@@ -755,10 +854,16 @@ fn run_waves<T: FaultTarget, const W: usize>(
                         &mut activity,
                         &mut out_words,
                     );
+                    if cone_sizes.enabled() {
+                        // Cone size = ops actually re-evaluated this cycle.
+                        // The count pass runs only with a recorder installed.
+                        cone_sizes.observe(activity.iter().filter(|&&a| a).count() as u64);
+                    }
                 }
                 stats.stepped += 1;
                 match &oracle {
                     Some(oracle) => {
+                        stats.oracle_fastpath_cycles += 1;
                         // Word-parallel classification: decode whole 64-lane
                         // words against the precompiled codebook and alert
                         // masks; only Detected/Hijack lanes are touched
@@ -799,6 +904,7 @@ fn run_waves<T: FaultTarget, const W: usize>(
                         }
                     }
                     None => {
+                        stats.oracle_fallback_cycles += 1;
                         for lane in 0..lanes {
                             let slot = lane_scen[lane];
                             let sc = &scens[slot].sc;

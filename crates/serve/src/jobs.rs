@@ -23,6 +23,7 @@ use scfi_faultsim::{
 use scfi_fsm::{parse_fsm, Fsm};
 use scfi_netlist::Module;
 use scfi_symbolic::{Certifier, CertifyBudget, CertifyModel, JointReport, JointVerdict};
+use scfi_telemetry::Telemetry;
 
 use crate::cache::{ConfigKind, Prepared, PreparedModel};
 use crate::json::{obj, Json};
@@ -433,22 +434,35 @@ pub enum JobOutcome {
     },
 }
 
-/// Executes a validated spec against its prepared model under `control`.
+/// Executes a validated spec against its prepared model under `control`,
+/// emitting engine telemetry (campaign wave counters, BDD statistics)
+/// into `telemetry`.
 ///
 /// Analyze campaigns honor `control` cooperatively at wave boundaries
 /// (cancellation, deadline, injection budget → [`JobOutcome::Stopped`]
 /// with the completed prefix). Certification maps `timeout_secs` and
-/// `max_bdd_nodes` onto its [`CertifyBudget`]; cancellation of a certify
-/// job is queue-granular (a certification already in flight runs to its
-/// budget).
-pub fn run_job(spec: &JobSpec, prepared: &Prepared, control: &RunControl) -> JobOutcome {
+/// `max_bdd_nodes` onto its [`CertifyBudget`] and polls `control`'s
+/// cancel flag inside the BDD step loop, so `DELETE` on a running
+/// certify job aborts within a few thousand symbolic operation steps —
+/// the same responsiveness class as a campaign's wave boundary.
+pub fn run_job(
+    spec: &JobSpec,
+    prepared: &Prepared,
+    control: &RunControl,
+    telemetry: &Telemetry,
+) -> JobOutcome {
     match spec.kind {
-        JobKind::Analyze => run_analyze(spec, prepared, control),
-        JobKind::Certify => run_certify(spec, prepared),
+        JobKind::Analyze => run_analyze(spec, prepared, control, telemetry),
+        JobKind::Certify => run_certify(spec, prepared, control, telemetry),
     }
 }
 
-fn run_analyze(spec: &JobSpec, prepared: &Prepared, control: &RunControl) -> JobOutcome {
+fn run_analyze(
+    spec: &JobSpec,
+    prepared: &Prepared,
+    control: &RunControl,
+    telemetry: &Telemetry,
+) -> JobOutcome {
     let mut effects = vec![FaultEffect::Flip];
     if spec.stuck_at {
         effects.push(FaultEffect::Stuck0);
@@ -459,6 +473,7 @@ fn run_analyze(spec: &JobSpec, prepared: &Prepared, control: &RunControl) -> Job
         .threads(2)
         .lane_words(spec.lane_words)
         .backend(spec.backend)
+        .telemetry(telemetry.clone())
         .precompiled(Arc::clone(&prepared.packed));
     if spec.pin_faults {
         config = config.with_pin_faults();
@@ -537,15 +552,25 @@ fn analyze_target<T: FaultTarget>(
     }
 }
 
-fn run_certify(spec: &JobSpec, prepared: &Prepared) -> JobOutcome {
+fn run_certify(
+    spec: &JobSpec,
+    prepared: &Prepared,
+    control: &RunControl,
+    telemetry: &Telemetry,
+) -> JobOutcome {
     match &prepared.model {
-        PreparedModel::Scfi(h) => certify_model(h.as_ref(), spec),
-        PreparedModel::Redundancy(r) => certify_model(r.as_ref(), spec),
-        PreparedModel::Unprotected(u) => certify_model(&u.lowered, spec),
+        PreparedModel::Scfi(h) => certify_model(h.as_ref(), spec, control, telemetry),
+        PreparedModel::Redundancy(r) => certify_model(r.as_ref(), spec, control, telemetry),
+        PreparedModel::Unprotected(u) => certify_model(&u.lowered, spec, control, telemetry),
     }
 }
 
-fn certify_model<M: CertifyModel>(model: &M, spec: &JobSpec) -> JobOutcome {
+fn certify_model<M: CertifyModel>(
+    model: &M,
+    spec: &JobSpec,
+    control: &RunControl,
+    telemetry: &Telemetry,
+) -> JobOutcome {
     let module = model.module();
     let faults = certify_fault_set(module, spec.all_gates, spec.stuck_at, spec.pin_faults);
     let mut budget = CertifyBudget::unlimited();
@@ -555,11 +580,13 @@ fn certify_model<M: CertifyModel>(model: &M, spec: &JobSpec) -> JobOutcome {
     if let Some(nodes) = spec.max_bdd_nodes {
         budget = budget.max_nodes(nodes);
     }
+    let instruments =
+        || Certifier::with_instruments(model, budget, telemetry.clone(), Some(control.clone()));
     let mut body = String::new();
     if spec.joint {
         // The paper's §3 bound: up to N − 1 simultaneous faults.
         let max_active = spec.max_active.unwrap_or(spec.level.saturating_sub(1));
-        let report = match Certifier::with_budget(model, budget) {
+        let report = match instruments() {
             Ok(mut certifier) => certifier.certify_joint(&faults, max_active),
             Err(overflow) => JointReport {
                 config: model.config_name(),
@@ -574,11 +601,20 @@ fn certify_model<M: CertifyModel>(model: &M, spec: &JobSpec) -> JobOutcome {
         };
         wire::write_joint_json(&mut body, &report);
     } else {
-        let report = match Certifier::with_budget(model, budget) {
+        let report = match instruments() {
             Ok(mut certifier) => certifier.certify_all(&faults),
             Err(overflow) => Certifier::degraded_report(model, &faults, overflow),
         };
         wire::write_certify_json(&mut body, module, &report);
+    }
+    // A cancelled certification aborts inside the BDD step loop and
+    // surfaces as Unknown verdicts; report it as a stopped job (with the
+    // clearly degraded document as the partial body), not a completion.
+    if control.is_cancelled() {
+        return JobOutcome::Stopped {
+            reason: StopReason::Cancelled,
+            body,
+        };
     }
     JobOutcome::Done {
         body,

@@ -26,11 +26,12 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use scfi_faultsim::{RunControl, StopReason};
+use scfi_telemetry::Telemetry;
 
 use crate::cache::CompileCache;
 use crate::jobs::{ApiError, JobOutcome, JobSpec};
@@ -45,6 +46,11 @@ pub struct ServerOptions {
     pub queue_capacity: usize,
     /// Maximum cached compiled models.
     pub cache_capacity: usize,
+    /// How long a finished job (done, failed or cancelled) stays
+    /// retrievable before the registry retires it. Expired jobs are swept
+    /// on submission, so the registry stays bounded under sustained load
+    /// instead of growing forever.
+    pub job_ttl: Duration,
 }
 
 impl Default for ServerOptions {
@@ -53,6 +59,7 @@ impl Default for ServerOptions {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 32,
+            job_ttl: Duration::from_secs(900),
         }
     }
 }
@@ -94,11 +101,15 @@ struct JobInner {
     cache_hit: Option<bool>,
     /// Canonical-DSL digest of the prepared model.
     digest: Option<u64>,
+    /// When the job reached a terminal state (feeds TTL retirement).
+    finished_at: Option<Instant>,
 }
 
 struct Job {
     id: u64,
     spec: JobSpec,
+    /// Submission instant (feeds the queue-wait histogram).
+    submitted_at: Instant,
     inner: Mutex<JobInner>,
 }
 
@@ -107,6 +118,7 @@ impl Job {
         Job {
             id,
             spec,
+            submitted_at: Instant::now(),
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,
                 result: None,
@@ -115,6 +127,7 @@ impl Job {
                 cancel_requested: false,
                 cache_hit: None,
                 digest: None,
+                finished_at: None,
             }),
         }
     }
@@ -123,11 +136,18 @@ impl Job {
 /// A bounded multi-shard FIFO: submissions round-robin across shards,
 /// workers drain their own shard first and steal from the others, and a
 /// shared length counter enforces the global bound (full ⇒ `429`).
+///
+/// Workers block on a condvar instead of polling: a push signals one
+/// waiter, so an idle server burns no CPU and a submission starts running
+/// with signal latency instead of a fixed poll interval.
 struct ShardedQueue {
     shards: Vec<Mutex<std::collections::VecDeque<Arc<Job>>>>,
     len: AtomicUsize,
     capacity: usize,
     next: AtomicUsize,
+    /// Guards nothing — pairs with `signal` for the work-arrival wait.
+    signal_lock: Mutex<()>,
+    signal: Condvar,
 }
 
 impl ShardedQueue {
@@ -139,6 +159,8 @@ impl ShardedQueue {
             len: AtomicUsize::new(0),
             capacity: capacity.max(1),
             next: AtomicUsize::new(0),
+            signal_lock: Mutex::new(()),
+            signal: Condvar::new(),
         }
     }
 
@@ -164,7 +186,33 @@ impl ShardedQueue {
             .lock()
             .expect("queue shard")
             .push_back(job);
+        // Take the signal lock before notifying so a worker that found the
+        // queue empty either sees the new depth in its locked re-check or
+        // is already parked in `wait` and receives this notification —
+        // the push can never fall into the gap between the two.
+        let _guard = self.signal_lock.lock().expect("queue signal");
+        self.signal.notify_one();
         Ok(())
+    }
+
+    /// Parks the calling worker until work may be available (or the wait
+    /// times out as a liveness backstop). `should_stop` is re-checked
+    /// under the signal lock so a shutdown broadcast is never missed.
+    fn wait_for_work(&self, should_stop: impl Fn() -> bool) {
+        let guard = self.signal_lock.lock().expect("queue signal");
+        if should_stop() || self.depth() > 0 {
+            return;
+        }
+        let _ = self
+            .signal
+            .wait_timeout(guard, Duration::from_millis(250))
+            .expect("queue signal");
+    }
+
+    /// Wakes every parked worker (shutdown broadcast).
+    fn wake_all(&self) {
+        let _guard = self.signal_lock.lock().expect("queue signal");
+        self.signal.notify_all();
     }
 
     /// Pops from `home` first, then steals round-robin from the rest.
@@ -193,6 +241,10 @@ struct Registry {
     cache: CompileCache,
     shutdown: AtomicBool,
     options: ServerOptions,
+    /// The server's recording telemetry: request/queue/job latency
+    /// histograms plus every campaign and certification series the
+    /// engines emit while running jobs. Exported by `GET /v1/metrics`.
+    telemetry: Telemetry,
 }
 
 impl Registry {
@@ -211,6 +263,35 @@ impl Registry {
         }
         counts
     }
+
+    /// Retires finished jobs older than the configured TTL. Called on
+    /// every submission, so the registry size is bounded by the arrival
+    /// rate times the TTL rather than by the server's lifetime.
+    fn sweep_expired(&self) {
+        let ttl = self.options.job_ttl;
+        let mut evicted = 0u64;
+        {
+            let mut jobs = self.jobs.lock().expect("job registry");
+            jobs.retain(|_, job| {
+                let keep = match job.inner.lock().expect("job").finished_at {
+                    Some(at) => at.elapsed() <= ttl,
+                    None => true,
+                };
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            });
+            self.telemetry
+                .gauge("scfi_serve_registry_jobs")
+                .set(jobs.len() as u64);
+        }
+        if evicted > 0 {
+            self.telemetry
+                .counter("scfi_serve_jobs_evicted_total")
+                .add(evicted);
+        }
+    }
 }
 
 /// A running `scfi serve` instance. Binding spawns the accept loop and
@@ -228,8 +309,6 @@ impl Server {
     pub fn bind(addr: &str, options: ServerOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // Nonblocking accept so the loop can observe the shutdown flag.
-        listener.set_nonblocking(true)?;
         let registry = Arc::new(Registry {
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -237,6 +316,7 @@ impl Server {
             cache: CompileCache::new(options.cache_capacity),
             shutdown: AtomicBool::new(false),
             options,
+            telemetry: Telemetry::recording(),
         });
 
         let workers = (0..options.workers.max(1))
@@ -274,6 +354,11 @@ impl Server {
                 }
             }
         }
+        // Wake the parked workers and the blocking accept (a throwaway
+        // local connection — the accept loop re-checks the flag per
+        // connection, so one wake suffices).
+        self.registry.queue.wake_all();
+        let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -301,16 +386,19 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: TcpListener, registry: &Arc<Registry>) {
+    // Blocking accept: no poll interval between a client's connect and
+    // the dispatch of its connection. `Server::shutdown` unblocks the
+    // loop with a throwaway local connection after setting the flag.
     while !registry.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if registry.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
                 let registry = Arc::clone(registry);
                 std::thread::spawn(move || {
                     let _ = handle_connection(stream, &registry);
                 });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
@@ -320,7 +408,9 @@ fn accept_loop(listener: TcpListener, registry: &Arc<Registry>) {
 fn worker_loop(registry: &Arc<Registry>, home: usize) {
     while !registry.shutdown.load(Ordering::Relaxed) {
         let Some(job) = registry.queue.pop(home) else {
-            std::thread::sleep(Duration::from_millis(2));
+            registry
+                .queue
+                .wait_for_work(|| registry.shutdown.load(Ordering::Relaxed));
             continue;
         };
         run_one(registry, &job);
@@ -330,16 +420,22 @@ fn worker_loop(registry: &Arc<Registry>, home: usize) {
 /// Executes one job end to end, with panic isolation: a panicking
 /// prepare or campaign marks this job failed and the worker survives.
 fn run_one(registry: &Registry, job: &Job) {
+    registry
+        .telemetry
+        .histogram("scfi_serve_queue_wait_ns")
+        .observe_duration(job.submitted_at.elapsed());
     // Claim the job, honoring a cancellation that arrived while queued.
     {
         let mut inner = job.inner.lock().expect("job");
         if inner.cancel_requested {
             inner.state = JobState::Cancelled;
             inner.error = Some("cancelled while queued".to_string());
+            inner.finished_at = Some(Instant::now());
             return;
         }
         inner.state = JobState::Running;
     }
+    let run_start = Instant::now();
 
     let spec = &job.spec;
     let prepared = catch_unwind(AssertUnwindSafe(|| {
@@ -353,6 +449,7 @@ fn run_one(registry: &Registry, job: &Job) {
             let mut inner = job.inner.lock().expect("job");
             inner.state = JobState::Failed;
             inner.error = Some(message);
+            inner.finished_at = Some(Instant::now());
             return;
         }
         Err(payload) => {
@@ -362,6 +459,7 @@ fn run_one(registry: &Registry, job: &Job) {
                 "model preparation panicked: {}",
                 panic_text(&payload)
             ));
+            inner.finished_at = Some(Instant::now());
             return;
         }
     };
@@ -381,8 +479,20 @@ fn run_one(registry: &Registry, job: &Job) {
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        crate::jobs::run_job(spec, &prepared, &control)
+        crate::jobs::run_job(spec, &prepared, &control, &registry.telemetry)
     }));
+    let run_elapsed = run_start.elapsed();
+    registry
+        .telemetry
+        .histogram("scfi_serve_job_run_ns")
+        .observe_duration(run_elapsed);
+    registry
+        .telemetry
+        .counter("scfi_serve_worker_busy_ns_total")
+        .add(run_elapsed.as_nanos() as u64);
+    registry
+        .telemetry
+        .record_span("serve_job", run_start, run_elapsed);
 
     let mut inner = job.inner.lock().expect("job");
     match outcome {
@@ -407,6 +517,7 @@ fn run_one(registry: &Registry, job: &Job) {
             inner.error = Some(format!("job panicked: {}", panic_text(&payload)));
         }
     }
+    inner.finished_at = Some(Instant::now());
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -554,18 +665,54 @@ fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()
     stream.flush()
 }
 
+/// Stable per-endpoint label for the request-latency histograms (the
+/// metric name embeds the endpoint class, keeping the exposition free of
+/// label syntax the hand-rolled renderer would have to escape).
+fn endpoint_class(method: &str, path: &str) -> &'static str {
+    let path = path.trim_end_matches('/');
+    match (method, path) {
+        ("GET", "/v1/healthz") => "healthz",
+        ("GET", "/v1/metrics") => "metrics",
+        ("POST", "/v1/jobs") => "submit",
+        (method, path) if path.starts_with("/v1/jobs/") => match method {
+            "DELETE" => "cancel",
+            "GET" if path.ends_with("/result") => "result",
+            "GET" => "status",
+            _ => "other",
+        },
+        _ => "other",
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, registry: &Arc<Registry>) -> std::io::Result<()> {
-    let resp = match read_request(&mut stream) {
-        Ok(req) => route(&req, registry),
-        Err(message) => Response::error(&ApiError::bad_request("bad_request", message)),
+    let start = Instant::now();
+    let (resp, endpoint) = match read_request(&mut stream) {
+        Ok(req) => (
+            route(&req, registry),
+            endpoint_class(&req.method, &req.path),
+        ),
+        Err(message) => (
+            Response::error(&ApiError::bad_request("bad_request", message)),
+            "other",
+        ),
     };
-    write_response(&mut stream, &resp)
+    let result = write_response(&mut stream, &resp);
+    registry
+        .telemetry
+        .counter("scfi_serve_requests_total")
+        .inc();
+    registry
+        .telemetry
+        .histogram(&format!("scfi_serve_request_{endpoint}_ns"))
+        .observe_duration(start.elapsed());
+    result
 }
 
 fn route(req: &Request, registry: &Arc<Registry>) -> Response {
     let path = req.path.trim_end_matches('/');
     match (req.method.as_str(), path) {
         ("GET", "/v1/healthz") => health(registry),
+        ("GET", "/v1/metrics") => metrics(registry),
         ("POST", "/v1/jobs") => submit(req, registry),
         (method, path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
@@ -655,7 +802,35 @@ fn health(registry: &Registry) -> Response {
     )
 }
 
+/// `GET /v1/metrics`: the full telemetry registry in Prometheus text
+/// exposition format. The point-in-time gauges (queue depth, cache
+/// counters, registry size) are refreshed from the same live sources
+/// `/v1/healthz` reads, so the two endpoints can never disagree.
+fn metrics(registry: &Registry) -> Response {
+    let t = &registry.telemetry;
+    t.gauge("scfi_serve_queue_depth")
+        .set(registry.queue.depth() as u64);
+    t.gauge("scfi_serve_cache_hits").set(registry.cache.hits());
+    t.gauge("scfi_serve_cache_misses")
+        .set(registry.cache.misses());
+    t.gauge("scfi_serve_cache_entries")
+        .set(registry.cache.len() as u64);
+    t.gauge("scfi_serve_registry_jobs")
+        .set(registry.jobs.lock().expect("job registry").len() as u64);
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: t.render_prometheus(),
+        retry_after: None,
+    }
+}
+
 fn submit(req: &Request, registry: &Arc<Registry>) -> Response {
+    registry.sweep_expired();
+    registry
+        .telemetry
+        .counter("scfi_serve_jobs_submitted_total")
+        .inc();
     let doc = match parse(&req.body) {
         Ok(doc) => doc,
         Err(e) => {

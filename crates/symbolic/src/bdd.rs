@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Why a budgeted BDD operation stopped early.
@@ -51,6 +52,9 @@ pub enum BddOverflow {
     },
     /// The wall-clock deadline expired mid-operation.
     Deadline,
+    /// The installed cancellation probe (see [`Bdd::set_cancel_probe`])
+    /// fired mid-operation.
+    Cancelled,
 }
 
 impl fmt::Display for BddOverflow {
@@ -66,6 +70,7 @@ impl fmt::Display for BddOverflow {
                 )
             }
             BddOverflow::Deadline => write!(f, "BDD deadline expired"),
+            BddOverflow::Cancelled => write!(f, "BDD operation cancelled"),
         }
     }
 }
@@ -137,13 +142,22 @@ pub struct Bdd {
     max_steps: Option<u64>,
     /// Wall-clock deadline, checked every 4096 steps.
     deadline: Option<Instant>,
+    /// External cancellation probe, polled at the same cadence as the
+    /// deadline; a `true` return raises [`BddOverflow::Cancelled`].
+    cancel: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
     steps: u64,
+    /// Memoized-`ite` lookups that hit (cumulative; see
+    /// [`Bdd::ite_cache_hits`]).
+    ite_hits: u64,
+    /// Memoized-`ite` lookups that missed and recursed.
+    ite_misses: u64,
 }
 
-/// How many operation steps pass between wall-clock deadline checks:
-/// `Instant::now` is far too expensive per recursive `ite` call, and a few
-/// thousand steps complete in microseconds, so the deadline overshoot is
-/// negligible.
+/// How many operation steps pass between wall-clock deadline checks and
+/// cancellation-probe polls: `Instant::now` (or an atomic load through a
+/// probe closure) is far too expensive per recursive `ite` call, and a few
+/// thousand steps complete in microseconds, so the deadline overshoot and
+/// cancellation latency are negligible.
 const DEADLINE_CHECK_INTERVAL: u64 = 4096;
 
 impl Default for Bdd {
@@ -173,7 +187,10 @@ impl Bdd {
             max_nodes: None,
             max_steps: None,
             deadline: None,
+            cancel: None,
             steps: 0,
+            ite_hits: 0,
+            ite_misses: 0,
         }
     }
 
@@ -206,6 +223,30 @@ impl Bdd {
         self.deadline = Some(deadline);
     }
 
+    /// Installs an external cancellation probe, polled every few thousand
+    /// operation steps (the same cadence as the deadline check); once it
+    /// returns `true`, `try_*` operations raise [`BddOverflow::Cancelled`].
+    /// This is how a certify job's `DELETE` (or a CLI Ctrl-C handler)
+    /// reaches into a long-running symbolic step: the probe is typically
+    /// a closure over [`RunControl::is_cancelled`](scfi_faultsim::RunControl::is_cancelled).
+    pub fn set_cancel_probe(&mut self, probe: Arc<dyn Fn() -> bool + Send + Sync>) {
+        self.cancel = Some(probe);
+    }
+
+    /// Memoized-`ite` cache hits since construction (each avoided a full
+    /// Shannon recursion). Together with
+    /// [`ite_cache_misses`](Self::ite_cache_misses) this gives the cache
+    /// hit rate the observability layer exports.
+    pub fn ite_cache_hits(&self) -> u64 {
+        self.ite_hits
+    }
+
+    /// Memoized-`ite` cache misses since construction (lookups that went
+    /// on to recurse and inserted a fresh entry).
+    pub fn ite_cache_misses(&self) -> u64 {
+        self.ite_misses
+    }
+
     /// Operation steps executed since construction or the last
     /// [`reset_steps`](Self::reset_steps).
     pub fn steps(&self) -> u64 {
@@ -228,9 +269,16 @@ impl Bdd {
                 return Err(BddOverflow::Steps { limit });
             }
         }
-        if let Some(deadline) = self.deadline {
-            if self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
-                return Err(BddOverflow::Deadline);
+        if self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(BddOverflow::Deadline);
+                }
+            }
+            if let Some(probe) = &self.cancel {
+                if probe() {
+                    return Err(BddOverflow::Cancelled);
+                }
             }
         }
         Ok(())
@@ -346,8 +394,10 @@ impl Bdd {
             return Ok(f);
         }
         if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            self.ite_hits += 1;
             return Ok(r);
         }
+        self.ite_misses += 1;
         self.step()?;
         let top = self.nodes[f as usize]
             .var
@@ -980,6 +1030,55 @@ mod tests {
             "BDD operation-step limit exhausted (limit 9 steps)"
         );
         assert_eq!(BddOverflow::Deadline.to_string(), "BDD deadline expired");
+        assert_eq!(
+            BddOverflow::Cancelled.to_string(),
+            "BDD operation cancelled"
+        );
+    }
+
+    #[test]
+    fn cancel_probe_fails_after_the_check_interval() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = std::sync::Arc::new(AtomicBool::new(true));
+        let mut b = Bdd::new();
+        let probe = std::sync::Arc::clone(&flag);
+        b.set_cancel_probe(std::sync::Arc::new(move || probe.load(Ordering::Relaxed)));
+        // The probe is only polled every DEADLINE_CHECK_INTERVAL steps, so
+        // grind out enough work to guarantee several polls.
+        let mut acc = b.try_var(0).unwrap();
+        let mut result = Ok(());
+        for v in 1..512 {
+            let x = b.try_var(v).unwrap();
+            match b.try_xor(acc, x) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(result, Err(BddOverflow::Cancelled));
+        // A cleared probe lets the same manager make progress again.
+        flag.store(false, Ordering::Relaxed);
+        let x = b.try_var(600).unwrap();
+        assert!(b.try_xor(acc, x).is_ok());
+    }
+
+    #[test]
+    fn ite_cache_counters_track_hits_and_misses() {
+        let mut b = Bdd::new();
+        assert_eq!((b.ite_cache_hits(), b.ite_cache_misses()), (0, 0));
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        let misses = b.ite_cache_misses();
+        assert!(misses > 0, "a fresh conjunction must recurse");
+        assert_eq!(b.ite_cache_hits(), 0);
+        // The identical ite is answered from the memo table.
+        let g = b.and(x, y);
+        assert_eq!(f, g);
+        assert_eq!(b.ite_cache_hits(), 1);
+        assert_eq!(b.ite_cache_misses(), misses);
     }
 
     #[test]

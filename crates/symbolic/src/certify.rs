@@ -32,13 +32,15 @@
 //! callers fall back to exhaustive campaign sampling for those sites.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use scfi_core::{HardenedFsm, RedundantFsm, StateDecode};
 use scfi_fsm::LoweredFsm;
 use scfi_netlist::{Module, Simulator};
+use scfi_telemetry::Telemetry;
 
-use scfi_faultsim::{Fault, FaultEffect, FaultSite};
+use scfi_faultsim::{Fault, FaultEffect, FaultSite, RunControl};
 
 use crate::bdd::{Bdd, BddOverflow, BddRef};
 use crate::eval::{SymStep, SymbolicEvaluator};
@@ -503,6 +505,13 @@ pub struct Certifier<'m, M: CertifyModel> {
     /// The model's input-space assumption over the input variables.
     pub(crate) assumption: BddRef,
     pub(crate) detection_ports: Vec<usize>,
+    /// Observability handle ([`Telemetry::off`] unless installed via
+    /// [`with_instruments`](Self::with_instruments)); recording never
+    /// changes any verdict or report byte.
+    telemetry: Telemetry,
+    /// `(hits, misses)` already flushed to the telemetry counters, so the
+    /// cumulative [`Bdd`] totals can be exported as monotone deltas.
+    flushed_ite: (u64, u64),
 }
 
 impl<'m, M: CertifyModel> Certifier<'m, M> {
@@ -522,6 +531,27 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
     /// case. Per-site overflows after a successful setup degrade to
     /// per-site `Unknown` verdicts instead (see [`certify`](Self::certify)).
     pub fn with_budget(model: &'m M, budget: CertifyBudget) -> Result<Self, BddOverflow> {
+        Certifier::with_instruments(model, budget, Telemetry::off(), None)
+    }
+
+    /// [`with_budget`](Self::with_budget) plus the two cross-cutting
+    /// instruments the observability layer threads through every engine:
+    /// a [`Telemetry`] handle (per-phase durations, per-site step and
+    /// latency histograms, `ite`-cache hit/miss counters and the
+    /// node-table high-water gauge — all no-ops on [`Telemetry::off`])
+    /// and an optional [`RunControl`] whose cancel flag is polled inside
+    /// the BDD step loop, so cancelling a running certification aborts
+    /// within a few thousand operation steps instead of running the
+    /// current site to completion. A cancelled setup returns
+    /// [`BddOverflow::Cancelled`]; a cancelled site degrades to
+    /// [`Verdict::Unknown`], never a fabricated proof. Neither instrument
+    /// changes any verdict.
+    pub fn with_instruments(
+        model: &'m M,
+        budget: CertifyBudget,
+        telemetry: Telemetry,
+        cancel: Option<RunControl>,
+    ) -> Result<Self, BddOverflow> {
         let evaluator = SymbolicEvaluator::new(model.module());
         let mut bdd = Bdd::new();
         if let Some(n) = budget.max_nodes {
@@ -532,12 +562,34 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
                 bdd.set_deadline(deadline);
             }
         }
+        if let Some(control) = cancel {
+            bdd.set_cancel_probe(Arc::new(move || control.is_cancelled()));
+        }
+        let setup_start = telemetry.enabled().then(Instant::now);
         let base = evaluator.try_eval(&mut bdd, &[])?;
         let input_vars = (0..model.module().inputs().len())
             .map(|i| bdd.try_var(evaluator.varmap().input(i)))
             .collect::<Result<Vec<BddRef>, _>>()?;
         let assumption = model.input_assumption(&mut bdd, &input_vars)?;
+        let reach_start = telemetry.enabled().then(|| {
+            let now = Instant::now();
+            if let Some(start) = setup_start {
+                let elapsed = now - start;
+                telemetry
+                    .histogram("scfi_certify_setup_ns")
+                    .observe_duration(elapsed);
+                telemetry.record_span("certify_setup", start, elapsed);
+            }
+            now
+        });
         let reach = try_reachable_states(&mut bdd, &evaluator, &base, assumption)?;
+        if let Some(start) = reach_start {
+            let elapsed = start.elapsed();
+            telemetry
+                .histogram("scfi_certify_reach_ns")
+                .observe_duration(elapsed);
+            telemetry.record_span("certify_reach", start, elapsed);
+        }
         // The step limit is a *per-site* allowance (reset before each
         // `certify` call), so it is armed only after the one-time setup:
         // setup is bounded by the node budget and the deadline instead.
@@ -545,7 +597,7 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
             bdd.set_step_limit(s);
         }
         let detection_ports = model.detection_ports();
-        Ok(Certifier {
+        let mut certifier = Certifier {
             model,
             evaluator,
             bdd,
@@ -553,7 +605,31 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
             reach,
             assumption,
             detection_ports,
-        })
+            telemetry,
+            flushed_ite: (0, 0),
+        };
+        certifier.flush_bdd_stats();
+        Ok(certifier)
+    }
+
+    /// Exports the BDD manager's cumulative cache statistics and node
+    /// high-water mark as monotone telemetry series. No-op without a
+    /// recording handle.
+    fn flush_bdd_stats(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let (hits, misses) = (self.bdd.ite_cache_hits(), self.bdd.ite_cache_misses());
+        self.telemetry
+            .counter("scfi_bdd_ite_cache_hits_total")
+            .add(hits - self.flushed_ite.0);
+        self.telemetry
+            .counter("scfi_bdd_ite_cache_misses_total")
+            .add(misses - self.flushed_ite.1);
+        self.flushed_ite = (hits, misses);
+        self.telemetry
+            .gauge("scfi_bdd_nodes_high_water")
+            .record_max(self.bdd.node_count() as u64);
     }
 
     /// The all-[`Unknown`](Verdict::Unknown) report for a setup-phase
@@ -629,12 +705,25 @@ impl<'m, M: CertifyModel> Certifier<'m, M> {
     /// overflow.
     pub fn certify(&mut self, fault: Fault) -> Verdict {
         self.bdd.reset_steps();
-        match self.certify_inner(fault) {
+        let site_start = self.telemetry.enabled().then(Instant::now);
+        let verdict = match self.certify_inner(fault) {
             Ok(verdict) => verdict,
             Err(overflow) => Verdict::Unknown {
                 reason: overflow.to_string(),
             },
+        };
+        if let Some(start) = site_start {
+            let elapsed = start.elapsed();
+            self.telemetry
+                .histogram("scfi_certify_site_ns")
+                .observe_duration(elapsed);
+            self.telemetry
+                .histogram("scfi_certify_steps_per_site")
+                .observe(self.bdd.steps());
+            self.telemetry.record_span("certify_site", start, elapsed);
+            self.flush_bdd_stats();
         }
+        verdict
     }
 
     fn certify_inner(&mut self, fault: Fault) -> Result<Verdict, BddOverflow> {
